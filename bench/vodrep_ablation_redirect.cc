@@ -1,0 +1,44 @@
+// E10 / Section 6 future work: request-redirection ablation.  The paper's
+// conclusion sketches a runtime redirection strategy over the cluster
+// backbone to complement the conservative static placement; this harness
+// measures how much of the residual rejection rate that strategy recovers.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/exp/experiments.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_ablation_redirect",
+                 "Ablation: backbone-assisted request redirection");
+  flags.add_int("runs", 20, "workload realizations per data point");
+  flags.add_int("points", 12, "arrival-rate sweep points");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_double("theta", 0.75, "Zipf skew");
+  flags.add_double("degree", 1.2, "replication degree");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    ExperimentOptions options;
+    options.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    options.sweep_points = static_cast<std::size_t>(flags.get_int("points"));
+    options.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    if (flags.get_bool("quick")) {
+      options.runs = 5;
+      options.sweep_points = 6;
+      options.num_videos = 100;
+    }
+    std::cout << "== Ablation: static round-robin dispatch vs backbone "
+                 "redirection ==\n"
+              << "zipf+slf, theta=" << flags.get_double("theta")
+              << ", degree=" << flags.get_double("degree") << "\n\n";
+    redirect_ablation(flags.get_double("theta"), flags.get_double("degree"),
+                      options)
+        .print(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,103 @@
+// E14 / the complementary bandwidth-reduction family the paper cites
+// (batching, piggybacking, multicast — its references [1] and [7]): stream
+// sharing at the replica level.
+//
+// A request whose scheduled replica started a stream of the same video
+// within the batching window joins that stream for free.  This harness
+// sweeps the window and the Zipf skew: sharing thrives on skew (hot videos
+// arrive close together), so it complements replication exactly where
+// replication is most storage-hungry.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/pipeline.h"
+#include "src/exp/runner.h"
+#include "src/exp/scenario.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_batching",
+                 "Stream sharing (batching) vs rejection rate");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_double("degree", 1.2, "replication degree");
+  flags.add_int("runs", 20, "workload realizations per data point");
+  flags.add_int("points", 6, "arrival-rate sweep points");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    PaperScenario scenario;
+    scenario.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    scenario.replication_degree = flags.get_double("degree");
+    RunnerOptions runner;
+    runner.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    std::size_t points = static_cast<std::size_t>(flags.get_int("points"));
+    if (flags.get_bool("quick")) {
+      scenario.num_videos = 100;
+      runner.runs = 5;
+      points = 4;
+    }
+
+    const double windows_min[] = {0.0, 0.5, 2.0, 5.0, 10.0};
+    ThreadPool pool;
+    for (double theta : {0.75, 0.25}) {
+      scenario.theta = theta;
+      const auto replication = make_replication_policy("zipf");
+      const auto placement = make_placement_policy("slf");
+      const Layout layout =
+          provision(scenario.problem(), *replication, *placement,
+                    scenario.replica_budget())
+              .layout;
+
+      for (const BatchingMode mode :
+           {BatchingMode::kPiggyback, BatchingMode::kPatching}) {
+        std::vector<std::string> headers{"arrival_rate_per_min"};
+        for (double w : windows_min) {
+          headers.push_back("reject%_W=" + std::to_string(w).substr(0, 3) +
+                            "min");
+        }
+        headers.emplace_back("batched%_W=10min");
+        Table table(std::move(headers));
+        table.set_precision(2);
+        for (double rate :
+             arrival_rate_sweep(scenario, points, 0.5, 1.5)) {
+          std::vector<Table::Cell> row{rate};
+          double batched_at_widest = 0.0;
+          for (double w : windows_min) {
+            SimConfig config = scenario.sim_config();
+            config.batching_window_sec = w * 60.0;
+            config.batching_mode = mode;
+            const CellStats stats =
+                run_cell(layout, config, scenario.trace_spec(rate), runner,
+                         &pool);
+            row.emplace_back(100.0 * stats.rejection_rate.mean());
+            if (w == windows_min[4]) {
+              batched_at_widest = stats.batched_fraction.mean();
+            }
+          }
+          row.emplace_back(100.0 * batched_at_widest);
+          table.add_row(std::move(row));
+        }
+        std::cout << "\n-- theta = " << theta << ", "
+                  << (mode == BatchingMode::kPiggyback
+                          ? "piggyback (free joins, upper bound)"
+                          : "patching (joins pay the missed prefix)")
+                  << " --\n";
+        table.print(std::cout);
+      }
+    }
+    std::cout << "\nStream sharing is driven by the per-replica arrival "
+                 "density (window x\nlambda x p_i / r_i): a few minutes of "
+                 "window absorb most hot-video traffic\nand push the "
+                 "effective saturation point past the nominal link capacity."
+                 "\nPiggyback (joins free) is the optimistic bound; patching "
+                 "(joins pay a\ncatch-up stream for the missed prefix) is "
+                 "the deliverable middle ground —\nreal systems land between "
+                 "the two tables.\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,90 @@
+// E18 / validating the paper's Section 3.1 assumption that "outgoing
+// network bandwidth is the major performance bottleneck".
+//
+// The round-based disk admission model (src/disk) yields the jitter-free
+// stream capacity of a server's storage subsystem.  This harness sweeps the
+// disk array size and disk generation against the paper's 1.8 Gb/s link and
+// 4 Mb/s streams, showing where the network-bottleneck regime starts and
+// how the optimal service-round length moves with the memory budget.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/disk/disk_model.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_disk_bottleneck",
+                 "When is the outgoing link really the bottleneck?");
+  flags.add_double("network-gbps", 1.8, "server outgoing bandwidth");
+  flags.add_double("bitrate-mbps", 4.0, "stream encoding bit rate");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    const double network = units::gbps(flags.get_double("network-gbps"));
+    const double bitrate = units::mbps(flags.get_double("bitrate-mbps"));
+
+    struct Generation {
+      const char* name;
+      DiskSpec spec;
+    };
+    const Generation generations[] = {
+        {"2002 SCSI (40 MB/s)", DiskSpec{0.005, 0.00417, 320e6}},
+        {"2002 IDE (25 MB/s)", DiskSpec{0.009, 0.00556, 200e6}},
+        {"fast array (80 MB/s)", DiskSpec{0.0035, 0.003, 640e6}},
+    };
+
+    std::cout << "== Disk vs network bottleneck (round-based admission, "
+                 "R = 1 s, 1 GB buffer pool) ==\n"
+              << "network link sustains "
+              << static_cast<std::size_t>(network / bitrate)
+              << " streams at " << units::to_mbps(bitrate) << " Mb/s\n";
+    for (const Generation& generation : generations) {
+      Table table({"disks_per_server", "disk_streams", "memory_streams",
+                   "sustainable", "bottleneck"});
+      for (std::size_t disks : {2u, 4u, 8u, 12u, 16u, 24u}) {
+        StorageSubsystem subsystem;
+        subsystem.disk = generation.spec;
+        subsystem.num_disks = disks;
+        const ServerCapacityBreakdown capacity =
+            server_capacity(subsystem, network, bitrate);
+        table.add_row({static_cast<long long>(disks),
+                       static_cast<long long>(capacity.disk_streams),
+                       static_cast<long long>(capacity.memory_streams),
+                       static_cast<long long>(capacity.sustainable()),
+                       std::string(capacity.bottleneck())});
+      }
+      std::cout << "\n-- " << generation.name << " --\n";
+      table.print(std::cout);
+    }
+
+    std::cout << "\n-- service-round tuning (2002 SCSI, 12 disks): longer "
+                 "rounds amortize seeks\n   until buffers bind --\n";
+    Table tuning({"memory_GB", "best_round_sec", "disk_streams_at_best",
+                  "memory_streams_at_best"});
+    tuning.set_precision(2);
+    for (double memory_gb : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      StorageSubsystem subsystem;
+      subsystem.num_disks = 12;
+      subsystem.memory_bytes = units::gigabytes(memory_gb);
+      const double best = best_round_length(subsystem, bitrate);
+      subsystem.round_sec = best;
+      tuning.add_row(
+          {memory_gb, best,
+           static_cast<long long>(max_streams_disk(subsystem, bitrate)),
+           static_cast<long long>(max_streams_memory(subsystem, bitrate))});
+    }
+    tuning.print(std::cout);
+    std::cout << "\nWith ~12+ contemporary disks per server the storage "
+                 "subsystem out-delivers the\n1.8 Gb/s link and the paper's "
+                 "network-bottleneck assumption holds; smaller or\nslower "
+                 "arrays put the bottleneck on disk and the replication "
+                 "analysis would\nhave to re-run against the disk stream "
+                 "counts instead.\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

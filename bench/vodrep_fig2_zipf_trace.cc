@@ -1,0 +1,66 @@
+// E2 / Figure 2: the Zipf-interval replication scenario — interval
+// boundaries generated for the fitted skew parameter u, and the resulting
+// per-video replica assignment (the paper illustrates seven videos on four
+// servers).
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/zipf_interval_replication.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/workload/popularity.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_fig2_zipf_trace",
+                 "Figure 2: Zipf-interval replication scenario");
+  flags.add_int("videos", 7, "number of videos M");
+  flags.add_int("servers", 4, "number of servers N");
+  flags.add_double("theta", 0.6, "Zipf skew of the popularity vector");
+  flags.add_double("degree", 1.75, "target replication degree");
+  flags.add_double("u", 2.0, "illustration skew for the boundary table");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    const auto m = static_cast<std::size_t>(flags.get_int("videos"));
+    const auto n = static_cast<std::size_t>(flags.get_int("servers"));
+    const auto popularity = zipf_popularity(m, flags.get_double("theta"));
+    const auto budget = static_cast<std::size_t>(
+        flags.get_double("degree") * static_cast<double>(m));
+
+    std::cout << "== Figure 2: Zipf-like-distribution-based replication ==\n"
+              << "M=" << m << " videos, N=" << n << " servers, budget "
+              << budget << " replicas\n\n";
+
+    const double u = flags.get_double("u");
+    const auto boundaries = ZipfIntervalReplication::interval_boundaries(
+        popularity.front(), n, u);
+    Table boundary_table({"interval_k", "replicas_if_inside", "lower_edge_z_k"});
+    boundary_table.set_precision(5);
+    for (std::size_t k = 1; k <= n; ++k) {
+      boundary_table.add_row(
+          {static_cast<long long>(k), static_cast<long long>(n - k + 1),
+           k < n ? boundaries[k - 1] : 0.0});
+    }
+    std::cout << "generate(u=" << u << ") interval boundaries:\n";
+    boundary_table.print(std::cout);
+
+    const ZipfIntervalReplication zipf;
+    const ReplicationPlan plan = zipf.replicate(popularity, n, budget);
+    std::cout << "\nassignment after the binary search on u:\n";
+    Table plan_table({"video", "popularity", "replicas", "weight_p/r"});
+    plan_table.set_precision(5);
+    for (std::size_t i = 0; i < m; ++i) {
+      plan_table.add_row({static_cast<long long>(i + 1), popularity[i],
+                          static_cast<long long>(plan.replicas[i]),
+                          popularity[i] /
+                              static_cast<double>(plan.replicas[i])});
+    }
+    plan_table.print(std::cout);
+    std::cout << "\ntotal replicas = " << plan.total_replicas() << " (budget "
+              << budget << "), degree = " << plan.degree() << "\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

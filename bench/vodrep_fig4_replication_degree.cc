@@ -1,0 +1,68 @@
+// E4 / Figure 4: impact of the replication degree on the rejection rate.
+// Four panels, as in the paper:
+//   (a) Zipf replication + smallest-load-first placement, theta = 0.75
+//   (b) classification replication + round-robin placement, theta = 0.75
+//   (c) Zipf replication + smallest-load-first placement, theta = 0.25
+//   (d) classification replication + round-robin placement, theta = 0.25
+// Each panel: rejection rate (%) vs arrival rate (req/min) for replication
+// degrees {1.0, 1.2, 1.4, 1.6, 1.8}.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/exp/experiments.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_fig4_replication_degree",
+                 "Figure 4: rejection rate vs replication degree");
+  flags.add_int("runs", 20, "workload realizations per data point");
+  flags.add_int("points", 12, "arrival-rate sweep points");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    ExperimentOptions options;
+    options.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    options.sweep_points = static_cast<std::size_t>(flags.get_int("points"));
+    options.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    if (flags.get_bool("quick")) {
+      options.runs = 5;
+      options.sweep_points = 6;
+      options.num_videos = 100;
+    }
+
+    struct Panel {
+      const char* tag;
+      AlgorithmCombo combo;
+      double theta;
+    };
+    const Panel panels[] = {
+        {"(a)", {"zipf", "slf"}, 0.75},
+        {"(b)", {"classification", "round-robin"}, 0.75},
+        {"(c)", {"zipf", "slf"}, 0.25},
+        {"(d)", {"classification", "round-robin"}, 0.25},
+    };
+    std::cout << "== Figure 4: impact of replication degree on rejection "
+                 "rate ==\n"
+              << "(columns: rejection % per replication degree; rows: "
+                 "arrival rate in requests/minute)\n";
+    for (const Panel& panel : panels) {
+      std::cout << "\n-- " << panel.tag << " " << panel.combo.label()
+                << ", theta = " << panel.theta << " --\n";
+      {
+        const Table table = fig4_panel(panel.combo, panel.theta, options);
+        if (flags.get_bool("csv")) {
+          table.print_csv(std::cout);
+        } else {
+          table.print(std::cout);
+        }
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

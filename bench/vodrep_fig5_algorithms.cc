@@ -1,0 +1,64 @@
+// E5 / Figure 5: impact of the four replication+placement combinations on
+// the rejection rate.  Four panels, as in the paper:
+//   (a) degree 1.2, theta = 0.75    (b) degree 1.4, theta = 0.75
+//   (c) degree 1.2, theta = 0.25    (d) degree 1.4, theta = 0.25
+#include <cstdlib>
+#include <iostream>
+
+#include "src/exp/experiments.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_fig5_algorithms",
+                 "Figure 5: rejection rate per algorithm combination");
+  flags.add_int("runs", 20, "workload realizations per data point");
+  flags.add_int("points", 12, "arrival-rate sweep points");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  flags.add_bool("csv", false, "emit CSV instead of aligned tables");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    ExperimentOptions options;
+    options.runs = static_cast<std::size_t>(flags.get_int("runs"));
+    options.sweep_points = static_cast<std::size_t>(flags.get_int("points"));
+    options.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    if (flags.get_bool("quick")) {
+      options.runs = 5;
+      options.sweep_points = 6;
+      options.num_videos = 100;
+    }
+
+    struct Panel {
+      const char* tag;
+      double degree;
+      double theta;
+    };
+    const Panel panels[] = {
+        {"(a)", 1.2, 0.75},
+        {"(b)", 1.4, 0.75},
+        {"(c)", 1.2, 0.25},
+        {"(d)", 1.4, 0.25},
+    };
+    std::cout << "== Figure 5: impact of replication/placement algorithms on "
+                 "rejection rate ==\n"
+              << "(columns: rejection % per combination; rows: arrival rate "
+                 "in requests/minute)\n";
+    for (const Panel& panel : panels) {
+      std::cout << "\n-- " << panel.tag << " replication degree "
+                << panel.degree << ", theta = " << panel.theta << " --\n";
+      {
+        const Table table = fig5_panel(panel.theta, panel.degree, options);
+        if (flags.get_bool("csv")) {
+          table.print_csv(std::cout);
+        } else {
+          table.print(std::cout);
+        }
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

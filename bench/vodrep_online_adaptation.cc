@@ -1,0 +1,77 @@
+// E13 / Section 4.1.2: dynamic re-replication on a drifting workload.
+// Compares the one-shot static provisioning against the estimator-driven
+// adaptive controller and the true-popularity oracle over a multi-epoch
+// horizon, for both gradual (rank-swap) and abrupt (new-release hot-swap)
+// drift.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/online/adaptation_study.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("vodrep_online_adaptation",
+                 "Dynamic re-replication under popularity drift");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_int("epochs", 14, "number of daily peak periods");
+  flags.add_double("theta", 0.75, "initial Zipf skew");
+  flags.add_double("degree", 1.2, "replication degree");
+  flags.add_double("lambda", 38.0, "peak arrival rate, requests/minute");
+  flags.add_double("decay", 0.5, "estimator decay per epoch");
+  flags.add_double("replan-threshold", 0.0,
+                   "L1 estimate shift required to re-provision");
+  flags.add_int("seed", 20020407, "experiment seed");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    AdaptationStudyConfig config;
+    config.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    config.epochs = static_cast<std::size_t>(flags.get_int("epochs"));
+    config.theta = flags.get_double("theta");
+    config.replication_degree = flags.get_double("degree");
+    config.arrival_rate_per_sec = flags.get_double("lambda") / 60.0;
+    config.estimator_decay = flags.get_double("decay");
+    config.replan_threshold = flags.get_double("replan-threshold");
+    if (flags.get_bool("quick")) {
+      config.num_videos = 100;
+      config.epochs = 6;
+    }
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+    std::cout << "== Dynamic re-replication under popularity drift ==\n"
+              << "M=" << config.num_videos << ", degree "
+              << config.replication_degree << ", lambda "
+              << flags.get_double("lambda") << " req/min, " << config.epochs
+              << " daily epochs\n";
+
+    std::cout << "\n-- gradual drift: 5% of the catalogue swaps rank every "
+                 "day --\n";
+    config.drift = DriftSpec{DriftKind::kRankSwap, 0.05};
+    run_adaptation_study(config, seed).print(std::cout);
+
+    std::cout << "\n-- abrupt drift: two chart-topping releases every day "
+                 "--\n";
+    config.drift = DriftSpec{DriftKind::kHotSwap, 2.0};
+    run_adaptation_study(config, seed ^ 0xD1F7).print(std::cout);
+
+    std::cout << "\n-- ablation: migration-aware incremental placement vs "
+                 "from-scratch SLF re-placement\n   (gradual drift; compare "
+                 "the migrated_GB columns) --\n";
+    config.drift = DriftSpec{DriftKind::kRankSwap, 0.05};
+    config.incremental_placement = false;
+    std::cout << "\nfrom-scratch re-placement:\n";
+    run_adaptation_study(config, seed).print(std::cout);
+    config.incremental_placement = true;
+
+    std::cout << "\nStatic provisioning decays with the workload; the "
+                 "adaptive controller tracks\nthe oracle to within "
+                 "estimation noise.  Incremental placement realizes the "
+                 "same plans\nfor a small fraction of the migration traffic "
+                 "that from-scratch SLF\nre-placement pays.\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,192 @@
+// E12 / Section 1 + related work [4]: striping vs replication.
+//
+// The paper's case for replication in distributed-storage clusters rests on
+// a comparison it cites rather than re-runs ("Striping doesn't scale"):
+// wide striping balances load perfectly but couples every video to every
+// server.  This harness makes the trade-off concrete on the paper's own
+// scenario:
+//   1. fault-free rejection rates: wide/narrow striping vs zipf+slf
+//      replication across arrival rates;
+//   2. the same sweep with one server crashing mid-peak: disrupted streams
+//      and post-crash rejections;
+//   3. the closed-form per-video availability of k-striping vs
+//      r-replication under independent server survival.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/pipeline.h"
+#include "src/core/striping.h"
+#include "src/exp/scenario.h"
+#include "src/sim/hybrid_simulator.h"
+#include "src/sim/striped_simulator.h"
+#include "src/util/cli.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+#include "src/workload/trace.h"
+
+namespace {
+
+using namespace vodrep;
+
+struct SweepPoint {
+  OnlineStats reject;
+  OnlineStats disrupted;
+};
+
+/// Runs `runs` trace realizations of one configuration through `simulate_fn`
+/// and aggregates rejection and disruption fractions.
+template <typename SimulateFn>
+SweepPoint run_config(const PaperScenario& scenario, double rate,
+                      std::size_t runs, std::uint64_t seed,
+                      SimulateFn&& simulate_fn) {
+  SweepPoint point;
+  for (std::size_t run = 0; run < runs; ++run) {
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
+    const RequestTrace trace = generate_trace(rng, scenario.trace_spec(rate));
+    const SimResult result = simulate_fn(trace);
+    point.reject.add(result.rejection_rate());
+    point.disrupted.add(
+        result.total_requests == 0
+            ? 0.0
+            : static_cast<double>(result.disrupted) /
+                  static_cast<double>(result.total_requests));
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("vodrep_striping_comparison",
+                 "Striping vs replication: load balance and availability");
+  flags.add_int("runs", 20, "workload realizations per data point");
+  flags.add_int("points", 8, "arrival-rate sweep points");
+  flags.add_int("videos", 300, "catalogue size M");
+  flags.add_double("theta", 0.75, "Zipf skew");
+  flags.add_double("degree", 1.2, "replication degree of the replica layout");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    PaperScenario scenario;
+    scenario.theta = flags.get_double("theta");
+    scenario.replication_degree = flags.get_double("degree");
+    scenario.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    std::size_t runs = static_cast<std::size_t>(flags.get_int("runs"));
+    std::size_t points = static_cast<std::size_t>(flags.get_int("points"));
+    if (flags.get_bool("quick")) {
+      runs = 5;
+      points = 5;
+      scenario.num_videos = 100;
+    }
+    const std::uint64_t seed = 0x57121280;
+    const std::size_t n = scenario.num_servers;
+
+    // Configurations under test.
+    const auto replication = make_replication_policy("zipf");
+    const auto placement = make_placement_policy("slf");
+    const Layout replica_layout =
+        provision(scenario.problem(), *replication, *placement,
+                  scenario.replica_budget())
+            .layout;
+    const StripedLayout wide =
+        make_striped_layout(scenario.num_videos, n, n);
+    const StripedLayout narrow4 =
+        make_striped_layout(scenario.num_videos, n, 4);
+    const StripedLayout narrow2 =
+        make_striped_layout(scenario.num_videos, n, 2);
+    // Hybrid: two replicated 4-wide stripe groups per video (storage cost
+    // 2x, same as degree-2 replication).
+    const HybridLayout hybrid =
+        make_hybrid_layout(scenario.num_videos, n, 4, 2);
+
+    std::cout << "== Striping vs replication on the paper's cluster ==\n"
+              << "M=" << scenario.num_videos << ", N=" << n
+              << ", theta=" << scenario.theta << "; replication degree "
+              << scenario.replication_degree << " (storage cost "
+              << scenario.replication_degree << "x vs 1x for striping)\n";
+
+    auto sweep = [&](const std::vector<ServerFailure>& failures,
+                     const char* title, bool show_disruption) {
+      SimConfig base = scenario.sim_config();
+      base.failures = failures;
+      std::cout << "\n-- " << title << " --\n";
+      std::vector<std::string> headers{"arrival_rate_per_min",
+                                       "reject%_stripe_k8",
+                                       "reject%_stripe_k4",
+                                       "reject%_stripe_k2",
+                                       "reject%_hybrid_k4r2",
+                                       "reject%_replication"};
+      if (show_disruption) {
+        headers.insert(headers.end(),
+                       {"disrupt%_stripe_k8", "disrupt%_hybrid_k4r2",
+                        "disrupt%_replication"});
+      }
+      Table table(std::move(headers));
+      table.set_precision(2);
+      for (double rate : arrival_rate_sweep(scenario, points, 0.2, 1.1)) {
+        const SweepPoint k8 = run_config(
+            scenario, rate, runs, seed,
+            [&](const RequestTrace& t) { return simulate_striped(wide, base, t); });
+        const SweepPoint k4 = run_config(
+            scenario, rate, runs, seed, [&](const RequestTrace& t) {
+              return simulate_striped(narrow4, base, t);
+            });
+        const SweepPoint k2 = run_config(
+            scenario, rate, runs, seed, [&](const RequestTrace& t) {
+              return simulate_striped(narrow2, base, t);
+            });
+        const SweepPoint hyb = run_config(
+            scenario, rate, runs, seed, [&](const RequestTrace& t) {
+              return simulate_hybrid(hybrid, base, t);
+            });
+        const SweepPoint rep = run_config(
+            scenario, rate, runs, seed, [&](const RequestTrace& t) {
+              return simulate(replica_layout, base, t);
+            });
+        std::vector<Table::Cell> row{rate, 100.0 * k8.reject.mean(),
+                                     100.0 * k4.reject.mean(),
+                                     100.0 * k2.reject.mean(),
+                                     100.0 * hyb.reject.mean(),
+                                     100.0 * rep.reject.mean()};
+        if (show_disruption) {
+          row.emplace_back(100.0 * k8.disrupted.mean());
+          row.emplace_back(100.0 * hyb.disrupted.mean());
+          row.emplace_back(100.0 * rep.disrupted.mean());
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+    };
+
+    sweep({}, "fault-free peak (striping pools bandwidth perfectly)", false);
+    sweep({ServerFailure{units::minutes(45), 0}},
+          "one server crashes at minute 45", true);
+
+    std::cout << "\n-- closed-form per-video availability, independent "
+                 "server survival p --\n";
+    Table avail({"survival_p", "stripe_k2", "stripe_k4", "stripe_k8",
+                 "replicas_1", "replicas_2", "replicas_3",
+                 "hybrid_k4_r2"});
+    avail.set_precision(4);
+    for (double p : {0.90, 0.95, 0.99, 0.999}) {
+      avail.add_row({p, striped_video_availability(p, 2),
+                     striped_video_availability(p, 4),
+                     striped_video_availability(p, 8),
+                     replicated_video_availability(p, 1),
+                     replicated_video_availability(p, 2),
+                     replicated_video_availability(p, 3),
+                     hybrid_video_availability(p, 4, 2)});
+    }
+    avail.print(std::cout);
+    std::cout << "\nStriping wins the fault-free load-balance column; "
+                 "replication wins every\navailability column — the paper's "
+                 "argument for replication in distributed\nstorage clusters, "
+                 "reproduced end to end.\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,84 @@
+// Capacity planning: how much storage buys how much availability?
+//
+// The scenario the paper's introduction motivates: an operator with a fixed
+// server fleet deciding how much disk to provision per server.  For each
+// storage size we compute the optimal replication (Adams) + SLF placement
+// and measure the peak-hour rejection rate, producing a
+// storage-vs-availability curve with diminishing returns — the quantitative
+// basis for the paper's "full replication is generally inefficient" claim.
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/erlang.h"
+#include "src/core/pipeline.h"
+#include "src/exp/runner.h"
+#include "src/exp/scenario.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace vodrep;
+  CliFlags flags("capacity_planning",
+                 "Storage-vs-availability provisioning study");
+  flags.add_int("videos", 200, "catalogue size M");
+  flags.add_double("theta", 0.75, "Zipf skew");
+  flags.add_double("lambda", 38.0, "peak arrival rate, requests/minute");
+  flags.add_int("runs", 10, "workload realizations per storage point");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    PaperScenario scenario;
+    scenario.num_videos = static_cast<std::size_t>(flags.get_int("videos"));
+    scenario.theta = flags.get_double("theta");
+    const double lambda = flags.get_double("lambda");
+    RunnerOptions runner;
+    runner.runs = static_cast<std::size_t>(flags.get_int("runs"));
+
+    std::cout << "== Capacity planning: storage vs availability ==\n"
+              << "M=" << scenario.num_videos << " videos at 2.7 GB each, "
+              << "peak " << lambda << " req/min, theta=" << scenario.theta
+              << "\n\n";
+
+    const auto replication = make_replication_policy("adams");
+    const auto placement = make_placement_policy("slf");
+    ThreadPool pool;
+
+    // Analytic floor: even a perfectly pooled cluster loses the Erlang-B
+    // blocking of the offered load — no amount of storage removes it.
+    const double offered_erlangs = lambda * scenario.duration_minutes;
+    const auto pooled_channels = static_cast<std::size_t>(
+        scenario.problem().cluster.total_bandwidth_bps() /
+        scenario.problem().bitrate_bps);
+    std::cout << "Erlang-B pooled-cluster floor at this load: "
+              << 100.0 * erlang_b(offered_erlangs, pooled_channels)
+              << " % rejection\n\n";
+
+    Table table({"degree", "storage_GB_per_server", "total_replicas",
+                 "reject%", "reject_ci95", "L_eq2%"});
+    table.set_precision(2);
+    for (double degree : {1.0, 1.1, 1.2, 1.4, 1.6, 2.0, 3.0}) {
+      scenario.replication_degree = degree;
+      const FixedRateProblem problem = scenario.problem();
+      const ProvisioningResult provisioned = provision(
+          problem, *replication, *placement, scenario.replica_budget());
+      const CellStats stats =
+          run_cell(provisioned.layout, scenario.sim_config(),
+                   scenario.trace_spec(lambda), runner, &pool);
+      table.add_row(
+          {degree,
+           units::to_gigabytes(problem.cluster.storage_bytes_per_server),
+           static_cast<long long>(provisioned.plan.total_replicas()),
+           100.0 * stats.rejection_rate.mean(),
+           100.0 * stats.rejection_rate.ci95_halfwidth(),
+           100.0 * stats.mean_imbalance_eq2.mean()});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading the table: the first ~20% of extra storage "
+                 "removes most rejections;\nbeyond that the curve flattens — "
+                 "replicate by popularity, do not mirror everything.\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

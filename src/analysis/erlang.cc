@@ -1,0 +1,49 @@
+#include "src/analysis/erlang.h"
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+double erlang_b(double erlangs, std::size_t channels) {
+  require(erlangs >= 0.0, "erlang_b: offered load must be non-negative");
+  if (channels == 0) return 1.0;
+  if (erlangs == 0.0) return 0.0;
+  // Forward recursion B(a, n) = a B(a, n-1) / (n + a B(a, n-1)); each step
+  // keeps the value in (0, 1], so there is no overflow for any size.
+  double blocking = 1.0;
+  for (std::size_t n = 1; n <= channels; ++n) {
+    blocking = erlangs * blocking /
+               (static_cast<double>(n) + erlangs * blocking);
+  }
+  return blocking;
+}
+
+std::size_t channels_for_blocking(double erlangs, double target_blocking) {
+  require(erlangs >= 0.0, "channels_for_blocking: bad offered load");
+  require(target_blocking > 0.0 && target_blocking < 1.0,
+          "channels_for_blocking: target must be in (0, 1)");
+  if (erlangs == 0.0) return 0;
+  // Run the same recursion until the blocking drops under the target; the
+  // answer is O(a + sqrt(a)) channels, so the loop is short.  The explicit
+  // cap guards against pathological targets.
+  double blocking = 1.0;
+  const std::size_t cap =
+      static_cast<std::size_t>(4.0 * erlangs) + 64 +
+      static_cast<std::size_t>(8.0 / target_blocking);
+  for (std::size_t n = 1; n <= cap; ++n) {
+    blocking = erlangs * blocking /
+               (static_cast<double>(n) + erlangs * blocking);
+    if (blocking <= target_blocking) return n;
+  }
+  throw InfeasibleError(
+      "channels_for_blocking: target unreachable within the search cap");
+}
+
+double balanced_split_blocking(double total_erlangs, std::size_t servers,
+                               std::size_t channels_per_server) {
+  require(servers >= 1, "balanced_split_blocking: need a server");
+  return erlang_b(total_erlangs / static_cast<double>(servers),
+                  channels_per_server);
+}
+
+}  // namespace vodrep

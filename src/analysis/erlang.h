@@ -1,0 +1,45 @@
+// Erlang loss (M/G/c/c) analysis of the VoD cluster.
+//
+// A streaming server with B/b concurrent-stream slots and no waiting room
+// is exactly an Erlang loss system; because the Erlang-B formula is
+// insensitive to the service-time distribution, it applies verbatim to our
+// deterministic 90-minute holding times.  This module provides the
+// closed forms that (a) validate the discrete-event simulator against
+// theory and (b) explain the paper's Section 5 observation that rejections
+// appear below nominal capacity: with offered load a = lambda * T and c
+// channels, the blocking probability B(a, c) is strictly positive for any
+// finite c — perfect balancing removes placement-induced rejections but
+// never the arrival-variance floor.
+//
+// Two reference points bracket every layout:
+//   * pooled cluster: one loss system with N*B/b channels — what ideal
+//     wide striping achieves;
+//   * balanced split: N independent systems, each with B/b channels fed
+//     lambda/N — what perfectly balanced replication with random splitting
+//     achieves.  Pooling always blocks less (resource-pooling principle),
+//     and the gap is the intrinsic price of partitioned bandwidth.
+#pragma once
+
+#include <cstddef>
+
+namespace vodrep {
+
+/// Erlang-B blocking probability for offered load `erlangs` (= arrival rate
+/// x mean holding time) on `channels` servers.  Uses the numerically stable
+/// forward recursion; exact for M/G/c/c.  channels == 0 blocks everything.
+[[nodiscard]] double erlang_b(double erlangs, std::size_t channels);
+
+/// Smallest channel count whose Erlang-B blocking is <= `target_blocking`
+/// at the given offered load (capacity planning / inverse Erlang-B).
+/// Throws InvalidArgumentError unless 0 < target_blocking < 1.
+[[nodiscard]] std::size_t channels_for_blocking(double erlangs,
+                                                double target_blocking);
+
+/// Blocking of a cluster of `servers` independent loss systems with
+/// `channels_per_server` channels each, fed an even 1/N split of the
+/// offered load — the perfectly-balanced-replication reference point.
+[[nodiscard]] double balanced_split_blocking(double total_erlangs,
+                                             std::size_t servers,
+                                             std::size_t channels_per_server);
+
+}  // namespace vodrep

@@ -1,0 +1,219 @@
+// Generic simulated-annealing engine (minimization).
+//
+// This is the self-contained substitute for the parsa library the paper
+// builds on.  A Problem supplies the three problem-specific decisions the
+// paper lists in Section 4.3 — cost function, initial solution, neighborhood
+// structure — and the engine owns the generic decisions: Metropolis
+// acceptance, temperature calibration, cooling, termination, and
+// best-solution tracking.
+//
+// Problem concept:
+//   struct MyProblem {
+//     using State = ...;                       // copyable solution type
+//     State initial(Rng& rng) const;           // feasible starting solution
+//     double cost(const State& s) const;       // value to MINIMIZE
+//     State neighbor(const State& s, Rng&) const;  // random feasible move
+//   };
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/anneal/schedule.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace vodrep {
+
+template <typename P>
+concept AnnealProblem = requires(const P& p, const typename P::State& s, Rng& rng) {
+  { p.initial(rng) } -> std::convertible_to<typename P::State>;
+  { p.cost(s) } -> std::convertible_to<double>;
+  { p.neighbor(s, rng) } -> std::convertible_to<typename P::State>;
+};
+
+/// Engine parameters.  Defaults suit problems whose cost is O(1)-scaled;
+/// initial_temperature <= 0 requests automatic calibration (see
+/// calibrate_initial_temperature).
+struct AnnealOptions {
+  double initial_temperature = -1.0;  ///< <= 0: calibrate automatically
+  double final_temperature = 1e-4;    ///< stop when T falls below this
+  std::size_t moves_per_temperature = 200;
+  std::size_t max_temperature_steps = 10'000;  ///< hard safety cap
+  /// Stop early after this many consecutive temperature steps without the
+  /// best cost improving; 0 disables the early stop.
+  std::size_t stall_steps = 50;
+  /// Target acceptance ratio for automatic temperature calibration.
+  double calibration_acceptance = 0.8;
+  std::size_t calibration_samples = 200;
+};
+
+/// What the engine did, for instrumentation and tests.
+template <typename State>
+struct AnnealResult {
+  State best_state{};
+  double best_cost = 0.0;
+  double final_temperature = 0.0;
+  std::size_t temperature_steps = 0;
+  std::size_t moves_proposed = 0;
+  std::size_t moves_accepted = 0;
+  /// (temperature, best-cost) samples, one per temperature step.
+  std::vector<std::pair<double, double>> trajectory;
+};
+
+/// Estimates an initial temperature such that uphill moves are accepted with
+/// roughly `target_acceptance` probability: samples random neighbor moves
+/// from the initial state and sets T0 = mean(uphill delta) / -ln(target).
+template <AnnealProblem P>
+[[nodiscard]] double calibrate_initial_temperature(const P& problem, Rng& rng,
+                                                   double target_acceptance,
+                                                   std::size_t samples) {
+  require(target_acceptance > 0.0 && target_acceptance < 1.0,
+          "calibrate_initial_temperature: target in (0, 1) required");
+  typename P::State state = problem.initial(rng);
+  double cost = problem.cost(state);
+  double uphill_sum = 0.0;
+  std::size_t uphill_count = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    typename P::State candidate = problem.neighbor(state, rng);
+    const double candidate_cost = problem.cost(candidate);
+    const double delta = candidate_cost - cost;
+    if (delta > 0.0) {
+      uphill_sum += delta;
+      ++uphill_count;
+    }
+    // Random-walk through the landscape so the sample is not anchored to the
+    // immediate vicinity of the initial state.
+    state = std::move(candidate);
+    cost = candidate_cost;
+  }
+  if (uphill_count == 0) return 1.0;  // all moves downhill; T0 barely matters
+  const double mean_uphill = uphill_sum / static_cast<double>(uphill_count);
+  return mean_uphill / -std::log(target_acceptance);
+}
+
+/// Runs simulated annealing and returns the best state encountered.
+/// Deterministic given `rng`'s seed.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal(
+    const P& problem, Rng& rng, const AnnealOptions& options,
+    const CoolingSchedule& schedule) {
+  require(options.final_temperature > 0.0,
+          "anneal: final_temperature must be positive");
+  require(options.moves_per_temperature > 0,
+          "anneal: moves_per_temperature must be positive");
+
+  AnnealResult<typename P::State> result;
+  typename P::State current = problem.initial(rng);
+  double current_cost = problem.cost(current);
+  result.best_state = current;
+  result.best_cost = current_cost;
+
+  double temperature = options.initial_temperature;
+  if (temperature <= 0.0) {
+    temperature = calibrate_initial_temperature(
+        problem, rng, options.calibration_acceptance,
+        options.calibration_samples);
+  }
+
+  std::size_t stall = 0;
+  CoolingStepInfo info;
+  while (temperature > options.final_temperature &&
+         result.temperature_steps < options.max_temperature_steps) {
+    std::size_t accepted = 0;
+    const double best_before = result.best_cost;
+    for (std::size_t m = 0; m < options.moves_per_temperature; ++m) {
+      typename P::State candidate = problem.neighbor(current, rng);
+      const double candidate_cost = problem.cost(candidate);
+      const double delta = candidate_cost - current_cost;
+      ++result.moves_proposed;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        ++accepted;
+        if (current_cost < result.best_cost) {
+          result.best_cost = current_cost;
+          result.best_state = current;
+        }
+      }
+    }
+    result.moves_accepted += accepted;
+    ++result.temperature_steps;
+    result.trajectory.emplace_back(temperature, result.best_cost);
+
+    stall = result.best_cost < best_before ? 0 : stall + 1;
+    if (options.stall_steps != 0 && stall >= options.stall_steps) break;
+
+    info.step = result.temperature_steps;
+    info.moves = options.moves_per_temperature;
+    info.accepted = accepted;
+    info.best_cost = result.best_cost;
+    info.current_cost = current_cost;
+    const double next_temperature = schedule.next(temperature, info);
+    require(next_temperature < temperature,
+            "anneal: cooling schedule failed to decrease the temperature");
+    temperature = next_temperature;
+  }
+  result.final_temperature = temperature;
+  return result;
+}
+
+/// Convenience overload using geometric cooling with ratio 0.95.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal(
+    const P& problem, Rng& rng, const AnnealOptions& options = {}) {
+  const auto schedule = geometric_cooling(0.95);
+  return anneal(problem, rng, options, *schedule);
+}
+
+/// Multi-chain annealing — the parallelization strategy of the parsa
+/// library the paper builds on: K independent Metropolis chains run from
+/// different seeds (on `pool` when provided) and the best final solution
+/// wins.  Deterministic in `base_seed` regardless of thread count.  The
+/// returned instrumentation aggregates move counts across chains and keeps
+/// the winning chain's trajectory.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal_multichain(
+    const P& problem, std::uint64_t base_seed, std::size_t chains,
+    const AnnealOptions& options, const CoolingSchedule& schedule,
+    ThreadPool* pool = nullptr) {
+  require(chains >= 1, "anneal_multichain: need at least one chain");
+  std::vector<AnnealResult<typename P::State>> results(chains);
+  auto run_chain = [&](std::size_t chain) {
+    Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (chain + 1)));
+    results[chain] = anneal(problem, rng, options, schedule);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(chains, run_chain);
+  } else {
+    for (std::size_t chain = 0; chain < chains; ++chain) run_chain(chain);
+  }
+  std::size_t best = 0;
+  std::size_t moves_proposed = 0;
+  std::size_t moves_accepted = 0;
+  for (std::size_t chain = 0; chain < chains; ++chain) {
+    moves_proposed += results[chain].moves_proposed;
+    moves_accepted += results[chain].moves_accepted;
+    if (results[chain].best_cost < results[best].best_cost) best = chain;
+  }
+  AnnealResult<typename P::State> winner = std::move(results[best]);
+  winner.moves_proposed = moves_proposed;
+  winner.moves_accepted = moves_accepted;
+  return winner;
+}
+
+/// Multi-chain convenience overload with geometric(0.95) cooling.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal_multichain(
+    const P& problem, std::uint64_t base_seed, std::size_t chains,
+    const AnnealOptions& options = {}, ThreadPool* pool = nullptr) {
+  const auto schedule = geometric_cooling(0.95);
+  return anneal_multichain(problem, base_seed, chains, options, *schedule,
+                           pool);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,96 @@
+#include "src/anneal/schedule.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+class GeometricCooling final : public CoolingSchedule {
+ public:
+  explicit GeometricCooling(double alpha) : alpha_(alpha) {
+    require(alpha > 0.0 && alpha < 1.0,
+            "geometric_cooling: alpha must be in (0, 1)");
+  }
+  [[nodiscard]] std::string name() const override { return "geometric"; }
+  [[nodiscard]] double next(double temperature,
+                            const CoolingStepInfo&) const override {
+    return alpha_ * temperature;
+  }
+
+ private:
+  double alpha_;
+};
+
+class LinearCooling final : public CoolingSchedule {
+ public:
+  explicit LinearCooling(double delta) : delta_(delta) {
+    require(delta > 0.0, "linear_cooling: delta must be positive");
+  }
+  [[nodiscard]] std::string name() const override { return "linear"; }
+  [[nodiscard]] double next(double temperature,
+                            const CoolingStepInfo&) const override {
+    return std::max(0.0, temperature - delta_);
+  }
+
+ private:
+  double delta_;
+};
+
+class AdaptiveCooling final : public CoolingSchedule {
+ public:
+  AdaptiveCooling(double alpha_fast, double alpha_mid, double alpha_slow,
+                  double hot_acceptance, double cold_acceptance)
+      : alpha_fast_(alpha_fast),
+        alpha_mid_(alpha_mid),
+        alpha_slow_(alpha_slow),
+        hot_acceptance_(hot_acceptance),
+        cold_acceptance_(cold_acceptance) {
+    require(alpha_fast > 0.0 && alpha_fast < 1.0 && alpha_mid > 0.0 &&
+                alpha_mid < 1.0 && alpha_slow > 0.0 && alpha_slow < 1.0,
+            "adaptive_cooling: alphas must be in (0, 1)");
+    require(hot_acceptance > cold_acceptance && cold_acceptance >= 0.0 &&
+                hot_acceptance <= 1.0,
+            "adaptive_cooling: need 0 <= cold < hot <= 1");
+  }
+  [[nodiscard]] std::string name() const override { return "adaptive"; }
+  [[nodiscard]] double next(double temperature,
+                            const CoolingStepInfo& info) const override {
+    const double acceptance =
+        info.moves == 0 ? 1.0
+                        : static_cast<double>(info.accepted) /
+                              static_cast<double>(info.moves);
+    if (acceptance >= hot_acceptance_) return alpha_fast_ * temperature;
+    if (acceptance <= cold_acceptance_) return alpha_slow_ * temperature;
+    return alpha_mid_ * temperature;
+  }
+
+ private:
+  double alpha_fast_;
+  double alpha_mid_;
+  double alpha_slow_;
+  double hot_acceptance_;
+  double cold_acceptance_;
+};
+
+}  // namespace
+
+std::unique_ptr<CoolingSchedule> geometric_cooling(double alpha) {
+  return std::make_unique<GeometricCooling>(alpha);
+}
+
+std::unique_ptr<CoolingSchedule> linear_cooling(double delta) {
+  return std::make_unique<LinearCooling>(delta);
+}
+
+std::unique_ptr<CoolingSchedule> adaptive_cooling(double alpha_fast,
+                                                  double alpha_mid,
+                                                  double alpha_slow,
+                                                  double hot_acceptance,
+                                                  double cold_acceptance) {
+  return std::make_unique<AdaptiveCooling>(alpha_fast, alpha_mid, alpha_slow,
+                                           hot_acceptance, cold_acceptance);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,51 @@
+// Cooling schedules for the simulated-annealing engine.
+//
+// The paper's scalable-bit-rate solver is built on the parsa library; our
+// substitute exposes the same problem-facing hooks (cost, initial solution,
+// neighborhood) and keeps the annealing mechanics — including the cooling
+// schedule — pluggable, mirroring parsa's "generic decisions are transparent
+// to users" design.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace vodrep {
+
+/// Per-temperature feedback available to adaptive schedules.
+struct CoolingStepInfo {
+  std::size_t step = 0;            ///< temperature steps completed so far
+  std::size_t moves = 0;           ///< moves proposed at the last temperature
+  std::size_t accepted = 0;        ///< moves accepted at the last temperature
+  double best_cost = 0.0;          ///< best cost seen so far
+  double current_cost = 0.0;       ///< cost at the end of the last temperature
+};
+
+/// Strategy interface: maps the current temperature (plus feedback) to the
+/// next temperature.  Implementations must be strictly decreasing toward 0
+/// for the annealer to terminate.
+class CoolingSchedule {
+ public:
+  virtual ~CoolingSchedule() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double next(double temperature,
+                                    const CoolingStepInfo& info) const = 0;
+};
+
+/// Classic geometric cooling: T <- alpha * T with alpha in (0, 1).
+[[nodiscard]] std::unique_ptr<CoolingSchedule> geometric_cooling(double alpha);
+
+/// Linear cooling: T <- T - delta (floored at 0).  Requires delta > 0.
+[[nodiscard]] std::unique_ptr<CoolingSchedule> linear_cooling(double delta);
+
+/// Acceptance-adaptive geometric cooling: cools fast (alpha_fast) while the
+/// acceptance ratio is above `hot_acceptance` (random-walk regime), slow
+/// (alpha_slow) once acceptance falls below `cold_acceptance` (careful
+/// descent), and at alpha_mid in between.  A pragmatic stand-in for parsa's
+/// adaptive schedules.
+[[nodiscard]] std::unique_ptr<CoolingSchedule> adaptive_cooling(
+    double alpha_fast = 0.80, double alpha_mid = 0.95, double alpha_slow = 0.99,
+    double hot_acceptance = 0.8, double cold_acceptance = 0.2);
+
+}  // namespace vodrep

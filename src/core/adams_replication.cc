@@ -1,0 +1,65 @@
+#include "src/core/adams_replication.h"
+
+#include <queue>
+#include <tuple>
+
+namespace vodrep {
+namespace {
+
+/// Max-heap entry: the current per-replica weight of a video.  Ties break
+/// toward the more popular (smaller-index) video so runs are deterministic
+/// and match the worked example in the paper's Figure 1.
+struct HeapEntry {
+  double weight;
+  std::size_t video;
+
+  bool operator<(const HeapEntry& other) const {
+    // std::priority_queue is a max-heap on operator<; invert the index
+    // comparison so smaller indices win ties.
+    return std::tie(weight, other.video) < std::tie(other.weight, video);
+  }
+};
+
+}  // namespace
+
+ReplicationPlan AdamsReplication::replicate(
+    const std::vector<double>& popularity, std::size_t num_servers,
+    std::size_t budget) const {
+  return replicate_traced(popularity, num_servers, budget, nullptr);
+}
+
+ReplicationPlan AdamsReplication::replicate_traced(
+    const std::vector<double>& popularity, std::size_t num_servers,
+    std::size_t budget, std::vector<AdamsStep>* steps) const {
+  check_replication_inputs(popularity, num_servers, budget);
+  const std::size_t m = popularity.size();
+
+  ReplicationPlan plan;
+  plan.replicas.assign(m, 1);
+
+  std::priority_queue<HeapEntry> heap;
+  if (num_servers > 1) {
+    for (std::size_t i = 0; i < m; ++i) heap.push(HeapEntry{popularity[i], i});
+  }
+
+  std::size_t remaining = budget - m;
+  while (remaining > 0 && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::size_t video = top.video;
+    ++plan.replicas[video];
+    --remaining;
+    const double new_weight =
+        popularity[video] / static_cast<double>(plan.replicas[video]);
+    if (steps != nullptr) {
+      steps->push_back(AdamsStep{video, plan.replicas[video], top.weight,
+                                 new_weight});
+    }
+    if (plan.replicas[video] < num_servers) {
+      heap.push(HeapEntry{new_weight, video});
+    }
+  }
+  return plan;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,45 @@
+// Bounded Adams monotone divisor replication (paper Section 4.1.1).
+//
+// Optimal for the fixed-bit-rate replication objective of Eq. 8: minimize
+// the largest per-replica communication weight max_i p_i / r_i, subject to
+// the cluster-wide budget and the per-video cap r_i <= N (Eq. 7).
+//
+// The algorithm is the Adams divisor method from apportionment theory with
+// the house size equal to the replica budget and the seat cap N: start from
+// one replica per video, then repeatedly grant one more replica to the video
+// whose replicas currently carry the greatest weight, skipping videos that
+// already own N replicas.  A max-heap keyed by p_i / r_i gives
+// O(M + (budget - M) log M) time — the O(M + N*C*log M) worst case cited in
+// the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+/// One granting step of the Adams iteration, recorded for Figure-1-style
+/// traces and for the optimality tests.
+struct AdamsStep {
+  std::size_t video = 0;        ///< video that received the new replica
+  std::size_t new_replicas = 0; ///< its replica count after the grant
+  double weight_before = 0.0;   ///< p_i / (new_replicas - 1), the max at pick time
+  double weight_after = 0.0;    ///< p_i / new_replicas
+};
+
+class AdamsReplication final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "adams"; }
+  [[nodiscard]] ReplicationPlan replicate(const std::vector<double>& popularity,
+                                          std::size_t num_servers,
+                                          std::size_t budget) const override;
+
+  /// Like replicate(), but also records every granting step in order.
+  [[nodiscard]] ReplicationPlan replicate_traced(
+      const std::vector<double>& popularity, std::size_t num_servers,
+      std::size_t budget, std::vector<AdamsStep>* steps) const;
+};
+
+}  // namespace vodrep

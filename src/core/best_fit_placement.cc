@@ -1,0 +1,48 @@
+#include "src/core/best_fit_placement.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+Layout BestFitPlacement::place(const ReplicationPlan& plan,
+                               const std::vector<double>& popularity,
+                               std::size_t num_servers,
+                               std::size_t capacity_per_server) const {
+  check_placement_inputs(plan, popularity, num_servers, capacity_per_server);
+  const std::vector<double> weights = plan.weights(popularity);
+  Layout layout;
+  layout.assignment.resize(plan.replicas.size());
+  std::vector<double> loads(num_servers, 0.0);
+  std::vector<std::size_t> stored(num_servers, 0);
+
+  for (std::size_t video : videos_by_weight(plan, popularity)) {
+    for (std::size_t k = 0; k < plan.replicas[video]; ++k) {
+      std::size_t best = num_servers;
+      double best_load = std::numeric_limits<double>::infinity();
+      const auto& already = layout.assignment[video];
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (stored[s] >= capacity_per_server) continue;
+        if (std::find(already.begin(), already.end(), s) != already.end()) {
+          continue;
+        }
+        if (loads[s] < best_load) {
+          best_load = loads[s];
+          best = s;
+        }
+      }
+      if (best == num_servers) {
+        throw InfeasibleError(
+            "best-fit placement: no feasible server for a replica");
+      }
+      layout.assignment[video].push_back(best);
+      loads[best] += weights[video];
+      ++stored[best];
+    }
+  }
+  return layout;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,25 @@
+// Greedy best-fit placement (ablation for the SLF round structure).
+//
+// Places replicas in non-increasing weight order, each on the least-loaded
+// feasible server — the classic LPT list-scheduling rule extended with the
+// storage and video-distinctness constraints, but *without* SLF's
+// one-replica-per-server-per-round discipline.  Comparing this against SLF
+// isolates what the round structure contributes (it prevents a streak of
+// heavy replicas from piling onto the momentarily lightest servers while
+// other servers still hold no replica of the round).
+#pragma once
+
+#include "src/core/placement.h"
+
+namespace vodrep {
+
+class BestFitPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "best-fit"; }
+  [[nodiscard]] Layout place(const ReplicationPlan& plan,
+                             const std::vector<double>& popularity,
+                             std::size_t num_servers,
+                             std::size_t capacity_per_server) const override;
+};
+
+}  // namespace vodrep

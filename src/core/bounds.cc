@@ -1,0 +1,71 @@
+#include "src/core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+/// Minimal total replicas needed so every per-replica weight is <= W, or
+/// SIZE_MAX when W is infeasible even with r_i = num_servers.
+std::size_t replicas_needed(const std::vector<double>& popularity,
+                            std::size_t num_servers, double W) {
+  std::size_t total = 0;
+  for (double p : popularity) {
+    // Smallest r with p / r <= W, i.e. r >= p / W.  The epsilon absorbs the
+    // round-trip error when W is itself some p_j / r_j.
+    const double exact = p / W;
+    auto r = static_cast<std::size_t>(std::ceil(exact - 1e-12));
+    if (r < 1) r = 1;
+    if (r > num_servers) return static_cast<std::size_t>(-1);
+    total += r;
+  }
+  return total;
+}
+
+}  // namespace
+
+double slf_spread_bound(const ReplicationPlan& plan,
+                        const std::vector<double>& popularity) {
+  return plan.max_weight(popularity) - plan.min_weight(popularity);
+}
+
+double optimal_max_weight(const std::vector<double>& popularity,
+                          std::size_t num_servers, std::size_t budget) {
+  check_replication_inputs(popularity, num_servers, budget);
+  // The optimal max weight is p_i / r for some video i and r in [1, N]:
+  // lowering W past the next candidate cannot change any ceil(p_i / W).
+  std::vector<double> candidates;
+  candidates.reserve(popularity.size() * num_servers);
+  for (double p : popularity) {
+    for (std::size_t r = 1; r <= num_servers; ++r) {
+      candidates.push_back(p / static_cast<double>(r));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Feasibility is monotone in W: larger thresholds need fewer replicas.
+  auto feasible = [&](double W) {
+    const std::size_t needed = replicas_needed(popularity, num_servers, W);
+    return needed != static_cast<std::size_t>(-1) && needed <= budget;
+  };
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;
+  require(feasible(candidates[hi]),
+          "optimal_max_weight: even the loosest threshold is infeasible");
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return candidates[lo];
+}
+
+}  // namespace vodrep

@@ -1,0 +1,28 @@
+// Analytic bounds from the paper's theorems, used by tests and the
+// bound-check experiment (E8 in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+/// Theorem 4.2: an upper bound on the absolute load spread
+/// (max_j l_j - min_j l_j) produced by smallest-load-first placement:
+/// max_i w_i - min_i w_i with w_i = p_i / r_i.
+[[nodiscard]] double slf_spread_bound(const ReplicationPlan& plan,
+                                      const std::vector<double>& popularity);
+
+/// The optimal value of Eq. 8 computed by brute force: the smallest
+/// achievable max_i p_i / r_i over all feasible plans with sum r_i <=
+/// budget, r_i in [1, num_servers].  Uses the exchange-argument fact that an
+/// optimal plan exists with r_i = min(num_servers, ceil(p_i / W)) for the
+/// optimal threshold W, and binary-searches W over the O(M * N) candidate
+/// weights.  Intended for validating AdamsReplication on arbitrary sizes.
+[[nodiscard]] double optimal_max_weight(const std::vector<double>& popularity,
+                                        std::size_t num_servers,
+                                        std::size_t budget);
+
+}  // namespace vodrep

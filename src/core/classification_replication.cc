@@ -1,0 +1,81 @@
+#include "src/core/classification_replication.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+/// Replica count of class `k` (0-based) out of `num_classes` at scale `s`,
+/// clamped to [1, num_servers].
+std::size_t class_replicas(std::size_t k, std::size_t num_classes,
+                           std::size_t num_servers, double s) {
+  const double rank = static_cast<double>(num_classes - k);
+  const auto r = static_cast<long long>(std::llround(s * rank));
+  const long long clamped =
+      std::clamp<long long>(r, 1, static_cast<long long>(num_servers));
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace
+
+std::vector<std::size_t> ClassificationReplication::classify(
+    std::size_t num_videos, std::size_t num_classes) {
+  require(num_videos >= 1, "classify: need at least one video");
+  require(num_classes >= 1, "classify: need at least one class");
+  std::vector<std::size_t> classes(num_videos);
+  // Distribute videos over classes as evenly as possible, earlier classes
+  // taking the remainder (so the hottest class is never the smallest).
+  const std::size_t base = num_videos / num_classes;
+  const std::size_t extra = num_videos % num_classes;
+  std::size_t video = 0;
+  for (std::size_t k = 0; k < num_classes && video < num_videos; ++k) {
+    const std::size_t size = base + (k < extra ? 1 : 0);
+    for (std::size_t j = 0; j < size; ++j) classes[video++] = k;
+  }
+  while (video < num_videos) classes[video++] = num_classes - 1;
+  return classes;
+}
+
+ReplicationPlan ClassificationReplication::replicate(
+    const std::vector<double>& popularity, std::size_t num_servers,
+    std::size_t budget) const {
+  check_replication_inputs(popularity, num_servers, budget);
+  const std::size_t m = popularity.size();
+  const std::size_t classes_count =
+      num_classes_ == 0 ? std::min(num_servers, m) : std::min(num_classes_, m);
+  const std::vector<std::size_t> classes = classify(m, classes_count);
+
+  auto total_at = [&](double s) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      total += class_replicas(classes[i], classes_count, num_servers, s);
+    }
+    return total;
+  };
+
+  // The induced total is a non-decreasing step function of s; bisect for the
+  // largest scale whose total fits the budget.
+  double lo = 0.0;  // every class clamps to 1 replica -> total = M <= budget
+  double hi = static_cast<double>(num_servers) + 1.0;  // full replication
+  if (total_at(hi) <= budget) {
+    lo = hi;
+  } else {
+    for (int iter = 0; iter < 100 && hi - lo > 1e-9; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (total_at(mid) <= budget ? lo : hi) = mid;
+    }
+  }
+
+  ReplicationPlan plan;
+  plan.replicas.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    plan.replicas[i] =
+        class_replicas(classes[i], classes_count, num_servers, lo);
+  }
+  return plan;
+}
+
+}  // namespace vodrep

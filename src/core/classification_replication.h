@@ -1,0 +1,42 @@
+// Classification-based replication (the baseline the paper simulates,
+// citing its companion work [19]).
+//
+// A "feasible and straightforward" scheme: the popularity-ranked video list
+// is split into `num_classes` classes of (near-)equal cardinality; every
+// video in class k (k = 1 holds the hottest videos) receives the same
+// replica count, linear in the class rank: r(k) = clamp(round(s * (K-k+1)),
+// 1, N).  The scale factor s is the largest value whose induced total fits
+// the storage budget (found by bisection, since the total is non-decreasing
+// in s).  Unlike the Adams scheme this ignores the actual popularity values
+// inside a class, which is exactly the coarseness the paper's evaluation
+// exposes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+class ClassificationReplication final : public ReplicationPolicy {
+ public:
+  /// `num_classes` == 0 uses one class per server (N classes).
+  explicit ClassificationReplication(std::size_t num_classes = 0)
+      : num_classes_(num_classes) {}
+
+  [[nodiscard]] std::string name() const override { return "classification"; }
+  [[nodiscard]] ReplicationPlan replicate(const std::vector<double>& popularity,
+                                          std::size_t num_servers,
+                                          std::size_t budget) const override;
+
+  /// Class index (0-based, 0 = hottest) of each video for `num_videos`
+  /// videos split into `num_classes` near-equal classes.
+  [[nodiscard]] static std::vector<std::size_t> classify(
+      std::size_t num_videos, std::size_t num_classes);
+
+ private:
+  std::size_t num_classes_;
+};
+
+}  // namespace vodrep

@@ -1,0 +1,192 @@
+#include "src/core/greedy_scalable.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+enum class MoveKind { kRaiseRate, kAddReplica };
+
+struct Move {
+  double utility;  // objective gain per byte of storage
+  MoveKind kind;
+  std::size_t video;
+
+  bool operator<(const Move& other) const {
+    // Max-heap on utility; ties toward the hotter (smaller-id) video so the
+    // allocation is deterministic.
+    if (utility != other.utility) return utility < other.utility;
+    return video > other.video;
+  }
+};
+
+class GreedyState {
+ public:
+  explicit GreedyState(const ScalableProblem& problem)
+      : problem_(problem), solution_(lowest_rate_round_robin(problem)) {
+    const std::size_t n = problem.cluster.num_servers;
+    storage_.assign(n, 0.0);
+    load_.assign(n, 0.0);
+    for (std::size_t video = 0; video < solution_.num_videos(); ++video) {
+      for (std::size_t server : solution_.placement[video]) {
+        storage_[server] += replica_bytes(video);
+        load_[server] += replica_load(video);
+      }
+    }
+  }
+
+  [[nodiscard]] const ScalableSolution& solution() const { return solution_; }
+
+  [[nodiscard]] double rate_of(std::size_t video) const {
+    return problem_.ladder.rates_bps[solution_.bitrate_index[video]];
+  }
+
+  [[nodiscard]] double replica_bytes(std::size_t video) const {
+    return units::video_bytes(problem_.videos.duration_sec, rate_of(video));
+  }
+
+  /// Expected outgoing bandwidth one replica of `video` carries (Eq. 5).
+  [[nodiscard]] double replica_load(std::size_t video) const {
+    return problem_.expected_peak_requests *
+           problem_.videos.popularity[video] /
+           static_cast<double>(solution_.placement[video].size()) *
+           rate_of(video);
+  }
+
+  /// Gain-per-byte of raising `video` one ladder step, or a negative value
+  /// when the move is impossible (ladder top, or some host lacks storage).
+  [[nodiscard]] double rate_utility(std::size_t video) const {
+    const std::size_t idx = solution_.bitrate_index[video];
+    if (idx + 1 >= problem_.ladder.size()) return -1.0;
+    const double delta_rate =
+        problem_.ladder.rates_bps[idx + 1] - problem_.ladder.rates_bps[idx];
+    const double delta_bytes_per_host =
+        units::video_bytes(problem_.videos.duration_sec, delta_rate);
+    for (std::size_t server : solution_.placement[video]) {
+      if (storage_[server] + delta_bytes_per_host >
+          problem_.cluster.storage_bytes_per_server) {
+        return -1.0;
+      }
+    }
+    const double gain = units::to_mbps(delta_rate) /
+                        static_cast<double>(problem_.videos.count());
+    const double cost = delta_bytes_per_host *
+                        static_cast<double>(solution_.placement[video].size());
+    return gain / cost;
+  }
+
+  /// Gain-per-byte of adding one replica of `video`, or negative when no
+  /// feasible server exists or the video is fully replicated.
+  [[nodiscard]] double add_utility(std::size_t video) const {
+    if (best_server_for(video) == problem_.cluster.num_servers) return -1.0;
+    const double gain =
+        problem_.weights.alpha /
+        static_cast<double>(problem_.videos.count() *
+                            problem_.cluster.num_servers);
+    return gain / replica_bytes(video);
+  }
+
+  /// Least bandwidth-loaded server with storage for a new replica of
+  /// `video` that does not already host it; N when none.
+  [[nodiscard]] std::size_t best_server_for(std::size_t video) const {
+    const auto& hosts = solution_.placement[video];
+    if (hosts.size() >= problem_.cluster.num_servers) {
+      return problem_.cluster.num_servers;
+    }
+    const double bytes = replica_bytes(video);
+    std::size_t best = problem_.cluster.num_servers;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < problem_.cluster.num_servers; ++s) {
+      if (storage_[s] + bytes > problem_.cluster.storage_bytes_per_server) {
+        continue;
+      }
+      if (std::find(hosts.begin(), hosts.end(), s) != hosts.end()) continue;
+      if (load_[s] < best_load) {
+        best_load = load_[s];
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  void apply_raise(std::size_t video) {
+    const double old_bytes = replica_bytes(video);
+    const double old_load = replica_load(video);
+    ++solution_.bitrate_index[video];
+    const double delta_bytes = replica_bytes(video) - old_bytes;
+    const double delta_load = replica_load(video) - old_load;
+    for (std::size_t server : solution_.placement[video]) {
+      storage_[server] += delta_bytes;
+      load_[server] += delta_load;
+    }
+  }
+
+  void apply_add(std::size_t video, std::size_t server) {
+    // Existing hosts shed load (their request share shrinks to 1/(r+1)).
+    const double old_load = replica_load(video);
+    solution_.placement[video].push_back(server);
+    const double new_load = replica_load(video);
+    for (std::size_t host : solution_.placement[video]) {
+      if (host != server) load_[host] += new_load - old_load;
+    }
+    storage_[server] += replica_bytes(video);
+    load_[server] += new_load;
+  }
+
+ private:
+  const ScalableProblem& problem_;
+  ScalableSolution solution_;
+  std::vector<double> storage_;  ///< bytes used per server
+  std::vector<double> load_;     ///< expected outgoing b/s per server
+};
+
+}  // namespace
+
+ScalableSolution greedy_scalable(const ScalableProblem& problem) {
+  problem.validate();
+  GreedyState state(problem);
+
+  // Lazy priority queue: utilities are re-checked at pop time because every
+  // applied move can invalidate earlier estimates (storage fills, rates and
+  // replica counts change the costs).
+  std::priority_queue<Move> queue;
+  for (std::size_t video = 0; video < problem.videos.count(); ++video) {
+    const double raise = state.rate_utility(video);
+    if (raise > 0.0) queue.push(Move{raise, MoveKind::kRaiseRate, video});
+    const double add = state.add_utility(video);
+    if (add > 0.0) queue.push(Move{add, MoveKind::kAddReplica, video});
+  }
+
+  while (!queue.empty()) {
+    const Move move = queue.top();
+    queue.pop();
+    const double current = move.kind == MoveKind::kRaiseRate
+                               ? state.rate_utility(move.video)
+                               : state.add_utility(move.video);
+    if (current <= 0.0) continue;  // became infeasible
+    if (current < move.utility * (1.0 - 1e-12)) {
+      // Stale estimate: reinsert with the refreshed utility.
+      queue.push(Move{current, move.kind, move.video});
+      continue;
+    }
+    if (move.kind == MoveKind::kRaiseRate) {
+      state.apply_raise(move.video);
+    } else {
+      state.apply_add(move.video, state.best_server_for(move.video));
+    }
+    // The applied move may re-enable the other move kind for this video.
+    const double raise = state.rate_utility(move.video);
+    if (raise > 0.0) queue.push(Move{raise, MoveKind::kRaiseRate, move.video});
+    const double add = state.add_utility(move.video);
+    if (add > 0.0) queue.push(Move{add, MoveKind::kAddReplica, move.video});
+  }
+  return state.solution();
+}
+
+}  // namespace vodrep

@@ -1,0 +1,29 @@
+// Greedy marginal-utility allocator for the scalable-bit-rate problem —
+// the deterministic comparator for the paper's simulated-annealing solver.
+//
+// Starting from the paper's initial solution (every video at the floor
+// rate, one replica, round-robin), repeatedly apply the feasible upgrade
+// with the best objective gain per byte of storage:
+//   * raise one video's encoding rate a ladder step (costs Δrate * T bytes
+//     on every host, gains Δrate/M of mean quality), or
+//   * add one replica of a video (costs rate * T bytes on one server,
+//     gains alpha/(M*N) of the normalized replication term);
+// new replicas land on the least bandwidth-utilized feasible server, so the
+// load-imbalance term is handled constructively rather than through the
+// gain formula.  Stops when no upgrade fits.  O(M (K + N) log(M) + A*M)
+// with lazy-revalidated priority queue; fully deterministic.
+//
+// SA explores non-greedy trade-downs (lowering one video to afford
+// another), so it can beat this allocator; the vodrep_sa_scalable harness
+// reports both so the gap is visible.
+#pragma once
+
+#include "src/core/scalable.h"
+
+namespace vodrep {
+
+/// Returns a feasible (storage-hard, bandwidth-best-effort) solution.
+/// Throws InfeasibleError when even the initial solution does not fit.
+[[nodiscard]] ScalableSolution greedy_scalable(const ScalableProblem& problem);
+
+}  // namespace vodrep

@@ -1,0 +1,66 @@
+#include "src/core/layout.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+std::vector<std::size_t> Layout::replicas_per_server(
+    std::size_t num_servers) const {
+  std::vector<std::size_t> counts(num_servers, 0);
+  for (const auto& servers : assignment) {
+    for (std::size_t s : servers) {
+      require(s < num_servers, "Layout: server index out of range");
+      ++counts[s];
+    }
+  }
+  return counts;
+}
+
+std::vector<double> Layout::expected_loads(
+    const std::vector<double>& popularity, std::size_t num_servers) const {
+  require(popularity.size() == assignment.size(),
+          "Layout::expected_loads: popularity size mismatch");
+  std::vector<double> loads(num_servers, 0.0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const auto& servers = assignment[i];
+    require(!servers.empty(), "Layout::expected_loads: video has no replica");
+    const double w = popularity[i] / static_cast<double>(servers.size());
+    for (std::size_t s : servers) {
+      require(s < num_servers, "Layout::expected_loads: server out of range");
+      loads[s] += w;
+    }
+  }
+  return loads;
+}
+
+ReplicationPlan Layout::implied_plan() const {
+  ReplicationPlan plan;
+  plan.replicas.reserve(assignment.size());
+  for (const auto& servers : assignment) plan.replicas.push_back(servers.size());
+  return plan;
+}
+
+void Layout::validate(const ReplicationPlan& plan, std::size_t num_servers,
+                      std::size_t capacity_per_server) const {
+  require(assignment.size() == plan.replicas.size(),
+          "Layout::validate: video count mismatch with plan");
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const auto& servers = assignment[i];
+    require(servers.size() == plan.replicas[i],
+            "Layout::validate: replica count differs from the plan");
+    std::vector<std::size_t> sorted = servers;
+    std::sort(sorted.begin(), sorted.end());
+    require(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+            "Layout::validate: duplicate server for one video (Eq. 6)");
+    require(sorted.empty() || sorted.back() < num_servers,
+            "Layout::validate: server index out of range");
+  }
+  for (std::size_t count : replicas_per_server(num_servers)) {
+    require(count <= capacity_per_server,
+            "Layout::validate: server over storage capacity (Eq. 4)");
+  }
+}
+
+}  // namespace vodrep

@@ -1,0 +1,62 @@
+#include "src/core/layout_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+void save_placement(std::ostream& os, const PlacementFile& placement) {
+  // Structural validation only (distinct in-range servers, >= 1 replica);
+  // storage capacity is a property of the target cluster, not of the file.
+  placement.layout.validate(placement.layout.implied_plan(),
+                            placement.num_servers,
+                            placement.layout.num_videos() *
+                                placement.num_servers);
+  os << "vodrep-layout " << placement.layout.num_videos() << " "
+     << placement.num_servers << "\n";
+  for (std::size_t video = 0; video < placement.layout.num_videos(); ++video) {
+    const auto& servers = placement.layout.assignment[video];
+    require(!servers.empty(), "save_placement: video has no replica");
+    os << video << " " << servers.size();
+    for (std::size_t server : servers) os << " " << server;
+    os << "\n";
+  }
+}
+
+PlacementFile load_placement(std::istream& is) {
+  std::string magic;
+  std::size_t num_videos = 0;
+  PlacementFile placement;
+  is >> magic >> num_videos >> placement.num_servers;
+  require(static_cast<bool>(is) && magic == "vodrep-layout",
+          "load_placement: missing vodrep-layout header");
+  placement.layout.assignment.resize(num_videos);
+  for (std::size_t i = 0; i < num_videos; ++i) {
+    std::size_t video = 0;
+    std::size_t replicas = 0;
+    is >> video >> replicas;
+    require(static_cast<bool>(is) && video < num_videos,
+            "load_placement: bad video record");
+    require(replicas >= 1 && replicas <= placement.num_servers,
+            "load_placement: replica count out of range");
+    auto& servers = placement.layout.assignment[video];
+    require(servers.empty(), "load_placement: duplicate video record");
+    servers.reserve(replicas);
+    for (std::size_t k = 0; k < replicas; ++k) {
+      std::size_t server = 0;
+      is >> server;
+      require(static_cast<bool>(is), "load_placement: truncated record");
+      servers.push_back(server);
+    }
+  }
+  placement.layout.validate(placement.layout.implied_plan(),
+                            placement.num_servers,
+                            /*capacity_per_server=*/num_videos *
+                                placement.num_servers);
+  return placement;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,37 @@
+// Text serialization of placements (replication plan + layout).
+//
+// Operational workflows need the computed placement to leave the process:
+// a planner writes it, the fleet tooling reads it, tomorrow's planner diffs
+// against it (see online/migration.h).  The format is line-oriented and
+// versioned:
+//
+//   vodrep-layout <num_videos> <num_servers>
+//   <video_id> <replicas> <server_1> ... <server_r>
+//   ...
+#pragma once
+
+#include <iosfwd>
+
+#include "src/core/layout.h"
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+/// A placement as it travels between tools.
+struct PlacementFile {
+  std::size_t num_servers = 0;
+  Layout layout;
+
+  /// The replication plan is implied: r_i = layout.assignment[i].size().
+  [[nodiscard]] ReplicationPlan plan() const { return layout.implied_plan(); }
+};
+
+/// Writes the placement; throws InvalidArgumentError if the layout is
+/// internally inconsistent with `num_servers`.
+void save_placement(std::ostream& os, const PlacementFile& placement);
+
+/// Parses the save_placement format; validates distinct, in-range servers.
+/// Throws InvalidArgumentError on malformed input.
+[[nodiscard]] PlacementFile load_placement(std::istream& is);
+
+}  // namespace vodrep

@@ -1,0 +1,61 @@
+#include "src/core/pipeline.h"
+
+#include "src/core/adams_replication.h"
+#include "src/core/best_fit_placement.h"
+#include "src/core/bounds.h"
+#include "src/core/classification_replication.h"
+#include "src/core/round_robin_placement.h"
+#include "src/core/slf_placement.h"
+#include "src/core/uniform_replication.h"
+#include "src/core/zipf_interval_replication.h"
+#include "src/util/error.h"
+
+namespace vodrep {
+
+ProvisioningResult provision(const FixedRateProblem& problem,
+                             const ReplicationPolicy& replication,
+                             const PlacementPolicy& placement,
+                             std::size_t budget_override) {
+  problem.validate();
+  const std::size_t budget = budget_override > 0
+                                 ? budget_override
+                                 : problem.total_replica_capacity();
+  require(budget <= problem.total_replica_capacity(),
+          "provision: budget override exceeds cluster storage");
+
+  ProvisioningResult result;
+  result.plan = replication.replicate(problem.videos.popularity,
+                                      problem.cluster.num_servers, budget);
+  result.plan.validate(problem.cluster.num_servers, budget);
+  result.layout =
+      placement.place(result.plan, problem.videos.popularity,
+                      problem.cluster.num_servers,
+                      problem.replica_capacity_per_server());
+  result.layout.validate(result.plan, problem.cluster.num_servers,
+                         problem.replica_capacity_per_server());
+  result.expected_loads = result.layout.expected_loads(
+      problem.videos.popularity, problem.cluster.num_servers);
+  result.max_weight = result.plan.max_weight(problem.videos.popularity);
+  result.spread_bound = slf_spread_bound(result.plan, problem.videos.popularity);
+  return result;
+}
+
+std::unique_ptr<ReplicationPolicy> make_replication_policy(
+    const std::string& name) {
+  if (name == "adams") return std::make_unique<AdamsReplication>();
+  if (name == "zipf") return std::make_unique<ZipfIntervalReplication>();
+  if (name == "classification") {
+    return std::make_unique<ClassificationReplication>();
+  }
+  if (name == "uniform") return std::make_unique<UniformReplication>();
+  detail::throw_invalid("unknown replication policy: " + name);
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(const std::string& name) {
+  if (name == "slf") return std::make_unique<SmallestLoadFirstPlacement>();
+  if (name == "round-robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "best-fit") return std::make_unique<BestFitPlacement>();
+  detail::throw_invalid("unknown placement policy: " + name);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,42 @@
+// Facade: run a replication policy and a placement policy against a
+// fixed-rate problem and return the validated result.  This is the
+// entry point the examples and the experiment harness use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/layout.h"
+#include "src/core/model.h"
+#include "src/core/placement.h"
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+/// The combined output of replication + placement for one problem instance.
+struct ProvisioningResult {
+  ReplicationPlan plan;
+  Layout layout;
+  std::vector<double> expected_loads;  ///< normalized weights, per server
+  double max_weight = 0.0;             ///< Eq. 8 objective value
+  double spread_bound = 0.0;           ///< Theorem 4.2 bound on load spread
+};
+
+/// Runs `replication` with the budget implied by the problem's storage
+/// (total_replica_capacity, optionally overridden by `budget_override` > 0),
+/// places the plan with `placement`, validates the layout against the plan
+/// and the cluster, and computes the expected loads.
+[[nodiscard]] ProvisioningResult provision(
+    const FixedRateProblem& problem, const ReplicationPolicy& replication,
+    const PlacementPolicy& placement, std::size_t budget_override = 0);
+
+/// Factory by name: "adams", "zipf", "classification", "uniform".
+/// Throws InvalidArgumentError for unknown names.
+[[nodiscard]] std::unique_ptr<ReplicationPolicy> make_replication_policy(
+    const std::string& name);
+
+/// Factory by name: "slf", "round-robin", "best-fit".
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name);
+
+}  // namespace vodrep

@@ -1,0 +1,69 @@
+#include "src/core/replication.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+
+std::size_t ReplicationPlan::total_replicas() const {
+  std::size_t total = 0;
+  for (std::size_t r : replicas) total += r;
+  return total;
+}
+
+double ReplicationPlan::degree() const {
+  require(!replicas.empty(), "ReplicationPlan::degree: empty plan");
+  return static_cast<double>(total_replicas()) /
+         static_cast<double>(replicas.size());
+}
+
+std::vector<double> ReplicationPlan::weights(
+    const std::vector<double>& popularity) const {
+  require(popularity.size() == replicas.size(),
+          "ReplicationPlan::weights: popularity size mismatch");
+  std::vector<double> w(replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    require(replicas[i] >= 1, "ReplicationPlan::weights: r_i must be >= 1");
+    w[i] = popularity[i] / static_cast<double>(replicas[i]);
+  }
+  return w;
+}
+
+double ReplicationPlan::max_weight(
+    const std::vector<double>& popularity) const {
+  const auto w = weights(popularity);
+  return *std::max_element(w.begin(), w.end());
+}
+
+double ReplicationPlan::min_weight(
+    const std::vector<double>& popularity) const {
+  const auto w = weights(popularity);
+  return *std::min_element(w.begin(), w.end());
+}
+
+void ReplicationPlan::validate(std::size_t num_servers,
+                               std::size_t budget) const {
+  require(!replicas.empty(), "ReplicationPlan::validate: empty plan");
+  for (std::size_t r : replicas) {
+    require(r >= 1, "ReplicationPlan::validate: every video needs a replica");
+    require(r <= num_servers,
+            "ReplicationPlan::validate: r_i exceeds server count (Eq. 7)");
+  }
+  require(total_replicas() <= budget,
+          "ReplicationPlan::validate: plan exceeds the storage budget");
+}
+
+void check_replication_inputs(const std::vector<double>& popularity,
+                              std::size_t num_servers, std::size_t budget) {
+  require(is_popularity_vector(popularity),
+          "replication: popularity must be normalized and non-increasing");
+  require(num_servers >= 1, "replication: need at least one server");
+  if (budget < popularity.size()) {
+    throw InfeasibleError(
+        "replication: budget cannot hold one replica of every video");
+  }
+}
+
+}  // namespace vodrep

@@ -1,0 +1,59 @@
+// Replication plans and the replication-policy interface (paper Section 4.1).
+//
+// A replication plan assigns each video v_i a replica count r_i with
+// 1 <= r_i <= N (Eq. 7).  Under static round-robin dispatch, each replica of
+// v_i carries the communication weight w_i = p_i / r_i (the paper drops the
+// constant lambda*T factor).  The fixed-bit-rate replication problem (Eq. 8)
+// is to minimize max_i w_i subject to sum r_i <= budget.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vodrep {
+
+/// Per-video replica counts plus derived quantities.
+struct ReplicationPlan {
+  std::vector<std::size_t> replicas;  ///< r_i, one entry per video
+
+  [[nodiscard]] std::size_t num_videos() const { return replicas.size(); }
+  /// Total replicas across the cluster (sum r_i).
+  [[nodiscard]] std::size_t total_replicas() const;
+  /// Average number of replicas per video — the paper's replication degree.
+  [[nodiscard]] double degree() const;
+  /// Per-replica communication weights w_i = popularity[i] / r_i.
+  [[nodiscard]] std::vector<double> weights(
+      const std::vector<double>& popularity) const;
+  /// max_i w_i, the objective of Eq. 8.
+  [[nodiscard]] double max_weight(const std::vector<double>& popularity) const;
+  /// min_i w_i (appears in the Theorem 4.2 placement bound).
+  [[nodiscard]] double min_weight(const std::vector<double>& popularity) const;
+
+  /// Throws InvalidArgumentError unless 1 <= r_i <= num_servers for all i
+  /// and total_replicas() <= budget.
+  void validate(std::size_t num_servers, std::size_t budget) const;
+};
+
+/// Strategy interface for replication algorithms.  `popularity` is the
+/// normalized non-increasing popularity vector; `num_servers` bounds each
+/// r_i (Eq. 7); `budget` is the cluster-wide replica capacity (N * C after
+/// the paper's storage re-definition).  Implementations must return a plan
+/// with r_i >= 1 for every video and total <= budget, and should saturate
+/// the budget when possible (more replicas never hurt load balancing —
+/// Theorem 4.3).  Throws InfeasibleError when budget < number of videos.
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ReplicationPlan replicate(
+      const std::vector<double>& popularity, std::size_t num_servers,
+      std::size_t budget) const = 0;
+};
+
+/// Validates common policy preconditions; shared by all implementations.
+void check_replication_inputs(const std::vector<double>& popularity,
+                              std::size_t num_servers, std::size_t budget);
+
+}  // namespace vodrep

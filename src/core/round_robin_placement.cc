@@ -1,0 +1,23 @@
+#include "src/core/round_robin_placement.h"
+
+namespace vodrep {
+
+Layout RoundRobinPlacement::place(const ReplicationPlan& plan,
+                                  const std::vector<double>& popularity,
+                                  std::size_t num_servers,
+                                  std::size_t capacity_per_server) const {
+  check_placement_inputs(plan, popularity, num_servers, capacity_per_server);
+  Layout layout;
+  layout.assignment.resize(plan.replicas.size());
+  std::size_t cursor = 0;
+  for (std::size_t video = 0; video < plan.replicas.size(); ++video) {
+    layout.assignment[video].reserve(plan.replicas[video]);
+    for (std::size_t k = 0; k < plan.replicas[video]; ++k) {
+      layout.assignment[video].push_back(cursor % num_servers);
+      ++cursor;
+    }
+  }
+  return layout;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,25 @@
+// Round-robin placement (the paper's baseline placement).
+//
+// Replica groups are laid out in video order (v1's replicas, then v2's, ...)
+// and dealt onto servers cyclically: the k-th replica overall goes to server
+// k mod N.  Because all replicas of one video are consecutive and r_i <= N,
+// they automatically land on distinct servers, and the per-server replica
+// counts differ by at most one, so the layout is always feasible whenever
+// the plan fits the cluster.  Optimal when all per-replica weights are equal
+// (paper Section 4.2); oblivious to weight differences otherwise.
+#pragma once
+
+#include "src/core/placement.h"
+
+namespace vodrep {
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  [[nodiscard]] Layout place(const ReplicationPlan& plan,
+                             const std::vector<double>& popularity,
+                             std::size_t num_servers,
+                             std::size_t capacity_per_server) const override;
+};
+
+}  // namespace vodrep

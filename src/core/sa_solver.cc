@@ -1,0 +1,201 @@
+#include "src/core/sa_solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+/// Videos hosted on server `s` (by index into the solution).
+std::vector<std::size_t> videos_on_server(const ScalableSolution& solution,
+                                          std::size_t s) {
+  std::vector<std::size_t> videos;
+  for (std::size_t i = 0; i < solution.placement.size(); ++i) {
+    const auto& servers = solution.placement[i];
+    if (std::find(servers.begin(), servers.end(), s) != servers.end()) {
+      videos.push_back(i);
+    }
+  }
+  return videos;
+}
+
+}  // namespace
+
+ScalableSaProblem::ScalableSaProblem(const ScalableProblem& problem,
+                                     const SaSolverOptions& options)
+    : problem_(problem), options_(options) {
+  problem_.validate();
+  require(options_.bandwidth_penalty >= 0.0,
+          "ScalableSaProblem: negative bandwidth penalty");
+  require(options_.increase_rate_probability >= 0.0 &&
+              options_.increase_rate_probability <= 1.0,
+          "ScalableSaProblem: increase_rate_probability out of [0, 1]");
+  require(options_.shrink_probability >= 0.0 &&
+              options_.shrink_probability <= 1.0,
+          "ScalableSaProblem: shrink_probability out of [0, 1]");
+}
+
+ScalableSolution ScalableSaProblem::initial(Rng& rng) const {
+  (void)rng;  // the paper's initial solution is deterministic
+  ScalableSolution solution = lowest_rate_round_robin(problem_);
+  (void)repair(solution);  // shed bandwidth overflow where possible
+  return solution;
+}
+
+double ScalableSaProblem::cost(const State& state) const {
+  const ServerUsage usage = compute_usage(problem_, state);
+  double overflow = 0.0;
+  const double capacity = problem_.cluster.bandwidth_bps_per_server;
+  for (double load : usage.bandwidth_bps) {
+    if (load > capacity) overflow += (load - capacity) / capacity;
+  }
+  const double objective =
+      objective_value(state.bitrates(problem_.ladder), state.replicas(),
+                      usage.bandwidth_bps, problem_.cluster.num_servers,
+                      problem_.weights);
+  return -objective + options_.bandwidth_penalty * overflow;
+}
+
+bool ScalableSaProblem::repair(State& state) const {
+  const double storage_cap = problem_.cluster.storage_bytes_per_server;
+  const double bandwidth_cap = problem_.cluster.bandwidth_bps_per_server;
+  // Iterate until every server fits; each action strictly reduces either a
+  // ladder index or a replica count, so the loop terminates.
+  for (;;) {
+    const ServerUsage usage = compute_usage(problem_, state);
+    std::size_t worst = problem_.cluster.num_servers;
+    for (std::size_t s = 0; s < problem_.cluster.num_servers; ++s) {
+      if (usage.storage_bytes[s] > storage_cap ||
+          usage.bandwidth_bps[s] > bandwidth_cap) {
+        worst = s;
+        break;
+      }
+    }
+    if (worst == problem_.cluster.num_servers) return true;
+
+    // Prefer the cheapest quality loss: among videos on the server, try the
+    // lowest-rate ones first — lower their rate a notch, or evict their
+    // replica here if already at the ladder floor (never the last replica).
+    std::vector<std::size_t> hosted = videos_on_server(state, worst);
+    std::sort(hosted.begin(), hosted.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (state.bitrate_index[a] != state.bitrate_index[b]) {
+                  return state.bitrate_index[a] < state.bitrate_index[b];
+                }
+                return a > b;  // colder video first
+              });
+    bool acted = false;
+    for (std::size_t video : hosted) {
+      if (state.bitrate_index[video] > 0) {
+        --state.bitrate_index[video];
+        acted = true;
+        break;
+      }
+      if (state.placement[video].size() > 1) {
+        auto& servers = state.placement[video];
+        servers.erase(std::find(servers.begin(), servers.end(), worst));
+        acted = true;
+        break;
+      }
+    }
+    if (!acted) {
+      // Everything on the server is at the floor rate with a single replica.
+      // Storage overflow is then unfixable; bandwidth overflow is tolerated
+      // (soft constraint, penalized in the cost).
+      const bool storage_ok = usage.storage_bytes[worst] <= storage_cap;
+      return storage_ok &&
+             std::all_of(usage.storage_bytes.begin(), usage.storage_bytes.end(),
+                         [&](double b) { return b <= storage_cap; });
+    }
+  }
+}
+
+ScalableSolution ScalableSaProblem::neighbor(const State& state,
+                                             Rng& rng) const {
+  const std::size_t n = problem_.cluster.num_servers;
+  const std::size_t m = problem_.videos.count();
+  State next = state;
+  const auto server = static_cast<std::size_t>(rng.uniform_index(n));
+
+  auto try_increase_rate = [&]() {
+    std::vector<std::size_t> hosted = videos_on_server(next, server);
+    std::erase_if(hosted, [&](std::size_t v) {
+      return next.bitrate_index[v] + 1 >= problem_.ladder.size();
+    });
+    if (hosted.empty()) return false;
+    const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
+    ++next.bitrate_index[pick];
+    return true;
+  };
+  auto try_add_replica = [&]() {
+    std::vector<std::size_t> absent;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& servers = next.placement[i];
+      if (servers.size() < n &&
+          std::find(servers.begin(), servers.end(), server) == servers.end()) {
+        absent.push_back(i);
+      }
+    }
+    if (absent.empty()) return false;
+    const std::size_t pick = absent[rng.uniform_index(absent.size())];
+    next.placement[pick].push_back(server);
+    return true;
+  };
+
+  auto try_shrink = [&]() {
+    // Lower a hosted video's rate, or drop its replica here (never the last
+    // one).  Uphill in objective, but it frees storage so later growth
+    // moves can re-pack — the escape hatch from the storage-full plateau.
+    std::vector<std::size_t> hosted = videos_on_server(next, server);
+    std::erase_if(hosted, [&](std::size_t v) {
+      return next.bitrate_index[v] == 0 && next.placement[v].size() <= 1;
+    });
+    if (hosted.empty()) return false;
+    const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
+    if (next.bitrate_index[pick] > 0 &&
+        (next.placement[pick].size() <= 1 || rng.bernoulli(0.5))) {
+      --next.bitrate_index[pick];
+    } else {
+      auto& servers_of = next.placement[pick];
+      servers_of.erase(std::find(servers_of.begin(), servers_of.end(), server));
+    }
+    return true;
+  };
+
+  bool moved;
+  if (rng.bernoulli(options_.shrink_probability)) {
+    moved = try_shrink();
+  } else if (rng.bernoulli(options_.increase_rate_probability)) {
+    moved = try_increase_rate() || try_add_replica();
+  } else {
+    moved = try_add_replica() || try_increase_rate();
+  }
+  if (!moved) return state;           // saturated server: no-op move
+  if (!repair(next)) return state;    // irreparable storage overflow
+  return next;
+}
+
+SaSolverResult solve_scalable(const ScalableProblem& problem,
+                              std::uint64_t seed,
+                              const SaSolverOptions& options,
+                              ThreadPool* pool) {
+  require(options.chains >= 1, "solve_scalable: need at least one chain");
+  const ScalableSaProblem sa_problem(problem, options);
+  SaSolverResult result;
+  if (options.chains == 1) {
+    Rng rng(seed);
+    result.anneal = anneal(sa_problem, rng, options.anneal);
+  } else {
+    result.anneal =
+        anneal_multichain(sa_problem, seed, options.chains, options.anneal,
+                          pool);
+  }
+  result.solution = result.anneal.best_state;
+  result.objective = solution_objective(problem, result.solution);
+  result.feasible = is_feasible(problem, result.solution);
+  return result;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,89 @@
+// Simulated-annealing solver for the scalable-bit-rate replication and
+// placement problem (paper Section 4.3).
+//
+// The three problem-specific decisions the paper plugs into the parsa
+// library are implemented here against src/anneal:
+//   * cost function: the negated Eq. 1 objective (the engine minimizes),
+//     plus a penalty proportional to any irreparable bandwidth overflow —
+//     the paper notes Eq. 5 can be violated when the offered load exceeds
+//     the cluster's total outgoing bandwidth;
+//   * initial solution: every video at the lowest ladder rate, one replica,
+//     placed round-robin;
+//   * neighborhood: pick a random server, then either raise the encoding
+//     bit rate of one video hosted there or add a replica of a new video to
+//     it; if the move overflows the server's storage or bandwidth, repair by
+//     lowering the bit rate of (or evicting) its lowest-rate videos.
+#pragma once
+
+#include <cstddef>
+
+#include "src/anneal/annealer.h"
+#include "src/core/scalable.h"
+
+namespace vodrep {
+
+struct SaSolverOptions {
+  AnnealOptions anneal;
+  /// Independent annealing chains (parsa-style parallel SA); the best final
+  /// solution wins.  Chains run on `pool` when provided to solve_scalable.
+  std::size_t chains = 1;
+  /// Cost penalty per unit of relative bandwidth overflow (sum over servers
+  /// of overflow/B).  Large enough that infeasibility always dominates any
+  /// objective gain at the paper's scales.
+  double bandwidth_penalty = 100.0;
+  /// Probability that a neighborhood move tries a bit-rate increase first
+  /// (otherwise it tries to add a replica first; each falls back to the
+  /// other when its preconditions fail).
+  double increase_rate_probability = 0.5;
+  /// Probability of proposing an explicit shrink move (lower one hosted
+  /// video's rate or drop one of its replicas) instead of a growth move.
+  /// The paper's stated neighborhood only grows and repairs; that makes
+  /// "storage full" an absorbing plateau — every raise is undone by the
+  /// repair — and the chain stops improving far below what the budget
+  /// admits (see EXPERIMENTS.md E7).  Explicit shrink moves let the
+  /// annealer re-pack storage across servers.  0 reproduces the paper's
+  /// neighborhood verbatim.
+  double shrink_probability = 0.2;
+};
+
+struct SaSolverResult {
+  ScalableSolution solution;
+  double objective = 0.0;        ///< Eq. 1 value of the returned solution
+  bool feasible = false;         ///< hard-feasible (Eqs. 4-7) at return
+  AnnealResult<ScalableSolution> anneal;  ///< engine instrumentation
+};
+
+/// The AnnealProblem adapter; exposed so tests can exercise the neighborhood
+/// and repair logic directly.
+class ScalableSaProblem {
+ public:
+  using State = ScalableSolution;
+
+  ScalableSaProblem(const ScalableProblem& problem,
+                    const SaSolverOptions& options);
+
+  [[nodiscard]] State initial(Rng& rng) const;
+  [[nodiscard]] double cost(const State& state) const;
+  [[nodiscard]] State neighbor(const State& state, Rng& rng) const;
+
+  /// Brings `state` back within the storage constraint (hard) and as far
+  /// within the bandwidth constraint as possible (soft), touching only
+  /// videos hosted on over-committed servers.  Returns false when the
+  /// storage constraint could not be met (caller should discard the move).
+  [[nodiscard]] bool repair(State& state) const;
+
+ private:
+  const ScalableProblem& problem_;
+  SaSolverOptions options_;
+};
+
+/// Runs the annealer with `seed` and returns the best configuration found.
+/// With options.chains > 1 the chains run independently (on `pool` when
+/// given) and the best result wins; output is deterministic in `seed`
+/// either way.
+[[nodiscard]] SaSolverResult solve_scalable(const ScalableProblem& problem,
+                                            std::uint64_t seed,
+                                            const SaSolverOptions& options = {},
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace vodrep

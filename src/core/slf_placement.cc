@@ -1,0 +1,108 @@
+#include "src/core/slf_placement.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+struct PendingReplica {
+  std::size_t video;
+  double weight;
+};
+
+}  // namespace
+
+Layout SmallestLoadFirstPlacement::place(
+    const ReplicationPlan& plan, const std::vector<double>& popularity,
+    std::size_t num_servers, std::size_t capacity_per_server) const {
+  return place_traced(plan, popularity, num_servers, capacity_per_server,
+                      nullptr);
+}
+
+Layout SmallestLoadFirstPlacement::place_traced(
+    const ReplicationPlan& plan, const std::vector<double>& popularity,
+    std::size_t num_servers, std::size_t capacity_per_server,
+    std::vector<Step>* steps) const {
+  check_placement_inputs(plan, popularity, num_servers, capacity_per_server);
+
+  const std::vector<double> weights = plan.weights(popularity);
+  Layout layout;
+  layout.assignment.resize(plan.replicas.size());
+
+  // Steps 1-2 of Algorithm 1: all replicas, grouped by video, groups in
+  // non-increasing weight order.
+  std::deque<PendingReplica> pending;
+  for (std::size_t video : videos_by_weight(plan, popularity)) {
+    for (std::size_t k = 0; k < plan.replicas[video]; ++k) {
+      pending.push_back(PendingReplica{video, weights[video]});
+    }
+  }
+
+  std::vector<double> loads(num_servers, 0.0);
+  std::vector<std::size_t> stored(num_servers, 0);
+
+  auto hosts = [&](std::size_t server, std::size_t video) {
+    const auto& servers = layout.assignment[video];
+    return std::find(servers.begin(), servers.end(), server) != servers.end();
+  };
+
+  std::size_t round = 0;
+  while (!pending.empty()) {
+    const std::size_t take = std::min<std::size_t>(num_servers, pending.size());
+    std::vector<bool> used_this_round(num_servers, false);
+    std::deque<PendingReplica> deferred;
+    std::size_t placed_this_round = 0;
+
+    for (std::size_t n = 0; n < take; ++n) {
+      const PendingReplica replica = pending.front();
+      pending.pop_front();
+
+      // Least-loaded feasible server among those unused this round; ties go
+      // to the lowest server index for determinism.
+      std::size_t best = num_servers;
+      double best_load = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        if (used_this_round[s] || stored[s] >= capacity_per_server ||
+            hosts(s, replica.video)) {
+          continue;
+        }
+        if (loads[s] < best_load) {
+          best_load = loads[s];
+          best = s;
+        }
+      }
+      if (best == num_servers) {
+        deferred.push_back(replica);  // retried at the head of the next round
+        continue;
+      }
+      used_this_round[best] = true;
+      ++stored[best];
+      loads[best] += replica.weight;
+      layout.assignment[replica.video].push_back(best);
+      ++placed_this_round;
+      if (steps != nullptr) {
+        steps->push_back(
+            Step{replica.video, best, replica.weight, loads[best], round});
+      }
+    }
+
+    if (placed_this_round == 0) {
+      // Every candidate replica was infeasible on every server: the
+      // distinctness constraint cannot be satisfied with remaining storage.
+      throw InfeasibleError(
+          "slf placement: no feasible server for the remaining replicas");
+    }
+    // Deferred replicas are the heaviest remaining; keep them at the front.
+    for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+      pending.push_front(*it);
+    }
+    ++round;
+  }
+  return layout;
+}
+
+}  // namespace vodrep

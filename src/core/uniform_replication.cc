@@ -1,0 +1,24 @@
+#include "src/core/uniform_replication.h"
+
+#include <algorithm>
+
+namespace vodrep {
+
+ReplicationPlan UniformReplication::replicate(
+    const std::vector<double>& popularity, std::size_t num_servers,
+    std::size_t budget) const {
+  check_replication_inputs(popularity, num_servers, budget);
+  const std::size_t m = popularity.size();
+  const std::size_t base = std::min(budget / m, num_servers);
+  ReplicationPlan plan;
+  plan.replicas.assign(m, std::max<std::size_t>(base, 1));
+  if (base >= num_servers) return plan;  // full replication; no leftovers
+  std::size_t leftover = budget - base * m;
+  for (std::size_t i = 0; i < m && leftover > 0; ++i) {
+    ++plan.replicas[i];
+    --leftover;
+  }
+  return plan;
+}
+
+}  // namespace vodrep

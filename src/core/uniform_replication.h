@@ -1,0 +1,23 @@
+// Uniform (round-robin) replication baseline.
+//
+// Gives every video the same replica count floor(budget / M), then deals the
+// leftover replicas to the most popular videos, one each.  Optimal when the
+// popularity distribution is uniform (paper Section 4.1: "a simple
+// round-robin replication achieves an optimal replication scheme" for
+// uniform popularity) and a useful lower-bound baseline otherwise.  Also the
+// degenerate "non-replication" scheme when budget == M.
+#pragma once
+
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+class UniformReplication final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  [[nodiscard]] ReplicationPlan replicate(const std::vector<double>& popularity,
+                                          std::size_t num_servers,
+                                          std::size_t budget) const override;
+};
+
+}  // namespace vodrep

@@ -1,0 +1,49 @@
+// Zipf-like-distribution-based replication (paper Section 4.1.2).
+//
+// A time-efficient approximation to the optimal Adams scheme that exploits
+// the known Zipf shape of the popularity vector.  The popularity axis
+// [0, p_1] is partitioned into N intervals whose widths follow a Zipf-like
+// law with a tunable skew parameter u: interval k (k = 1 at the top of the
+// popularity range) has width
+//
+//     width_k = p_1 * (1 / k^u) / sum_{j=1..N} (1 / j^u).
+//
+// Every video whose popularity falls inside interval k is assigned
+// r = N - k + 1 replicas (top interval -> N replicas, bottom -> 1).
+//
+// Lemma 4.1 of the paper: the total replica count is non-decreasing in u
+// (raising u widens the top intervals, pushing every boundary down, so
+// videos can only move to higher intervals).  The algorithm binary-searches
+// u for the largest total that fits the budget; with the termination
+// condition driven by the smallest popularity gap the whole scheme runs in
+// O(M log M).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+class ZipfIntervalReplication final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "zipf"; }
+  [[nodiscard]] ReplicationPlan replicate(const std::vector<double>& popularity,
+                                          std::size_t num_servers,
+                                          std::size_t budget) const override;
+
+  /// The interval boundaries z_1 > z_2 > ... > z_{N-1} generated for skew u
+  /// (the paper's generate(u) function): z_k is the lower edge of interval k.
+  /// Exposed for tests and the Figure-2 trace binary.
+  [[nodiscard]] static std::vector<double> interval_boundaries(
+      double top_popularity, std::size_t num_servers, double u);
+
+  /// The paper's assignment(u, r) function: replica counts implied by skew u
+  /// (before any budget correction).  Video in interval k gets N - k + 1.
+  [[nodiscard]] static std::vector<std::size_t> assign_for_skew(
+      const std::vector<double>& popularity, std::size_t num_servers,
+      double u);
+};
+
+}  // namespace vodrep

@@ -1,0 +1,104 @@
+#include "src/disk/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+void DiskSpec::validate() const {
+  require(avg_seek_sec >= 0.0, "DiskSpec: negative seek time");
+  require(avg_rotational_sec >= 0.0, "DiskSpec: negative rotational latency");
+  require(transfer_bps > 0.0, "DiskSpec: transfer rate must be positive");
+}
+
+void StorageSubsystem::validate() const {
+  disk.validate();
+  require(num_disks >= 1, "StorageSubsystem: need at least one disk");
+  require(round_sec > 0.0, "StorageSubsystem: round length must be positive");
+  require(memory_bytes > 0.0, "StorageSubsystem: memory must be positive");
+}
+
+double per_stream_disk_time(const DiskSpec& disk, double bitrate_bps,
+                            double round_sec) {
+  disk.validate();
+  require(bitrate_bps > 0.0, "per_stream_disk_time: bad bit rate");
+  require(round_sec > 0.0, "per_stream_disk_time: bad round length");
+  const double segment_bits = bitrate_bps * round_sec;
+  return disk.avg_seek_sec + disk.avg_rotational_sec +
+         segment_bits / disk.transfer_bps;
+}
+
+std::size_t max_streams_disk(const StorageSubsystem& subsystem,
+                             double bitrate_bps) {
+  subsystem.validate();
+  const double t =
+      per_stream_disk_time(subsystem.disk, bitrate_bps, subsystem.round_sec);
+  const auto per_disk = static_cast<std::size_t>(subsystem.round_sec / t);
+  return subsystem.num_disks * per_disk;
+}
+
+std::size_t max_streams_memory(const StorageSubsystem& subsystem,
+                               double bitrate_bps) {
+  subsystem.validate();
+  require(bitrate_bps > 0.0, "max_streams_memory: bad bit rate");
+  const double segment_bytes = bitrate_bps * subsystem.round_sec / 8.0;
+  return static_cast<std::size_t>(subsystem.memory_bytes /
+                                  (2.0 * segment_bytes));
+}
+
+std::size_t ServerCapacityBreakdown::sustainable() const {
+  return std::min({network_streams, disk_streams, memory_streams});
+}
+
+const char* ServerCapacityBreakdown::bottleneck() const {
+  const std::size_t cap = sustainable();
+  if (network_streams == cap) return "network";
+  if (disk_streams == cap) return "disk";
+  return "memory";
+}
+
+ServerCapacityBreakdown server_capacity(const StorageSubsystem& subsystem,
+                                        double network_bps,
+                                        double bitrate_bps) {
+  require(network_bps > 0.0, "server_capacity: bad network bandwidth");
+  require(bitrate_bps > 0.0, "server_capacity: bad bit rate");
+  ServerCapacityBreakdown breakdown;
+  breakdown.network_streams =
+      static_cast<std::size_t>(network_bps / bitrate_bps);
+  breakdown.disk_streams = max_streams_disk(subsystem, bitrate_bps);
+  breakdown.memory_streams = max_streams_memory(subsystem, bitrate_bps);
+  return breakdown;
+}
+
+double best_round_length(const StorageSubsystem& subsystem,
+                         double bitrate_bps,
+                         std::size_t candidates_per_decade) {
+  subsystem.validate();
+  require(candidates_per_decade >= 2, "best_round_length: too few candidates");
+  StorageSubsystem candidate = subsystem;
+  double best_round = subsystem.round_sec;
+  std::size_t best_streams = 0;
+  // Log-spaced scan over [0.1 s, 16 s]; the disk count rises with R while
+  // the memory count falls, so the optimum is where they cross.
+  const double lo = std::log(0.1);
+  const double hi = std::log(16.0);
+  const auto total = static_cast<std::size_t>(
+      static_cast<double>(candidates_per_decade) * (hi - lo) / std::log(10.0));
+  for (std::size_t i = 0; i <= total; ++i) {
+    const double r = std::exp(
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(total));
+    candidate.round_sec = r;
+    const std::size_t streams =
+        std::min(max_streams_disk(candidate, bitrate_bps),
+                 max_streams_memory(candidate, bitrate_bps));
+    if (streams > best_streams) {
+      best_streams = streams;
+      best_round = r;
+    }
+  }
+  return best_round;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,86 @@
+// Intra-server storage subsystem model: round-based disk admission control.
+//
+// The paper assumes "outgoing network bandwidth is the major performance
+// bottleneck" and cites the classical single-server literature (its §2:
+// striping inside storage devices, data retrieval amortizing seek time,
+// buffering, jitter-free disk scheduling) as the machinery that makes the
+// assumption true.  This module is that machinery in closed form — the
+// standard round-robin (SCAN-round) admission model:
+//
+//   * time is divided into rounds of length R;
+//   * each of n admitted streams must receive one segment of b*R bits per
+//     round (continuity), costing one seek + rotational latency + transfer;
+//   * a disk sustains n streams iff n * t_stream(R) <= R;
+//   * double buffering holds 2 segments per stream in server memory.
+//
+// From a disk/array spec the model yields the maximum jitter-free stream
+// count per server and, combined with the outgoing link, which resource
+// binds — quantifying exactly when the paper's network-bottleneck
+// assumption holds (the vodrep_disk_bottleneck benchmark sweeps it).
+#pragma once
+
+#include <cstddef>
+
+namespace vodrep {
+
+/// One spindle.  Defaults are a circa-2002 SCSI disk (the paper's era).
+struct DiskSpec {
+  double avg_seek_sec = 0.005;        ///< average seek
+  double avg_rotational_sec = 0.00417;///< half a revolution at 7200 rpm
+  double transfer_bps = 320e6;        ///< sustained media rate (40 MB/s)
+
+  void validate() const;
+};
+
+/// A server's storage subsystem: D identical disks served round-robin
+/// (video data striped across them inside the server, as the paper
+/// suggests), plus the stream buffers in server memory.
+struct StorageSubsystem {
+  DiskSpec disk;
+  std::size_t num_disks = 8;
+  double round_sec = 1.0;             ///< service round length R
+  double memory_bytes = 1e9;          ///< buffer pool
+
+  void validate() const;
+};
+
+/// Disk time one stream costs per round: seek + rotation + transfer of the
+/// b*R-bit segment.
+[[nodiscard]] double per_stream_disk_time(const DiskSpec& disk,
+                                          double bitrate_bps,
+                                          double round_sec);
+
+/// Maximum jitter-free streams the disk array sustains: num_disks *
+/// floor(R / t_stream).
+[[nodiscard]] std::size_t max_streams_disk(const StorageSubsystem& subsystem,
+                                           double bitrate_bps);
+
+/// Maximum streams the buffer pool sustains under double buffering
+/// (2 segments of b*R bits per stream).
+[[nodiscard]] std::size_t max_streams_memory(const StorageSubsystem& subsystem,
+                                             double bitrate_bps);
+
+/// Which resource limits a server and at how many streams.
+struct ServerCapacityBreakdown {
+  std::size_t network_streams = 0;
+  std::size_t disk_streams = 0;
+  std::size_t memory_streams = 0;
+
+  [[nodiscard]] std::size_t sustainable() const;
+  /// "network", "disk" or "memory" — the binding resource (ties go in that
+  /// order, matching the paper's assumption first).
+  [[nodiscard]] const char* bottleneck() const;
+};
+
+[[nodiscard]] ServerCapacityBreakdown server_capacity(
+    const StorageSubsystem& subsystem, double network_bps,
+    double bitrate_bps);
+
+/// The round length that maximizes the disk stream count for a given
+/// memory budget: longer rounds amortize seeks but inflate buffers.
+/// Scans `candidates_per_decade` log-spaced rounds in [0.1 s, 16 s].
+[[nodiscard]] double best_round_length(const StorageSubsystem& subsystem,
+                                       double bitrate_bps,
+                                       std::size_t candidates_per_decade = 32);
+
+}  // namespace vodrep

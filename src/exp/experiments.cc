@@ -1,0 +1,248 @@
+#include "src/exp/experiments.h"
+
+#include <memory>
+
+#include "src/core/bounds.h"
+#include "src/core/objective.h"
+#include "src/core/pipeline.h"
+#include "src/exp/runner.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+constexpr double kFig4Degrees[] = {1.0, 1.2, 1.4, 1.6, 1.8};
+
+/// Provisions one (combo, scenario) pair and returns the layout.
+Layout provision_layout(const PaperScenario& scenario,
+                        const AlgorithmCombo& combo) {
+  const auto replication = make_replication_policy(combo.replication);
+  const auto placement = make_placement_policy(combo.placement);
+  const FixedRateProblem problem = scenario.problem();
+  return provision(problem, *replication, *placement,
+                   scenario.replica_budget())
+      .layout;
+}
+
+RunnerOptions runner_options(const ExperimentOptions& options) {
+  RunnerOptions ro;
+  ro.runs = options.runs;
+  ro.base_seed = options.seed;
+  return ro;
+}
+
+}  // namespace
+
+std::vector<AlgorithmCombo> paper_combos() {
+  return {
+      AlgorithmCombo{"zipf", "slf"},
+      AlgorithmCombo{"zipf", "round-robin"},
+      AlgorithmCombo{"classification", "slf"},
+      AlgorithmCombo{"classification", "round-robin"},
+  };
+}
+
+Table fig4_panel(const AlgorithmCombo& combo, double theta,
+                 const ExperimentOptions& options) {
+  ThreadPool pool(options.threads);
+
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+
+  std::vector<std::string> headers{"arrival_rate_per_min"};
+  std::vector<Layout> layouts;
+  for (double degree : kFig4Degrees) {
+    scenario.replication_degree = degree;
+    layouts.push_back(provision_layout(scenario, combo));
+    headers.push_back("reject%_d=" + std::to_string(degree).substr(0, 3));
+  }
+
+  Table table(std::move(headers));
+  table.set_precision(2);
+  for (double rate : arrival_rate_sweep(scenario, options.sweep_points)) {
+    std::vector<Table::Cell> row{rate};
+    for (std::size_t d = 0; d < layouts.size(); ++d) {
+      scenario.replication_degree = kFig4Degrees[d];
+      const CellStats stats =
+          run_cell(layouts[d], scenario.sim_config(),
+                   scenario.trace_spec(rate), runner_options(options), &pool);
+      row.emplace_back(100.0 * stats.rejection_rate.mean());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table fig5_panel(double theta, double replication_degree,
+                 const ExperimentOptions& options) {
+  ThreadPool pool(options.threads);
+
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+  scenario.replication_degree = replication_degree;
+
+  const std::vector<AlgorithmCombo> combos = paper_combos();
+  std::vector<std::string> headers{"arrival_rate_per_min"};
+  std::vector<Layout> layouts;
+  for (const AlgorithmCombo& combo : combos) {
+    layouts.push_back(provision_layout(scenario, combo));
+    headers.push_back("reject%_" + combo.label());
+  }
+
+  Table table(std::move(headers));
+  table.set_precision(2);
+  for (double rate : arrival_rate_sweep(scenario, options.sweep_points)) {
+    std::vector<Table::Cell> row{rate};
+    // The same base seed per rate row holds the workload fixed across the
+    // four combinations, isolating the algorithmic difference.
+    for (const Layout& layout : layouts) {
+      const CellStats stats =
+          run_cell(layout, scenario.sim_config(), scenario.trace_spec(rate),
+                   runner_options(options), &pool);
+      row.emplace_back(100.0 * stats.rejection_rate.mean());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table fig6_panel(double theta, double replication_degree,
+                 const ExperimentOptions& options) {
+  ThreadPool pool(options.threads);
+
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+  scenario.replication_degree = replication_degree;
+
+  const std::vector<AlgorithmCombo> combos = paper_combos();
+  std::vector<std::string> headers{"arrival_rate_per_min"};
+  std::vector<Layout> layouts;
+  for (const AlgorithmCombo& combo : combos) {
+    layouts.push_back(provision_layout(scenario, combo));
+    headers.push_back("L%_" + combo.label());
+  }
+
+  // Figure 6 normalizes the load excess by the fixed link capacity B rather
+  // than the instantaneous mean load: that is the normalization under which
+  // the paper's curves rise with the arrival rate, peak just below
+  // saturation, and collapse once every server clips at capacity (see
+  // EXPERIMENTS.md).  The mean-normalized Eq. 2 values are reported by
+  // vodrep_ablation_imbalance_defn.
+  Table table(std::move(headers));
+  table.set_precision(2);
+  for (double rate : arrival_rate_sweep(scenario, options.sweep_points)) {
+    std::vector<Table::Cell> row{rate};
+    for (const Layout& layout : layouts) {
+      const CellStats stats =
+          run_cell(layout, scenario.sim_config(), scenario.trace_spec(rate),
+                   runner_options(options), &pool);
+      row.emplace_back(100.0 * stats.mean_imbalance_capacity.mean());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table fig6_degree_merge_panel(double theta,
+                              const ExperimentOptions& options) {
+  ThreadPool pool(options.threads);
+
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+
+  std::vector<std::string> headers{"arrival_rate_per_min"};
+  std::vector<Layout> layouts;
+  const AlgorithmCombo combo{"zipf", "slf"};
+  for (double degree : kFig4Degrees) {
+    scenario.replication_degree = degree;
+    layouts.push_back(provision_layout(scenario, combo));
+    headers.push_back("L%_d=" + std::to_string(degree).substr(0, 3));
+  }
+
+  Table table(std::move(headers));
+  table.set_precision(2);
+  // Extend to 1.5x saturation so the overload merge is visible.
+  for (double rate : arrival_rate_sweep(scenario, options.sweep_points, 0.1,
+                                        1.5)) {
+    std::vector<Table::Cell> row{rate};
+    for (std::size_t d = 0; d < layouts.size(); ++d) {
+      scenario.replication_degree = kFig4Degrees[d];
+      const CellStats stats =
+          run_cell(layouts[d], scenario.sim_config(), scenario.trace_spec(rate),
+                   runner_options(options), &pool);
+      row.emplace_back(100.0 * stats.mean_imbalance_capacity.mean());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table redirect_ablation(double theta, double replication_degree,
+                        const ExperimentOptions& options) {
+  ThreadPool pool(options.threads);
+
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+  scenario.replication_degree = replication_degree;
+  const Layout layout =
+      provision_layout(scenario, AlgorithmCombo{"zipf", "slf"});
+
+  Table table({"arrival_rate_per_min", "reject%_static_rr",
+               "reject%_other_holders", "reject%_backbone_proxy",
+               "redirected_share%"});
+  table.set_precision(2);
+  for (double rate : arrival_rate_sweep(scenario, options.sweep_points)) {
+    const SimConfig strict = scenario.sim_config();
+    SimConfig holders = scenario.sim_config();
+    holders.redirect = RedirectMode::kOtherHolders;
+    SimConfig proxy = scenario.sim_config();
+    proxy.redirect = RedirectMode::kBackboneProxy;
+    // Backbone sized at one server's outgoing link — the proxied detour
+    // shares the cluster interconnect, it is not free capacity.
+    proxy.backbone_bps = units::gbps(scenario.server_bandwidth_gbps);
+
+    const CellStats base = run_cell(layout, strict, scenario.trace_spec(rate),
+                                    runner_options(options), &pool);
+    const CellStats hold = run_cell(layout, holders, scenario.trace_spec(rate),
+                                    runner_options(options), &pool);
+    const CellStats prox = run_cell(layout, proxy, scenario.trace_spec(rate),
+                                    runner_options(options), &pool);
+    table.add_row({rate, 100.0 * base.rejection_rate.mean(),
+                   100.0 * hold.rejection_rate.mean(),
+                   100.0 * prox.rejection_rate.mean(),
+                   100.0 * prox.redirected_fraction.mean()});
+  }
+  return table;
+}
+
+Table bound_check_table(double theta, const ExperimentOptions& options) {
+  PaperScenario scenario;
+  scenario.theta = theta;
+  scenario.num_videos = options.num_videos;
+
+  const auto replication = make_replication_policy("zipf");
+  const auto placement = make_placement_policy("slf");
+
+  Table table({"degree", "total_replicas", "max_weight", "spread",
+               "bound_maxw_minus_minw", "expected_L%_eq2"});
+  table.set_precision(5);
+  for (double degree : kFig4Degrees) {
+    scenario.replication_degree = degree;
+    const FixedRateProblem problem = scenario.problem();
+    const ProvisioningResult result = provision(
+        problem, *replication, *placement, scenario.replica_budget());
+    table.add_row({degree,
+                   static_cast<long long>(result.plan.total_replicas()),
+                   result.max_weight, load_spread(result.expected_loads),
+                   result.spread_bound,
+                   100.0 * imbalance_max_relative(result.expected_loads)});
+  }
+  return table;
+}
+
+}  // namespace vodrep

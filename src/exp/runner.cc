@@ -1,0 +1,52 @@
+#include "src/exp/runner.h"
+
+#include <mutex>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+
+CellStats run_cell(const Layout& layout, const SimConfig& config,
+                   const TraceSpec& spec, const RunnerOptions& options,
+                   ThreadPool* pool) {
+  require(options.runs >= 1, "run_cell: need at least one run");
+  std::vector<SimResult> results(options.runs);
+
+  auto one_run = [&](std::size_t run) {
+    Rng rng(options.base_seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
+    const RequestTrace trace = generate_trace(rng, spec);
+    results[run] = simulate(layout, config, trace);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(options.runs, one_run);
+  } else {
+    for (std::size_t run = 0; run < options.runs; ++run) one_run(run);
+  }
+
+  CellStats stats;
+  for (const SimResult& r : results) {
+    stats.rejection_rate.add(r.rejection_rate());
+    stats.mean_imbalance_eq2.add(r.mean_imbalance_eq2);
+    stats.mean_imbalance_cv.add(r.mean_imbalance_cv);
+    stats.mean_imbalance_capacity.add(r.mean_imbalance_capacity);
+    stats.peak_imbalance_eq2.add(r.peak_imbalance_eq2);
+    stats.redirected_fraction.add(
+        r.total_requests == 0
+            ? 0.0
+            : static_cast<double>(r.redirected) /
+                  static_cast<double>(r.total_requests));
+    stats.batched_fraction.add(
+        r.total_requests == 0
+            ? 0.0
+            : static_cast<double>(r.batched) /
+                  static_cast<double>(r.total_requests));
+    stats.mean_utilization.add(r.mean_utilization());
+  }
+  return stats;
+}
+
+}  // namespace vodrep

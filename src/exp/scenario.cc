@@ -1,0 +1,75 @@
+#include "src/exp/scenario.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+
+FixedRateProblem PaperScenario::problem() const {
+  FixedRateProblem p;
+  p.videos.duration_sec = units::minutes(duration_minutes);
+  p.videos.popularity = zipf_popularity(num_videos, theta);
+  p.bitrate_bps = units::mbps(bitrate_mbps);
+  p.cluster.num_servers = num_servers;
+  p.cluster.bandwidth_bps_per_server = units::gbps(server_bandwidth_gbps);
+  const std::size_t budget = replica_budget();
+  const std::size_t slots = (budget + num_servers - 1) / num_servers;
+  p.cluster.storage_bytes_per_server =
+      static_cast<double>(slots) * p.replica_bytes();
+  p.validate();
+  return p;
+}
+
+std::size_t PaperScenario::replica_budget() const {
+  require(replication_degree >= 1.0,
+          "PaperScenario: replication degree must be >= 1");
+  return static_cast<std::size_t>(
+      std::llround(replication_degree * static_cast<double>(num_videos)));
+}
+
+TraceSpec PaperScenario::trace_spec(double arrival_rate_per_min) const {
+  TraceSpec spec;
+  spec.arrival_rate = units::per_minute(arrival_rate_per_min);
+  spec.horizon = units::minutes(duration_minutes);
+  spec.popularity = zipf_popularity(num_videos, theta);
+  return spec;
+}
+
+SimConfig PaperScenario::sim_config() const {
+  SimConfig config;
+  config.num_servers = num_servers;
+  config.bandwidth_bps_per_server = units::gbps(server_bandwidth_gbps);
+  config.stream_bitrate_bps = units::mbps(bitrate_mbps);
+  config.video_duration_sec = units::minutes(duration_minutes);
+  return config;
+}
+
+double PaperScenario::saturation_rate_per_min() const {
+  const double cluster_streams =
+      static_cast<double>(num_servers) * units::gbps(server_bandwidth_gbps) /
+      units::mbps(bitrate_mbps);
+  return cluster_streams / duration_minutes;
+}
+
+std::vector<double> arrival_rate_sweep(const PaperScenario& scenario,
+                                       std::size_t points, double fraction_lo,
+                                       double fraction_hi) {
+  require(points >= 2, "arrival_rate_sweep: need at least two points");
+  require(fraction_hi > fraction_lo && fraction_lo > 0.0,
+          "arrival_rate_sweep: bad sweep range");
+  const double saturation = scenario.saturation_rate_per_min();
+  std::vector<double> rates;
+  rates.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double f =
+        fraction_lo + (fraction_hi - fraction_lo) * static_cast<double>(k) /
+                          static_cast<double>(points - 1);
+    rates.push_back(f * saturation);
+  }
+  return rates;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,89 @@
+#include "src/hetero/hetero_cluster.h"
+
+#include <algorithm>
+
+#include "src/core/objective.h"
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+
+double HeteroClusterSpec::total_bandwidth_bps() const {
+  double total = 0.0;
+  for (double b : bandwidth_bps) total += b;
+  return total;
+}
+
+double HeteroClusterSpec::total_storage_bytes() const {
+  double total = 0.0;
+  for (double s : storage_bytes) total += s;
+  return total;
+}
+
+std::vector<std::size_t> HeteroClusterSpec::replica_slots(
+    double duration_sec, double bitrate_bps) const {
+  validate();
+  const double bytes = units::video_bytes(duration_sec, bitrate_bps);
+  require(bytes > 0.0, "replica_slots: zero-sized replica");
+  std::vector<std::size_t> slots;
+  slots.reserve(storage_bytes.size());
+  for (double storage : storage_bytes) {
+    slots.push_back(static_cast<std::size_t>(storage / bytes));
+  }
+  return slots;
+}
+
+std::vector<double> HeteroClusterSpec::bandwidth_shares() const {
+  validate();
+  const double total = total_bandwidth_bps();
+  std::vector<double> shares;
+  shares.reserve(bandwidth_bps.size());
+  for (double b : bandwidth_bps) shares.push_back(b / total);
+  return shares;
+}
+
+void HeteroClusterSpec::validate() const {
+  require(!bandwidth_bps.empty(), "HeteroClusterSpec: need a server");
+  require(storage_bytes.size() == bandwidth_bps.size(),
+          "HeteroClusterSpec: storage/bandwidth size mismatch");
+  for (std::size_t s = 0; s < bandwidth_bps.size(); ++s) {
+    require(bandwidth_bps[s] > 0.0, "HeteroClusterSpec: bad bandwidth");
+    require(storage_bytes[s] > 0.0, "HeteroClusterSpec: bad storage");
+  }
+}
+
+HeteroClusterSpec make_two_tier_cluster(std::size_t big,
+                                        double big_bandwidth_bps,
+                                        double big_storage_bytes,
+                                        std::size_t small,
+                                        double small_bandwidth_bps,
+                                        double small_storage_bytes) {
+  require(big + small >= 1, "make_two_tier_cluster: empty fleet");
+  HeteroClusterSpec cluster;
+  cluster.bandwidth_bps.reserve(big + small);
+  cluster.storage_bytes.reserve(big + small);
+  for (std::size_t s = 0; s < big; ++s) {
+    cluster.bandwidth_bps.push_back(big_bandwidth_bps);
+    cluster.storage_bytes.push_back(big_storage_bytes);
+  }
+  for (std::size_t s = 0; s < small; ++s) {
+    cluster.bandwidth_bps.push_back(small_bandwidth_bps);
+    cluster.storage_bytes.push_back(small_storage_bytes);
+  }
+  cluster.validate();
+  return cluster;
+}
+
+double hetero_imbalance(const std::vector<double>& loads,
+                        const std::vector<double>& bandwidth_bps) {
+  require(loads.size() == bandwidth_bps.size() && !loads.empty(),
+          "hetero_imbalance: size mismatch or empty input");
+  std::vector<double> utilization(loads.size());
+  for (std::size_t s = 0; s < loads.size(); ++s) {
+    require(bandwidth_bps[s] > 0.0, "hetero_imbalance: bad bandwidth");
+    utilization[s] = loads[s] / bandwidth_bps[s];
+  }
+  return imbalance_max_relative(utilization);
+}
+
+}  // namespace vodrep

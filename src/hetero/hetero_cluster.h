@@ -1,0 +1,50 @@
+// Heterogeneous clusters: per-server storage and outgoing bandwidth.
+//
+// The paper assumes N homogeneous servers; real fleets mix generations.
+// This module generalizes the cluster description and the load-imbalance
+// notion: on heterogeneous links the balanced state is *proportional* load
+// (equal utilization l_j / B_j), not equal absolute load, so the metrics
+// and the placement algorithm below work in utilization space.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vodrep {
+
+struct HeteroClusterSpec {
+  std::vector<double> storage_bytes;   ///< per server
+  std::vector<double> bandwidth_bps;   ///< per server, outgoing
+
+  [[nodiscard]] std::size_t num_servers() const {
+    return bandwidth_bps.size();
+  }
+  [[nodiscard]] double total_bandwidth_bps() const;
+  [[nodiscard]] double total_storage_bytes() const;
+
+  /// Per-server replica slots at a fixed encoding bit rate.
+  [[nodiscard]] std::vector<std::size_t> replica_slots(
+      double duration_sec, double bitrate_bps) const;
+
+  /// Each server's share of the cluster bandwidth (sums to 1); the target
+  /// load proportions for a balanced placement.
+  [[nodiscard]] std::vector<double> bandwidth_shares() const;
+
+  /// Throws InvalidArgumentError unless sizes match and all values are
+  /// positive.
+  void validate() const;
+};
+
+/// Convenience: a two-tier fleet of `big` servers at (big_bandwidth,
+/// big_storage) followed by `small` servers at the small tier.
+[[nodiscard]] HeteroClusterSpec make_two_tier_cluster(
+    std::size_t big, double big_bandwidth_bps, double big_storage_bytes,
+    std::size_t small, double small_bandwidth_bps,
+    double small_storage_bytes);
+
+/// Utilization-space imbalance for heterogeneous clusters: Eq. 2 applied to
+/// u_j = l_j / B_j.  Equals the homogeneous Eq. 2 when all B_j are equal.
+[[nodiscard]] double hetero_imbalance(const std::vector<double>& loads,
+                                      const std::vector<double>& bandwidth_bps);
+
+}  // namespace vodrep

@@ -1,0 +1,47 @@
+// The dynamic re-replication experiment (E13 in DESIGN.md): a multi-epoch
+// study comparing three provisioning strategies on a drifting workload.
+//
+//   * static  — provisioned once from the epoch-0 popularity and never
+//               touched (the paper's conservative one-shot placement);
+//   * adaptive — the AdaptiveController: learns popularity from observed
+//               requests and re-provisions between epochs, paying migration
+//               traffic;
+//   * oracle  — re-provisioned each epoch from the *true* current
+//               popularity (the unachievable upper bound).
+//
+// Each epoch is one peak period (the paper's 90 minutes); between epochs
+// the true popularity drifts per the configured model.
+#pragma once
+
+#include <cstdint>
+
+#include "src/online/controller.h"
+#include "src/util/table.h"
+#include "src/workload/drift.h"
+
+namespace vodrep {
+
+struct AdaptationStudyConfig {
+  std::size_t num_videos = 300;
+  std::size_t num_servers = 8;
+  double server_bandwidth_bps = 1.8e9;
+  double bitrate_bps = 4e6;
+  double duration_sec = 90.0 * 60.0;
+  double theta = 0.75;                ///< initial Zipf skew
+  double replication_degree = 1.2;
+  double arrival_rate_per_sec = 38.0 / 60.0;
+  std::size_t epochs = 14;            ///< two weeks of daily peaks
+  DriftSpec drift{DriftKind::kRankSwap, 0.05};
+  double estimator_decay = 0.5;
+  double replan_threshold = 0.0;
+  bool incremental_placement = true;  ///< migration-aware layout updates
+  double backbone_bps = 1.8e9;        ///< migration copy bandwidth
+};
+
+/// Runs the study and returns one row per epoch:
+/// epoch, ranking churn vs epoch 0, rejection % (static / adaptive /
+/// oracle), migration GB and copy minutes paid by the adaptive strategy.
+[[nodiscard]] Table run_adaptation_study(const AdaptationStudyConfig& config,
+                                         std::uint64_t seed);
+
+}  // namespace vodrep

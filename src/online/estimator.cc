@@ -1,0 +1,57 @@
+#include "src/online/estimator.h"
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+PopularityEstimator::PopularityEstimator(std::size_t num_videos, double decay,
+                                         double smoothing)
+    : history_(num_videos, 0.0),
+      current_(num_videos, 0.0),
+      decay_(decay),
+      smoothing_(smoothing) {
+  require(num_videos >= 1, "PopularityEstimator: need at least one video");
+  require(decay >= 0.0 && decay <= 1.0,
+          "PopularityEstimator: decay must be in [0, 1]");
+  require(smoothing >= 0.0, "PopularityEstimator: negative smoothing");
+}
+
+void PopularityEstimator::observe(std::size_t video, std::size_t count) {
+  require(video < current_.size(), "PopularityEstimator: video out of range");
+  current_[video] += static_cast<double>(count);
+}
+
+void PopularityEstimator::end_epoch() {
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    history_[i] = decay_ * history_[i] + current_[i];
+    current_[i] = 0.0;
+  }
+}
+
+std::vector<double> PopularityEstimator::estimate() const {
+  std::vector<double> estimate(history_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    estimate[i] = history_[i] + current_[i] + smoothing_;
+    sum += estimate[i];
+  }
+  // smoothing_ == 0 with no observations would make sum == 0; guard by
+  // falling back to uniform.
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(estimate.size());
+    for (double& e : estimate) e = uniform;
+    return estimate;
+  }
+  for (double& e : estimate) e /= sum;
+  return estimate;
+}
+
+double PopularityEstimator::observed_weight() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    sum += history_[i] + current_[i];
+  }
+  return sum;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,47 @@
+// Online popularity estimation from observed requests.
+//
+// The paper assumes popularities are "known before the replication and
+// placement"; in a running system they must be learned.  The estimator
+// keeps exponentially decayed request counts per video id and turns them
+// into a smoothed popularity vector.  Decay discounts history so the
+// estimate tracks drift; additive smoothing keeps never-requested videos at
+// a small non-zero popularity (every video must keep >= 1 replica, Eq. 7,
+// so the downstream algorithms need positive weights).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vodrep {
+
+class PopularityEstimator {
+ public:
+  /// `decay` in [0, 1]: weight retained by one epoch-old counts (0 forgets
+  /// everything each epoch, 1 never forgets).  `smoothing` >= 0 is the
+  /// add-k pseudo-count per video.
+  PopularityEstimator(std::size_t num_videos, double decay = 0.5,
+                      double smoothing = 1.0);
+
+  /// Records `count` observed requests for `video` in the current epoch.
+  void observe(std::size_t video, std::size_t count = 1);
+
+  /// Closes the current epoch: accumulated counts are folded into the
+  /// decayed history.
+  void end_epoch();
+
+  /// Normalized popularity estimate by video id (history + current epoch +
+  /// smoothing).  Always a valid distribution with positive entries.
+  [[nodiscard]] std::vector<double> estimate() const;
+
+  [[nodiscard]] std::size_t num_videos() const { return current_.size(); }
+  /// Total decayed weight of past epochs plus the live epoch (diagnostic).
+  [[nodiscard]] double observed_weight() const;
+
+ private:
+  std::vector<double> history_;  ///< decayed counts from closed epochs
+  std::vector<double> current_;  ///< raw counts of the live epoch
+  double decay_;
+  double smoothing_;
+};
+
+}  // namespace vodrep

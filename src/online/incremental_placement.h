@@ -1,0 +1,37 @@
+// Migration-aware incremental placement.
+//
+// Re-running smallest-load-first placement from scratch after every
+// popularity update reshuffles most of the cluster: SLF's round structure
+// is globally sensitive to the weight order, so a tiny estimate change can
+// move hundreds of gigabytes.  Incremental placement instead treats the
+// previous layout as the starting point and realizes a new replication plan
+// with the fewest replica copies:
+//   1. keep every replica the new plan can still use;
+//   2. for videos losing replicas, drop the copies on the most-loaded hosts;
+//   3. evict (move) the lightest replicas from servers over their storage
+//      capacity;
+//   4. place the additions heaviest-first on the least-loaded feasible
+//      server — the same greedy rule SLF applies within a round.
+// The result trades a slightly higher expected-load imbalance for orders of
+// magnitude less migration traffic; the vodrep_online_adaptation benchmark
+// quantifies the trade.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/core/replication.h"
+
+namespace vodrep {
+
+/// Realizes `new_plan` starting from `previous`, minimizing replica copies.
+/// `popularity_by_id` supplies the balancing weights (any positive values;
+/// normalized internally).  Falls back to throwing InfeasibleError only when
+/// the plan cannot fit the cluster at all.
+[[nodiscard]] Layout incremental_place(
+    const Layout& previous, const ReplicationPlan& new_plan,
+    const std::vector<double>& popularity_by_id, std::size_t num_servers,
+    std::size_t capacity_per_server);
+
+}  // namespace vodrep

@@ -1,0 +1,40 @@
+// Migration planning: the cost of moving from one layout to another.
+//
+// Re-replication is not free — every replica that appears on a server that
+// did not previously hold the video must be copied over the cluster
+// backbone.  The migration plan enumerates those copies (and the deletions,
+// which are free) so the adaptation experiments can weigh rejection-rate
+// gains against bytes moved and copy time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/layout.h"
+
+namespace vodrep {
+
+/// One replica copy: video must be materialized on `to_server`.
+struct ReplicaCopy {
+  std::size_t video = 0;
+  std::size_t to_server = 0;
+};
+
+struct MigrationPlan {
+  std::vector<ReplicaCopy> copies;      ///< replicas to create
+  std::size_t deletions = 0;            ///< replicas to drop (free)
+
+  /// Bytes that must cross the backbone: copies * bytes-per-replica.
+  [[nodiscard]] double bytes_moved(double replica_bytes) const;
+  /// Time to complete the copies over a backbone of `backbone_bps`,
+  /// assuming copies are pipelined sequentially at full backbone rate.
+  [[nodiscard]] double copy_time_sec(double replica_bytes,
+                                     double backbone_bps) const;
+};
+
+/// Diffs two layouts over the same video-id space.  Throws on size
+/// mismatch.
+[[nodiscard]] MigrationPlan plan_migration(const Layout& from,
+                                           const Layout& to);
+
+}  // namespace vodrep

@@ -1,0 +1,44 @@
+#include "src/sim/server.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+StreamingServer::StreamingServer(double bandwidth_capacity_bps)
+    : capacity_bps_(bandwidth_capacity_bps) {
+  require(bandwidth_capacity_bps >= 0.0,
+          "StreamingServer: negative bandwidth capacity");
+}
+
+bool StreamingServer::can_admit(double bitrate_bps) const {
+  // 1e-6 relative slack: with ~10^9-scale capacities this absorbs the
+  // accumulation error of millions of admit/release round trips while being
+  // far below one stream's bandwidth.
+  return !failed_ && busy_bps_ + bitrate_bps <= capacity_bps_ * (1.0 + 1e-6);
+}
+
+void StreamingServer::admit(double bitrate_bps) {
+  require(bitrate_bps > 0.0, "StreamingServer::admit: bad bit rate");
+  busy_bps_ += bitrate_bps;
+  ++active_streams_;
+  ++served_total_;
+}
+
+void StreamingServer::release(double bitrate_bps) {
+  require(bitrate_bps > 0.0, "StreamingServer::release: bad bit rate");
+  require(active_streams_ > 0, "StreamingServer::release: no active stream");
+  busy_bps_ = std::max(0.0, busy_bps_ - bitrate_bps);
+  --active_streams_;
+}
+
+std::size_t StreamingServer::fail() {
+  const std::size_t dropped = active_streams_;
+  active_streams_ = 0;
+  busy_bps_ = 0.0;
+  failed_ = true;
+  return dropped;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,56 @@
+// Runtime state of one back-end streaming server.
+//
+// During simulation a server is a bandwidth reservoir: each admitted stream
+// reserves its encoding bit rate on the outgoing link for the video duration
+// (whole-video streaming, no VCR operations — the paper's model).  Storage
+// is a provisioning-time constraint and is already fixed by the layout, so
+// it does not appear here.
+#pragma once
+
+#include <cstddef>
+
+namespace vodrep {
+
+class StreamingServer {
+ public:
+  StreamingServer() = default;
+  explicit StreamingServer(double bandwidth_capacity_bps);
+
+  /// Outgoing link capacity in b/s.
+  [[nodiscard]] double capacity_bps() const { return capacity_bps_; }
+  /// Bandwidth currently reserved by active streams.
+  [[nodiscard]] double busy_bps() const { return busy_bps_; }
+  /// Capacity remaining for new streams.
+  [[nodiscard]] double free_bps() const { return capacity_bps_ - busy_bps_; }
+  [[nodiscard]] std::size_t active_streams() const { return active_streams_; }
+  /// Total streams admitted over the server's lifetime.
+  [[nodiscard]] std::size_t served_total() const { return served_total_; }
+
+  /// True when a stream of `bitrate_bps` fits on the outgoing link.  The
+  /// relative epsilon tolerates float residue from repeated admit/release.
+  /// Always false on a failed server.
+  [[nodiscard]] bool can_admit(double bitrate_bps) const;
+
+  /// Reserves bandwidth for one stream.  Callers must check can_admit().
+  void admit(double bitrate_bps);
+
+  /// Releases the bandwidth of one finished stream.
+  void release(double bitrate_bps);
+
+  /// Crashes the server: every active stream is dropped (their count is
+  /// returned so the simulator can account for the disrupted clients), the
+  /// link empties, and all future can_admit() calls return false.
+  std::size_t fail();
+
+  /// True once fail() has been called.
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  double capacity_bps_ = 0.0;
+  double busy_bps_ = 0.0;
+  std::size_t active_streams_ = 0;
+  std::size_t served_total_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace vodrep

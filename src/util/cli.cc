@@ -1,0 +1,146 @@
+#include "src/util/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+std::string kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    default: return "string";
+  }
+}
+
+}  // namespace
+
+CliFlags::CliFlags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliFlags::add_int(const std::string& name, long long default_value,
+                       const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, help, std::to_string(default_value)};
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, help, default_value ? "true" : "false"};
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Kind::kString, help, default_value};
+}
+
+void CliFlags::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  require(it != flags_.end(), "unknown flag --" + name);
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      require(end != value.c_str() && *end == '\0',
+              "flag --" + name + " expects an integer, got '" + value + "'");
+      break;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      require(end != value.c_str() && *end == '\0',
+              "flag --" + name + " expects a number, got '" + value + "'");
+      break;
+    }
+    case Kind::kBool:
+      require(value == "true" || value == "false",
+              "flag --" + name + " expects true/false, got '" + value + "'");
+      break;
+    case Kind::kString:
+      break;
+  }
+  flag.value = value;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      set_value(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    // --no-name for booleans.
+    if (body.rfind("no-", 0) == 0) {
+      const std::string name = body.substr(3);
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        it->second.value = "false";
+        continue;
+      }
+    }
+    auto it = flags_.find(body);
+    require(it != flags_.end(), "unknown flag --" + body);
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    require(i + 1 < argc, "flag --" + body + " expects a value");
+    set_value(body, argv[++i]);
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  require(it != flags_.end(), "flag --" + name + " was never declared");
+  require(it->second.kind == kind,
+          "flag --" + name + " accessed as " +
+              kind_name(static_cast<int>(kind)) + " but declared otherwise");
+  return it->second;
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+void CliFlags::print_usage(std::ostream& os) const {
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
+       << ", default " << flag.value << ")\n      " << flag.help << "\n";
+  }
+}
+
+}  // namespace vodrep

@@ -1,0 +1,69 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms.  Flags are declared with defaults and a help string;
+// `--help` prints the generated usage text.  Unknown flags are an error so
+// typos do not silently run the default experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vodrep {
+
+/// Declarative flag set.  Usage:
+///   CliFlags flags("bench_fig4", "Reproduces Figure 4.");
+///   flags.add_int("runs", 20, "simulation replications per point");
+///   flags.parse(argc, argv);           // throws InvalidArgumentError on bad input
+///   int runs = flags.get_int("runs");
+class CliFlags {
+ public:
+  CliFlags(std::string program, std::string description);
+
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv.  Returns false when `--help` was requested (usage has been
+  /// printed to stdout and the caller should exit 0).  Throws
+  /// InvalidArgumentError on unknown flags or malformed values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual representation
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  void set_value(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vodrep

@@ -1,0 +1,43 @@
+// Error types shared across the vodrep library.
+//
+// The library throws exceptions for programming and configuration errors
+// (invalid problem specifications, infeasible layouts, bad CLI input) and
+// never for expected runtime conditions such as a rejected request, which are
+// reported through metrics instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vodrep {
+
+/// Raised when a problem specification is internally inconsistent
+/// (e.g. negative bandwidth, empty video set, skew outside its domain).
+class InvalidArgumentError : public std::invalid_argument {
+ public:
+  explicit InvalidArgumentError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Raised when an algorithm cannot produce a feasible result under the given
+/// constraints (e.g. the storage budget cannot hold even one replica per
+/// video, or a placement round has no feasible server).
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgumentError(what);
+}
+}  // namespace detail
+
+/// Checks a precondition and throws InvalidArgumentError on failure.
+/// Used at public API boundaries; internal invariants use assert().
+inline void require(bool condition, const std::string& what) {
+  if (!condition) detail::throw_invalid(what);
+}
+
+}  // namespace vodrep

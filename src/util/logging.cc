@@ -1,0 +1,37 @@
+#include "src/util/logging.h"
+
+#include <iostream>
+
+namespace vodrep {
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace vodrep

@@ -1,0 +1,64 @@
+// Lightweight leveled logging for long-running experiment binaries.
+//
+// Not a general logging framework: single global sink (stderr by default),
+// levels filtered at runtime, messages assembled with an ostringstream so
+// call sites can stream any printable type.  Thread-safe: message assembly is
+// per-call, emission takes a mutex.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace vodrep {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global logging configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  /// Messages below `level` are dropped.
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Redirects output (default stderr).  The stream must outlive all logging.
+  void set_sink(std::ostream* sink);
+
+  /// Emits one formatted line; called by the LOG macro machinery.
+  void emit(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* sink_ = nullptr;
+  std::mutex mutex_;
+};
+
+namespace detail {
+/// Accumulates one log statement and emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Usage: vodrep::log(LogLevel::kInfo) << "ran " << n << " replications";
+inline detail::LogLine log(LogLevel level) { return detail::LogLine(level); }
+
+}  // namespace vodrep

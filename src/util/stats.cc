@@ -1,0 +1,90 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void TimeWeightedMean::add(double value, double duration) {
+  if (duration <= 0.0) return;
+  weighted_sum_ += value * duration;
+  total_time_ += duration;
+}
+
+double TimeWeightedMean::mean() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean_of(const std::vector<double>& values) {
+  require(!values.empty(), "mean_of: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev_of(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean_of(values);
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace vodrep

@@ -1,0 +1,72 @@
+// Streaming and batch descriptive statistics used by the simulator metrics
+// and the experiment harness (means, deviations, confidence intervals,
+// quantiles, time-weighted averages).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace vodrep {
+
+/// Numerically stable streaming accumulator (Welford) for count, mean,
+/// variance, min and max of a sequence of observations.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two observations.
+  [[nodiscard]] double variance() const;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of the (approximately) 95% confidence interval of the mean,
+  /// using the normal critical value 1.96.  0 when fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted mean of a piecewise-constant signal, e.g. instantaneous
+/// server load between events.  Feed (value, duration) segments.
+class TimeWeightedMean {
+ public:
+  /// Accounts for the signal holding `value` for `duration` time units.
+  /// Non-positive durations are ignored.
+  void add(double value, double duration);
+
+  [[nodiscard]] double total_time() const { return total_time_; }
+  /// Time-average; 0 when no time has been accumulated.
+  [[nodiscard]] double mean() const;
+
+ private:
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+/// Linear-interpolation quantile (type 7, the numpy/R default) of `values`.
+/// `q` in [0, 1].  The input is copied and sorted.  Throws on empty input.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean of `values`; throws on empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation of `values` (n-1); 0 when size < 2.
+[[nodiscard]] double stddev_of(const std::vector<double>& values);
+
+}  // namespace vodrep

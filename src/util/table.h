@@ -1,0 +1,54 @@
+// Console/CSV table rendering for experiment reports.
+//
+// The benchmark harness prints paper-style series (one row per arrival rate,
+// one column per algorithm or replication degree).  Table collects typed
+// cells and renders either an aligned console table or CSV, so every bench
+// binary reports through one code path.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vodrep {
+
+/// A rectangular table with a header row and typed cells.  Numeric cells are
+/// formatted with a configurable precision; string cells pass through.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of columns (fixed at construction).
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  /// Number of data rows appended so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a row; must contain exactly columns() cells.
+  void add_row(std::vector<Cell> cells);
+
+  /// Digits after the decimal point for double cells (default 3).
+  void set_precision(int digits);
+
+  /// Renders an aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-style CSV (quotes fields containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: renders the aligned table to a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace vodrep

@@ -1,0 +1,112 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared between the caller and the pool workers executing one parallel_for.
+// Workers hold a shared_ptr, so the state outlives the call even if a worker
+// dequeues its task after the caller has already observed completion.
+struct ParallelForState {
+  explicit ParallelForState(std::size_t n, std::function<void(std::size_t)> f)
+      : count(n), body(std::move(f)) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  auto state = std::make_shared<ParallelForState>(count, body);
+
+  // One chunked task per worker; the calling thread participates too, so the
+  // call completes even if every worker is busy with other tasks.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    enqueue([state] { state->drain(); });
+  }
+  state->drain();
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == count;
+    });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace vodrep

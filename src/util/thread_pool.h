@@ -1,0 +1,50 @@
+// Fixed-size thread pool for embarrassingly parallel experiment sweeps.
+//
+// The experiment harness runs many independent simulation replications; each
+// replication owns its RNG (derived from the base seed and run index) so the
+// result is identical regardless of thread count or scheduling.  The pool
+// offers a bulk parallel_for, which is the only primitive the harness needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vodrep {
+
+/// A fixed pool of worker threads executing queued tasks.  Destruction joins
+/// all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count) across the pool and blocks until every
+  /// iteration finished.  The first exception thrown by any iteration is
+  /// rethrown on the calling thread after all iterations complete or drain.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace vodrep

@@ -1,0 +1,44 @@
+// Strongly-suggestive unit helpers for the quantities the paper works in:
+// bit rates (Mb/s), storage (GB), time (minutes/seconds) and arrival rates
+// (requests/minute).  All internal computation uses double seconds, double
+// bits-per-second and double bytes; these helpers exist so call sites read
+// like the paper ("4 Mb/s", "90 min", "1.8 Gb/s") and conversions live in
+// exactly one place.
+#pragma once
+
+namespace vodrep::units {
+
+// --- bit rates ----------------------------------------------------------
+/// Megabits per second -> bits per second.
+constexpr double mbps(double v) { return v * 1e6; }
+/// Gigabits per second -> bits per second.
+constexpr double gbps(double v) { return v * 1e9; }
+/// Bits per second -> megabits per second (for reporting).
+constexpr double to_mbps(double bits_per_sec) { return bits_per_sec / 1e6; }
+
+// --- storage ------------------------------------------------------------
+/// Gigabytes -> bytes.  The paper uses decimal GB (2.7 GB per 90-min 4 Mb/s
+/// video = 90*60*4e6/8 bytes), so we do too.
+constexpr double gigabytes(double v) { return v * 1e9; }
+/// Bytes -> gigabytes (for reporting).
+constexpr double to_gigabytes(double bytes) { return bytes / 1e9; }
+
+// --- time ---------------------------------------------------------------
+/// Minutes -> seconds.
+constexpr double minutes(double v) { return v * 60.0; }
+/// Seconds -> minutes (for reporting).
+constexpr double to_minutes(double seconds) { return seconds / 60.0; }
+
+// --- rates --------------------------------------------------------------
+/// Requests per minute -> requests per second.
+constexpr double per_minute(double v) { return v / 60.0; }
+/// Requests per second -> requests per minute (for reporting).
+constexpr double to_per_minute(double per_sec) { return per_sec * 60.0; }
+
+/// Storage occupied by a constant-bit-rate video: duration [s] * rate [b/s],
+/// expressed in bytes.
+constexpr double video_bytes(double duration_sec, double bitrate_bps) {
+  return duration_sec * bitrate_bps / 8.0;
+}
+
+}  // namespace vodrep::units

@@ -1,0 +1,36 @@
+#include "src/workload/arrivals.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+std::vector<double> poisson_arrivals(Rng& rng, double rate, double horizon) {
+  require(rate >= 0.0, "poisson_arrivals: rate must be non-negative");
+  require(horizon >= 0.0, "poisson_arrivals: horizon must be non-negative");
+  std::vector<double> times;
+  if (rate == 0.0 || horizon == 0.0) return times;
+  times.reserve(static_cast<std::size_t>(rate * horizon * 1.2) + 16);
+  double t = rng.exponential(rate);
+  while (t < horizon) {
+    times.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return times;
+}
+
+std::vector<double> uniform_arrivals(double rate, double horizon) {
+  require(rate >= 0.0, "uniform_arrivals: rate must be non-negative");
+  require(horizon >= 0.0, "uniform_arrivals: horizon must be non-negative");
+  std::vector<double> times;
+  if (rate == 0.0 || horizon == 0.0) return times;
+  const auto count = static_cast<std::size_t>(std::floor(rate * horizon));
+  times.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    times.push_back((static_cast<double>(k) + 0.5) / rate);
+  }
+  return times;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,27 @@
+// Request arrival processes.
+//
+// The paper generates request arrivals in the peak period by a Poisson
+// process with rate lambda.  PoissonArrivals produces the event times of one
+// realization; deterministic given the Rng.  A constant-rate process is also
+// provided for deterministic stress tests and for the "perfectly balanced
+// traffic would never reject below capacity" analysis in Section 5.3.
+#pragma once
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vodrep {
+
+/// One realization of a homogeneous Poisson process: strictly increasing
+/// arrival times in [0, horizon).  `rate` is in events per unit time (the
+/// simulator uses seconds).  rate == 0 yields no arrivals.
+[[nodiscard]] std::vector<double> poisson_arrivals(Rng& rng, double rate,
+                                                   double horizon);
+
+/// Deterministic, evenly spaced arrivals at exactly `rate` events per unit
+/// time over [0, horizon).  The k-th arrival is at (k + 0.5)/rate so no event
+/// coincides with the horizon boundary.
+[[nodiscard]] std::vector<double> uniform_arrivals(double rate, double horizon);
+
+}  // namespace vodrep

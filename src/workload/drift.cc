@@ -1,0 +1,77 @@
+#include "src/workload/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+std::vector<double> apply_drift(Rng& rng,
+                                std::vector<double> popularity_by_id,
+                                const DriftSpec& spec) {
+  require(!popularity_by_id.empty(), "apply_drift: empty popularity vector");
+  require(spec.intensity >= 0.0, "apply_drift: negative intensity");
+  const std::size_t m = popularity_by_id.size();
+
+  switch (spec.kind) {
+    case DriftKind::kRankSwap: {
+      const auto swaps = static_cast<std::size_t>(
+          std::llround(spec.intensity * static_cast<double>(m)));
+      for (std::size_t k = 0; k < swaps; ++k) {
+        const std::size_t a = rng.uniform_index(m);
+        const std::size_t b = rng.uniform_index(m);
+        std::swap(popularity_by_id[a], popularity_by_id[b]);
+      }
+      return popularity_by_id;  // a permutation stays normalized
+    }
+    case DriftKind::kHotSwap: {
+      const auto events = static_cast<std::size_t>(std::ceil(spec.intensity));
+      for (std::size_t k = 0; k < events; ++k) {
+        // Promote a random video from the colder half of the catalogue to
+        // 1.5x the current maximum — a chart-topping new release.
+        std::vector<std::size_t> order(m);
+        for (std::size_t i = 0; i < m; ++i) order[i] = i;
+        std::nth_element(order.begin(), order.begin() + static_cast<long>(m / 2),
+                         order.end(), [&](std::size_t a, std::size_t b) {
+                           return popularity_by_id[a] > popularity_by_id[b];
+                         });
+        const std::size_t cold_count = m - m / 2;
+        const std::size_t pick =
+            order[m / 2 + rng.uniform_index(cold_count)];
+        const double max_pop = *std::max_element(popularity_by_id.begin(),
+                                                 popularity_by_id.end());
+        popularity_by_id[pick] = 1.5 * max_pop;
+        double sum = 0.0;
+        for (double p : popularity_by_id) sum += p;
+        for (double& p : popularity_by_id) p /= sum;
+      }
+      return popularity_by_id;
+    }
+  }
+  detail::throw_invalid("apply_drift: unknown drift kind");
+}
+
+double ranking_churn(const std::vector<double>& before,
+                     const std::vector<double>& after) {
+  require(before.size() == after.size() && !before.empty(),
+          "ranking_churn: size mismatch or empty input");
+  const std::size_t m = before.size();
+  if (m == 1) return 0.0;
+  std::size_t discordant = 0;
+  std::size_t comparable = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double db = before[i] - before[j];
+      const double da = after[i] - after[j];
+      if (db == 0.0 || da == 0.0) continue;  // ties carry no order signal
+      ++comparable;
+      if ((db > 0.0) != (da > 0.0)) ++discordant;
+    }
+  }
+  return comparable == 0 ? 0.0
+                         : static_cast<double>(discordant) /
+                               static_cast<double>(comparable);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,45 @@
+// Popularity drift models for multi-epoch (day-over-day) workloads.
+//
+// The paper provisions for a single peak period with known popularities and
+// notes the replication algorithms "can be applied for dynamic replication
+// during run-time".  To exercise that, these models evolve a popularity
+// vector *indexed by video id* (not by rank) across epochs:
+//   * rank-swap drift — gradual churn: random pairs of videos exchange
+//     popularity values, so ranks wander without changing the distribution's
+//     shape;
+//   * hot-swap drift — new-release events: a cold video jumps to the top of
+//     the chart, demoting everything else proportionally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vodrep {
+
+enum class DriftKind {
+  kRankSwap,  ///< `intensity * M` random popularity-value transpositions
+  kHotSwap,   ///< `ceil(intensity)` cold videos promoted to chart-toppers
+};
+
+struct DriftSpec {
+  DriftKind kind = DriftKind::kRankSwap;
+  /// kRankSwap: fraction of the catalogue swapped per epoch (0 = static).
+  /// kHotSwap: number of new-release events per epoch.
+  double intensity = 0.0;
+};
+
+/// Applies one epoch of drift to `popularity_by_id` (a normalized vector
+/// indexed by video id) and returns the evolved, still-normalized vector.
+/// Deterministic given `rng`.
+[[nodiscard]] std::vector<double> apply_drift(
+    Rng& rng, std::vector<double> popularity_by_id, const DriftSpec& spec);
+
+/// Kendall-tau-style churn diagnostic: fraction of video pairs whose
+/// relative popularity order differs between the two vectors.  0 = same
+/// ranking, 1 = fully reversed.  Quadratic; intended for tests/reports.
+[[nodiscard]] double ranking_churn(const std::vector<double>& before,
+                                   const std::vector<double>& after);
+
+}  // namespace vodrep

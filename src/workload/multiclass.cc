@@ -1,0 +1,78 @@
+#include "src/workload/multiclass.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/sampler.h"
+
+namespace vodrep {
+
+std::size_t MulticlassSpec::num_segments() const {
+  return classes.empty() ? 0 : classes.front().rate_per_segment.size();
+}
+
+double MulticlassSpec::horizon() const {
+  return segment_sec * static_cast<double>(num_segments());
+}
+
+void MulticlassSpec::validate() const {
+  require(!classes.empty(), "MulticlassSpec: need at least one class");
+  require(segment_sec > 0.0, "MulticlassSpec: segment length must be positive");
+  const std::size_t segments = num_segments();
+  require(segments >= 1, "MulticlassSpec: need at least one segment");
+  std::size_t videos = classes.front().popularity_by_id.size();
+  for (const ClassProfile& profile : classes) {
+    require(profile.rate_per_segment.size() == segments,
+            "MulticlassSpec: classes disagree on the segment count");
+    require(profile.popularity_by_id.size() == videos,
+            "MulticlassSpec: classes disagree on the video-id space");
+    double sum = 0.0;
+    for (double p : profile.popularity_by_id) {
+      require(p >= 0.0, "MulticlassSpec: negative popularity weight");
+      sum += p;
+    }
+    require(sum > 0.0, "MulticlassSpec: class requests nothing");
+    for (double rate : profile.rate_per_segment) {
+      require(rate >= 0.0, "MulticlassSpec: negative arrival rate");
+    }
+  }
+}
+
+RequestTrace generate_multiclass_trace(Rng& rng, const MulticlassSpec& spec) {
+  spec.validate();
+  RequestTrace trace;
+  trace.horizon = spec.horizon();
+  for (const ClassProfile& profile : spec.classes) {
+    const DiscreteSampler sampler(profile.popularity_by_id);
+    for (std::size_t segment = 0; segment < spec.num_segments(); ++segment) {
+      const double rate = profile.rate_per_segment[segment];
+      if (rate == 0.0) continue;
+      const double offset = static_cast<double>(segment) * spec.segment_sec;
+      for (double t : poisson_arrivals(rng, rate, spec.segment_sec)) {
+        trace.requests.push_back(Request{offset + t, sampler.sample(rng)});
+      }
+    }
+  }
+  std::sort(trace.requests.begin(), trace.requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival_time < b.arrival_time;
+            });
+  return trace;
+}
+
+std::vector<double> single_peak_profile(std::size_t num_segments,
+                                        std::size_t peak_begin,
+                                        std::size_t peak_end,
+                                        double base_rate, double peak_rate) {
+  require(num_segments >= 1, "single_peak_profile: need a segment");
+  require(peak_begin <= peak_end && peak_end <= num_segments,
+          "single_peak_profile: bad peak window");
+  require(base_rate >= 0.0 && peak_rate >= 0.0,
+          "single_peak_profile: negative rate");
+  std::vector<double> profile(num_segments, base_rate);
+  for (std::size_t s = peak_begin; s < peak_end; ++s) profile[s] = peak_rate;
+  return profile;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,55 @@
+// Multi-class, time-varying workloads (non-homogeneous arrivals).
+//
+// The paper assumes "the peak period is same for all videos" and calls the
+// resulting provisioning conservative.  To quantify that conservatism, this
+// module generates traces where content classes (kids' daytime catalogue,
+// prime-time movies, ...) have their own piecewise-constant arrival-rate
+// profiles over a multi-hour horizon: a non-homogeneous Poisson process per
+// class, each class choosing videos from its own popularity distribution
+// over the shared id space.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+
+/// One content class: which videos it requests (a distribution over the
+/// global video-id space) and how its arrival rate evolves over the
+/// horizon's equal-length segments.
+struct ClassProfile {
+  /// Video-choice weights by global video id; zero for ids outside the
+  /// class.  Normalized internally; must have a positive sum.
+  std::vector<double> popularity_by_id;
+  /// Arrival rate (requests/second) in each segment; all classes must use
+  /// the same segment count.
+  std::vector<double> rate_per_segment;
+};
+
+/// Generation parameters: `segment_sec` * rate_per_segment.size() defines
+/// the horizon.
+struct MulticlassSpec {
+  std::vector<ClassProfile> classes;
+  double segment_sec = 0.0;
+
+  [[nodiscard]] std::size_t num_segments() const;
+  [[nodiscard]] double horizon() const;
+  void validate() const;
+};
+
+/// One realization: per class and segment, Poisson arrivals at that
+/// segment's rate, videos drawn from the class distribution; the merged
+/// trace is sorted by arrival time.  Deterministic in `rng`.
+[[nodiscard]] RequestTrace generate_multiclass_trace(
+    Rng& rng, const MulticlassSpec& spec);
+
+/// Helper for experiments: a single-peak rate profile — `base_rate`
+/// everywhere except `peak_rate` on segments [peak_begin, peak_end).
+[[nodiscard]] std::vector<double> single_peak_profile(
+    std::size_t num_segments, std::size_t peak_begin, std::size_t peak_end,
+    double base_rate, double peak_rate);
+
+}  // namespace vodrep

@@ -1,0 +1,66 @@
+#include "src/workload/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+std::vector<double> zipf_popularity(std::size_t num_videos, double theta) {
+  require(num_videos >= 1, "zipf_popularity: need at least one video");
+  require(theta >= 0.0, "zipf_popularity: theta must be non-negative");
+  std::vector<double> p(num_videos);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_videos; ++i) {
+    p[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+std::vector<double> uniform_popularity(std::size_t num_videos) {
+  return zipf_popularity(num_videos, 0.0);
+}
+
+std::vector<double> normalized_popularity(std::vector<double> weights) {
+  require(!weights.empty(), "normalized_popularity: empty weights");
+  double sum = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "normalized_popularity: negative weight");
+    sum += w;
+  }
+  require(sum > 0.0, "normalized_popularity: weights sum to zero");
+  for (double& w : weights) w /= sum;
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  return weights;
+}
+
+bool is_popularity_vector(const std::vector<double>& p, double tolerance) {
+  if (p.empty()) return false;
+  double sum = 0.0;
+  double prev = 1.0 + tolerance;
+  for (double v : p) {
+    if (v < 0.0 || v > 1.0 + tolerance) return false;
+    if (v > prev + tolerance) return false;  // must be non-increasing
+    prev = v;
+    sum += v;
+  }
+  return std::fabs(sum - 1.0) <= tolerance * static_cast<double>(p.size());
+}
+
+std::size_t top_k_for_coverage(const std::vector<double>& p, double fraction) {
+  require(!p.empty(), "top_k_for_coverage: empty vector");
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "top_k_for_coverage: fraction must be in [0, 1]");
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    cumulative += p[k];
+    if (cumulative >= fraction) return k + 1;
+  }
+  return p.size();
+}
+
+}  // namespace vodrep

@@ -1,0 +1,47 @@
+// Video popularity models.
+//
+// The paper assumes relative video popularities follow a Zipf-like
+// distribution with skew parameter theta: the i-th most popular of M videos
+// is requested with probability
+//
+//     p_i = (1 / i^theta) / sum_{j=1..M} (1 / j^theta),    0.271 <= theta <= 1.
+//
+// theta = 0 gives a uniform distribution; larger theta concentrates requests
+// on the hottest videos.  All core algorithms consume a plain probability
+// vector sorted in non-increasing order, produced here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vodrep {
+
+/// Zipf-like popularity vector for `num_videos` videos with skew `theta`.
+/// Entry i is the probability of requesting the (i+1)-th most popular video.
+/// The result is normalized and non-increasing.  Requires num_videos >= 1 and
+/// theta >= 0 (the paper's range is [0.271, 1] but the math is valid for any
+/// non-negative skew; theta = 0 degenerates to uniform).
+[[nodiscard]] std::vector<double> zipf_popularity(std::size_t num_videos,
+                                                  double theta);
+
+/// Uniform popularity vector (every video equally likely).
+[[nodiscard]] std::vector<double> uniform_popularity(std::size_t num_videos);
+
+/// Normalizes a vector of non-negative weights into probabilities and sorts
+/// it in non-increasing order (the order the replication algorithms expect).
+/// Throws if the weights are empty, contain a negative entry, or sum to zero.
+[[nodiscard]] std::vector<double> normalized_popularity(
+    std::vector<double> weights);
+
+/// Validates that `p` is a popularity vector: non-empty, entries in [0, 1],
+/// non-increasing, summing to 1 within `tolerance`.  Returns true when valid.
+[[nodiscard]] bool is_popularity_vector(const std::vector<double>& p,
+                                        double tolerance = 1e-9);
+
+/// Skew concentration diagnostic: smallest k such that the top-k videos
+/// cover at least `fraction` of the total probability.  Useful for reporting
+/// and for validating generated distributions against the Zipf shape.
+[[nodiscard]] std::size_t top_k_for_coverage(const std::vector<double>& p,
+                                             double fraction);
+
+}  // namespace vodrep

@@ -1,0 +1,65 @@
+#include "src/workload/sampler.h"
+
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& probabilities) {
+  require(!probabilities.empty(), "DiscreteSampler: empty distribution");
+  double sum = 0.0;
+  for (double p : probabilities) {
+    require(p >= 0.0, "DiscreteSampler: negative probability");
+    sum += p;
+  }
+  require(sum > 0.0, "DiscreteSampler: probabilities sum to zero");
+
+  const std::size_t n = probabilities.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = probabilities[i] / sum;
+
+  // Vose's alias construction: scale to mean 1, split into small/large piles,
+  // and pair each small bucket with a donor large bucket.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = i;
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Whatever remains (numerical residue) keeps prob 1 / self-alias.
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const std::size_t bucket = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(prob_.size())));
+  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double DiscreteSampler::probability(std::size_t i) const {
+  require(i < normalized_.size(), "DiscreteSampler::probability: out of range");
+  return normalized_[i];
+}
+
+}  // namespace vodrep

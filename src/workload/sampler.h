@@ -1,0 +1,38 @@
+// O(1) sampling from a fixed discrete distribution (Vose's alias method).
+//
+// The simulator draws a video index for every request; with hundreds of
+// thousands of requests per sweep the alias method keeps workload generation
+// negligible next to the event processing itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace vodrep {
+
+/// Immutable discrete sampler over indices [0, n) with given probabilities.
+class DiscreteSampler {
+ public:
+  /// Builds the alias tables from `probabilities`.  The input must be a
+  /// non-empty vector of non-negative values with a positive sum; it is
+  /// normalized internally.
+  explicit DiscreteSampler(const std::vector<double>& probabilities);
+
+  /// Number of outcomes.
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+  /// Draws one index distributed according to the input probabilities.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// The normalized probability of outcome `i` (for tests/diagnostics).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;   // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace vodrep

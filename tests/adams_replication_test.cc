@@ -1,0 +1,166 @@
+#include "src/core/adams_replication.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/bounds.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(AdamsReplication, EveryVideoGetsAtLeastOneReplica) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(20, 0.75), 4, 30);
+  for (std::size_t r : plan.replicas) EXPECT_GE(r, 1u);
+}
+
+TEST(AdamsReplication, SaturatesBudgetWhenPossible) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(20, 0.75), 4, 50);
+  EXPECT_EQ(plan.total_replicas(), 50u);
+}
+
+TEST(AdamsReplication, StopsAtFullReplication) {
+  const AdamsReplication adams;
+  // Budget allows more than M * N replicas; the cap must bind.
+  const auto plan = adams.replicate(zipf_popularity(5, 0.75), 3, 100);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 3u);
+  EXPECT_EQ(plan.total_replicas(), 15u);
+}
+
+TEST(AdamsReplication, RespectsServerCap) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(10, 1.0), 4, 35);
+  for (std::size_t r : plan.replicas) EXPECT_LE(r, 4u);
+}
+
+TEST(AdamsReplication, BudgetEqualToVideosMeansNoReplication) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(12, 0.75), 4, 12);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 1u);
+}
+
+TEST(AdamsReplication, InsufficientBudgetThrows) {
+  const AdamsReplication adams;
+  EXPECT_THROW((void)adams.replicate(zipf_popularity(10, 0.75), 4, 9),
+               InfeasibleError);
+}
+
+TEST(AdamsReplication, MorePopularVideosGetAtLeastAsManyReplicas) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(30, 0.9), 8, 75);
+  for (std::size_t i = 1; i < plan.replicas.size(); ++i) {
+    EXPECT_GE(plan.replicas[i - 1], plan.replicas[i]) << "i=" << i;
+  }
+}
+
+TEST(AdamsReplication, MatchesPaperFigure1Example) {
+  // Figure 1: five videos, three servers, per-server capacity of three
+  // replicas -> budget 9.  With p1 >= p2 >= ... the first grants go to the
+  // heaviest current weights.  Use the concrete vector {5,4,3,2,1}/15.
+  const std::vector<double> popularity =
+      normalized_popularity({5.0, 4.0, 3.0, 2.0, 1.0});
+  const AdamsReplication adams;
+  std::vector<AdamsStep> steps;
+  const auto plan = adams.replicate_traced(popularity, 3, 9, &steps);
+  EXPECT_EQ(plan.total_replicas(), 9u);
+  ASSERT_EQ(steps.size(), 4u);
+  // Grant sequence by current max weight: p1=5 -> v1 (5/2=2.5);
+  // p2=4 -> v2 (2); p3=3 -> v3 (1.5); then max{2.5,2,1.5,2,1} -> v1 again.
+  EXPECT_EQ(steps[0].video, 0u);
+  EXPECT_EQ(steps[1].video, 1u);
+  EXPECT_EQ(steps[2].video, 2u);
+  EXPECT_EQ(steps[3].video, 0u);
+  EXPECT_EQ(plan.replicas, (std::vector<std::size_t>{3, 2, 2, 1, 1}));
+}
+
+TEST(AdamsReplication, TraceWeightsAreConsistent) {
+  const auto popularity = zipf_popularity(10, 0.75);
+  const AdamsReplication adams;
+  std::vector<AdamsStep> steps;
+  (void)adams.replicate_traced(popularity, 4, 25, &steps);
+  ASSERT_EQ(steps.size(), 15u);
+  for (const AdamsStep& step : steps) {
+    EXPECT_DOUBLE_EQ(step.weight_after,
+                     popularity[step.video] /
+                         static_cast<double>(step.new_replicas));
+    EXPECT_DOUBLE_EQ(step.weight_before,
+                     popularity[step.video] /
+                         static_cast<double>(step.new_replicas - 1));
+    EXPECT_GT(step.weight_before, step.weight_after);
+  }
+}
+
+TEST(AdamsReplication, GrantedWeightsNeverIncrease) {
+  // The sequence of picked max-weights must be non-increasing — the
+  // signature of a correct greedy on the max objective.
+  const auto popularity = zipf_popularity(40, 0.9);
+  const AdamsReplication adams;
+  std::vector<AdamsStep> steps;
+  (void)adams.replicate_traced(popularity, 8, 120, &steps);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GE(steps[i - 1].weight_before, steps[i].weight_before - 1e-15);
+  }
+}
+
+// ---- optimality (Theorem 4.1): Adams achieves the optimal Eq. 8 value ----
+
+struct AdamsCase {
+  std::size_t videos;
+  std::size_t servers;
+  double budget_factor;  // budget = round(factor * videos)
+  double theta;
+};
+
+class AdamsOptimalityTest : public ::testing::TestWithParam<AdamsCase> {};
+
+TEST_P(AdamsOptimalityTest, AchievesBruteForceOptimum) {
+  const AdamsCase c = GetParam();
+  const auto popularity = zipf_popularity(c.videos, c.theta);
+  const auto budget = static_cast<std::size_t>(
+      c.budget_factor * static_cast<double>(c.videos));
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(popularity, c.servers, budget);
+  const double achieved = plan.max_weight(popularity);
+  const double optimal = optimal_max_weight(popularity, c.servers, budget);
+  EXPECT_NEAR(achieved, optimal, 1e-12)
+      << "M=" << c.videos << " N=" << c.servers << " budget=" << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepsSizesAndSkews, AdamsOptimalityTest,
+    ::testing::Values(AdamsCase{5, 3, 1.8, 0.75}, AdamsCase{10, 4, 1.5, 0.25},
+                      AdamsCase{20, 8, 1.2, 1.0}, AdamsCase{50, 8, 1.4, 0.75},
+                      AdamsCase{100, 8, 1.6, 0.5}, AdamsCase{300, 8, 1.2, 0.75},
+                      AdamsCase{300, 8, 1.8, 0.271},
+                      AdamsCase{37, 5, 2.0, 0.9}));
+
+TEST(AdamsReplication, OptimalOnRandomPopularities) {
+  Rng rng(1234);
+  const AdamsReplication adams;
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 5 + rng.uniform_index(40);
+    const std::size_t n = 2 + rng.uniform_index(7);
+    std::vector<double> weights(m);
+    for (double& w : weights) w = rng.uniform(0.01, 1.0);
+    const auto popularity = normalized_popularity(std::move(weights));
+    const std::size_t budget = m + rng.uniform_index(m * (n - 1) + 1);
+    const auto plan = adams.replicate(popularity, n, budget);
+    EXPECT_NEAR(plan.max_weight(popularity),
+                optimal_max_weight(popularity, n, budget), 1e-12)
+        << "trial=" << trial;
+  }
+}
+
+TEST(AdamsReplication, SingleServerDegeneratesToOneEach) {
+  const AdamsReplication adams;
+  const auto plan = adams.replicate(zipf_popularity(6, 0.75), 1, 6);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 1u);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,201 @@
+#include "src/anneal/annealer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+/// 1-D quadratic over a discrete grid: cost (x - 37)^2, neighbors x +- 1.
+struct QuadraticProblem {
+  using State = int;
+
+  State initial(Rng& rng) const { return static_cast<int>(rng.uniform_index(200)); }
+  double cost(const State& x) const {
+    const double d = x - 37.0;
+    return d * d;
+  }
+  State neighbor(const State& x, Rng& rng) const {
+    return rng.bernoulli(0.5) ? x + 1 : x - 1;
+  }
+};
+
+/// A rugged 1-D landscape with a deep global minimum at 80 hidden behind a
+/// local minimum at 20: tests that annealing escapes local minima.
+struct RuggedProblem {
+  using State = int;
+
+  State initial(Rng&) const { return 15; }
+  double cost(const State& x) const {
+    const double local = 0.5 * (x - 20.0) * (x - 20.0);
+    const double global = (x - 80.0) * (x - 80.0) - 500.0;
+    return std::min(local, global);
+  }
+  State neighbor(const State& x, Rng& rng) const {
+    // Long-range jumps let the chain cross the barrier.
+    const int step = static_cast<int>(rng.uniform_index(21)) - 10;
+    return x + step;
+  }
+};
+
+TEST(Annealer, SolvesConvexProblem) {
+  QuadraticProblem problem;
+  Rng rng(1);
+  AnnealOptions options;
+  options.initial_temperature = 100.0;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.best_state, 37);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+}
+
+TEST(Annealer, EscapesLocalMinimum) {
+  RuggedProblem problem;
+  Rng rng(2);
+  AnnealOptions options;
+  options.initial_temperature = 200.0;
+  options.moves_per_temperature = 300;
+  options.stall_steps = 0;  // run the full schedule
+  const auto schedule = geometric_cooling(0.9);
+  const auto result = anneal(problem, rng, options, *schedule);
+  EXPECT_EQ(result.best_state, 80);
+  EXPECT_DOUBLE_EQ(result.best_cost, -500.0);
+}
+
+TEST(Annealer, DeterministicGivenSeed) {
+  QuadraticProblem problem;
+  AnnealOptions options;
+  options.initial_temperature = 50.0;
+  Rng a(7);
+  Rng b(7);
+  const auto ra = anneal(problem, a, options);
+  const auto rb = anneal(problem, b, options);
+  EXPECT_EQ(ra.best_state, rb.best_state);
+  EXPECT_EQ(ra.moves_proposed, rb.moves_proposed);
+  EXPECT_EQ(ra.moves_accepted, rb.moves_accepted);
+}
+
+TEST(Annealer, BestCostTrajectoryIsNonIncreasing) {
+  QuadraticProblem problem;
+  Rng rng(3);
+  AnnealOptions options;
+  options.initial_temperature = 100.0;
+  const auto result = anneal(problem, rng, options);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_LE(result.trajectory[i].second, result.trajectory[i - 1].second);
+    EXPECT_LT(result.trajectory[i].first, result.trajectory[i - 1].first);
+  }
+}
+
+TEST(Annealer, StallStopTerminatesEarly) {
+  QuadraticProblem problem;
+  Rng rng(4);
+  AnnealOptions options;
+  options.initial_temperature = 1e-3;  // effectively greedy, converges fast
+  options.final_temperature = 1e-30;
+  options.stall_steps = 5;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_LT(result.temperature_steps, options.max_temperature_steps);
+  EXPECT_EQ(result.best_cost, 0.0);
+}
+
+TEST(Annealer, MaxStepsCapIsHonored) {
+  QuadraticProblem problem;
+  Rng rng(5);
+  AnnealOptions options;
+  options.initial_temperature = 1e12;
+  options.final_temperature = 1e-12;
+  options.max_temperature_steps = 10;
+  options.stall_steps = 0;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.temperature_steps, 10u);
+}
+
+TEST(Annealer, AutomaticCalibrationProducesReasonableTemperature) {
+  QuadraticProblem problem;
+  Rng rng(6);
+  const double t0 = calibrate_initial_temperature(problem, rng, 0.8, 100);
+  EXPECT_GT(t0, 0.0);
+  // Uphill steps of a unit-step quadratic near the start are O(100); the
+  // calibrated temperature must make those acceptable.
+  EXPECT_GT(t0, 10.0);
+}
+
+TEST(Annealer, NegativeInitialTemperatureTriggersCalibration) {
+  QuadraticProblem problem;
+  Rng rng(8);
+  AnnealOptions options;  // initial_temperature = -1 by default
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.best_cost, 0.0);
+}
+
+TEST(Annealer, RejectsBadOptions) {
+  QuadraticProblem problem;
+  Rng rng(9);
+  AnnealOptions options;
+  options.final_temperature = 0.0;
+  EXPECT_THROW((void)anneal(problem, rng, options), InvalidArgumentError);
+  options.final_temperature = 1e-4;
+  options.moves_per_temperature = 0;
+  EXPECT_THROW((void)anneal(problem, rng, options), InvalidArgumentError);
+}
+
+TEST(AnnealMultichain, BestOfChainsNeverWorseThanChainZero) {
+  RuggedProblem problem;
+  AnnealOptions options;
+  options.initial_temperature = 200.0;
+  options.moves_per_temperature = 100;
+  options.stall_steps = 0;
+  Rng chain_zero(0x600D ^ 0x9e3779b97f4a7c15ULL);  // multichain's seed for i=0
+  const auto single = anneal(problem, chain_zero, options);
+  const auto multi = anneal_multichain(problem, 0x600D, 4, options);
+  EXPECT_LE(multi.best_cost, single.best_cost);
+}
+
+TEST(AnnealMultichain, DeterministicRegardlessOfThreadCount) {
+  QuadraticProblem problem;
+  AnnealOptions options;
+  options.initial_temperature = 50.0;
+  ThreadPool pool(3);
+  const auto serial = anneal_multichain(problem, 99, 5, options);
+  const auto pooled = anneal_multichain(problem, 99, 5, options, &pool);
+  EXPECT_EQ(serial.best_state, pooled.best_state);
+  EXPECT_EQ(serial.best_cost, pooled.best_cost);
+  EXPECT_EQ(serial.moves_proposed, pooled.moves_proposed);
+}
+
+TEST(AnnealMultichain, AggregatesMoveCounts) {
+  QuadraticProblem problem;
+  AnnealOptions options;
+  options.initial_temperature = 10.0;
+  options.stall_steps = 0;
+  options.max_temperature_steps = 20;
+  const auto single = anneal_multichain(problem, 7, 1, options);
+  const auto multi = anneal_multichain(problem, 7, 3, options);
+  EXPECT_EQ(multi.moves_proposed, 3 * single.moves_proposed);
+}
+
+TEST(AnnealMultichain, RejectsZeroChains) {
+  QuadraticProblem problem;
+  AnnealOptions options;
+  options.initial_temperature = 10.0;
+  EXPECT_THROW((void)anneal_multichain(problem, 1, 0, options),
+               InvalidArgumentError);
+}
+
+TEST(Annealer, AcceptanceCountsAreConsistent) {
+  QuadraticProblem problem;
+  Rng rng(10);
+  AnnealOptions options;
+  options.initial_temperature = 10.0;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_LE(result.moves_accepted, result.moves_proposed);
+  EXPECT_EQ(result.moves_proposed,
+            result.temperature_steps * options.moves_per_temperature);
+}
+
+}  // namespace
+}  // namespace vodrep

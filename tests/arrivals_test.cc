@@ -1,0 +1,87 @@
+#include "src/workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/stats.h"
+
+namespace vodrep {
+namespace {
+
+TEST(PoissonArrivals, TimesAreSortedWithinHorizon) {
+  Rng rng(1);
+  const auto times = poisson_arrivals(rng, 2.0, 100.0);
+  ASSERT_FALSE(times.empty());
+  double prev = 0.0;
+  for (double t : times) {
+    EXPECT_GE(t, prev);
+    EXPECT_LT(t, 100.0);
+    prev = t;
+  }
+}
+
+TEST(PoissonArrivals, CountMatchesRateTimesHorizon) {
+  Rng rng(2);
+  OnlineStats counts;
+  for (int i = 0; i < 200; ++i) {
+    counts.add(static_cast<double>(poisson_arrivals(rng, 5.0, 50.0).size()));
+  }
+  // Expected count = 250, stddev ~ sqrt(250) ~ 15.8; 200 replications give a
+  // tight mean.
+  EXPECT_NEAR(counts.mean(), 250.0, 5.0);
+}
+
+TEST(PoissonArrivals, InterarrivalsAreExponential) {
+  Rng rng(3);
+  const double rate = 4.0;
+  const auto times = poisson_arrivals(rng, rate, 10000.0);
+  OnlineStats gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.add(times[i] - times[i - 1]);
+  }
+  EXPECT_NEAR(gaps.mean(), 1.0 / rate, 0.02);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(gaps.stddev(), 1.0 / rate, 0.02);
+}
+
+TEST(PoissonArrivals, ZeroRateOrHorizonYieldsNothing) {
+  Rng rng(4);
+  EXPECT_TRUE(poisson_arrivals(rng, 0.0, 100.0).empty());
+  EXPECT_TRUE(poisson_arrivals(rng, 5.0, 0.0).empty());
+}
+
+TEST(PoissonArrivals, RejectsNegativeArguments) {
+  Rng rng(5);
+  EXPECT_THROW((void)poisson_arrivals(rng, -1.0, 10.0), InvalidArgumentError);
+  EXPECT_THROW((void)poisson_arrivals(rng, 1.0, -10.0), InvalidArgumentError);
+}
+
+TEST(PoissonArrivals, DeterministicGivenSeed) {
+  Rng a(6);
+  Rng b(6);
+  EXPECT_EQ(poisson_arrivals(a, 3.0, 100.0), poisson_arrivals(b, 3.0, 100.0));
+}
+
+TEST(UniformArrivals, ExactCountAndSpacing) {
+  const auto times = uniform_arrivals(2.0, 10.0);
+  ASSERT_EQ(times.size(), 20u);
+  EXPECT_DOUBLE_EQ(times[0], 0.25);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i] - times[i - 1], 0.5, 1e-12);
+  }
+  EXPECT_LT(times.back(), 10.0);
+}
+
+TEST(UniformArrivals, ZeroRateYieldsNothing) {
+  EXPECT_TRUE(uniform_arrivals(0.0, 100.0).empty());
+}
+
+TEST(UniformArrivals, RejectsNegativeArguments) {
+  EXPECT_THROW((void)uniform_arrivals(-1.0, 10.0), InvalidArgumentError);
+  EXPECT_THROW((void)uniform_arrivals(1.0, -1.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

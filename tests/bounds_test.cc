@@ -1,0 +1,77 @@
+#include "src/core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/adams_replication.h"
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(SlfSpreadBound, KnownValue) {
+  ReplicationPlan plan;
+  plan.replicas = {2, 1};
+  // Weights 0.3 and 0.4 -> bound 0.1.
+  EXPECT_NEAR(slf_spread_bound(plan, {0.6, 0.4}), 0.1, 1e-12);
+}
+
+TEST(SlfSpreadBound, ZeroWhenWeightsAreUniform) {
+  ReplicationPlan plan;
+  plan.replicas = {1, 1};
+  EXPECT_DOUBLE_EQ(slf_spread_bound(plan, {0.5, 0.5}), 0.0);
+}
+
+TEST(SlfSpreadBound, DecreasingTrendInReplicationDegree) {
+  // Theorem 4.3, checked the way it actually holds: the bound's max-weight
+  // component is strictly non-increasing in the budget, and the bound falls
+  // overall from no replication to high replication.  (Strict per-step
+  // monotonicity of max w - min w fails by a few percent when a grant drops
+  // min w; see EXPERIMENTS.md.)
+  const AdamsReplication adams;
+  const auto popularity = zipf_popularity(100, 0.75);
+  double prev_max = 1e9;
+  for (std::size_t budget = 100; budget <= 200; budget += 10) {
+    const auto plan = adams.replicate(popularity, 8, budget);
+    EXPECT_LE(plan.max_weight(popularity), prev_max + 1e-15)
+        << "budget=" << budget;
+    prev_max = plan.max_weight(popularity);
+  }
+  const auto none = adams.replicate(popularity, 8, 100);
+  const auto high = adams.replicate(popularity, 8, 200);
+  EXPECT_LT(slf_spread_bound(high, popularity),
+            slf_spread_bound(none, popularity));
+}
+
+TEST(OptimalMaxWeight, ExhaustiveTinyCase) {
+  // Three videos {0.5, 0.3, 0.2}, 2 servers, budget 4.
+  // Best: r = {2, 1, 1} -> max(0.25, 0.3, 0.2) = 0.3.
+  EXPECT_NEAR(optimal_max_weight({0.5, 0.3, 0.2}, 2, 4), 0.3, 1e-12);
+}
+
+TEST(OptimalMaxWeight, NoReplicationBudget) {
+  // budget == M: every video keeps one replica -> max w = p_1.
+  EXPECT_NEAR(optimal_max_weight({0.5, 0.3, 0.2}, 4, 3), 0.5, 1e-12);
+}
+
+TEST(OptimalMaxWeight, FullReplicationBudget) {
+  // budget >= M*N: every video can take N replicas -> max w = p_1 / N.
+  EXPECT_NEAR(optimal_max_weight({0.5, 0.3, 0.2}, 4, 12), 0.125, 1e-12);
+}
+
+TEST(OptimalMaxWeight, MonotoneInBudget) {
+  const auto popularity = zipf_popularity(20, 0.75);
+  double prev = 1e9;
+  for (std::size_t budget = 20; budget <= 80; budget += 5) {
+    const double w = optimal_max_weight(popularity, 4, budget);
+    EXPECT_LE(w, prev + 1e-15);
+    prev = w;
+  }
+}
+
+TEST(OptimalMaxWeight, InsufficientBudgetThrows) {
+  EXPECT_THROW((void)optimal_max_weight({0.5, 0.5}, 2, 1), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace vodrep

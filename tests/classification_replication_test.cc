@@ -1,0 +1,100 @@
+#include "src/core/classification_replication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(Classify, EvenSplit) {
+  const auto classes = ClassificationReplication::classify(8, 4);
+  EXPECT_EQ(classes, (std::vector<std::size_t>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(Classify, RemainderGoesToEarlierClasses) {
+  const auto classes = ClassificationReplication::classify(7, 3);
+  // Sizes 3, 2, 2.
+  EXPECT_EQ(classes, (std::vector<std::size_t>{0, 0, 0, 1, 1, 2, 2}));
+}
+
+TEST(Classify, MoreClassesThanVideos) {
+  const auto classes = ClassificationReplication::classify(2, 5);
+  EXPECT_EQ(classes[0], 0u);
+  EXPECT_EQ(classes[1], 1u);
+}
+
+TEST(Classify, RejectsBadArguments) {
+  EXPECT_THROW((void)ClassificationReplication::classify(0, 3),
+               InvalidArgumentError);
+  EXPECT_THROW((void)ClassificationReplication::classify(3, 0),
+               InvalidArgumentError);
+}
+
+TEST(ClassificationReplication, FitsBudget) {
+  const ClassificationReplication policy;
+  const auto p = zipf_popularity(100, 0.75);
+  for (std::size_t budget : {100u, 120u, 140u, 180u}) {
+    const auto plan = policy.replicate(p, 8, budget);
+    EXPECT_LE(plan.total_replicas(), budget) << budget;
+    for (std::size_t r : plan.replicas) {
+      EXPECT_GE(r, 1u);
+      EXPECT_LE(r, 8u);
+    }
+  }
+}
+
+TEST(ClassificationReplication, VideosInSameClassGetSameReplicas) {
+  const ClassificationReplication policy(4);
+  const auto p = zipf_popularity(40, 0.75);
+  const auto plan = policy.replicate(p, 8, 60);
+  const auto classes = ClassificationReplication::classify(40, 4);
+  for (std::size_t i = 1; i < 40; ++i) {
+    if (classes[i] == classes[i - 1]) {
+      EXPECT_EQ(plan.replicas[i], plan.replicas[i - 1]) << "i=" << i;
+    }
+  }
+}
+
+TEST(ClassificationReplication, HotterClassesGetAtLeastAsMany) {
+  const ClassificationReplication policy;
+  const auto p = zipf_popularity(64, 0.9);
+  const auto plan = policy.replicate(p, 8, 100);
+  for (std::size_t i = 1; i < plan.replicas.size(); ++i) {
+    EXPECT_GE(plan.replicas[i - 1], plan.replicas[i]);
+  }
+}
+
+TEST(ClassificationReplication, BudgetEqualToVideosMeansOneEach) {
+  const ClassificationReplication policy;
+  const auto p = zipf_popularity(30, 0.75);
+  const auto plan = policy.replicate(p, 8, 30);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 1u);
+}
+
+TEST(ClassificationReplication, FullReplicationWhenBudgetAllows) {
+  const ClassificationReplication policy;
+  const auto p = zipf_popularity(12, 0.75);
+  const auto plan = policy.replicate(p, 4, 48);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 4u);
+}
+
+TEST(ClassificationReplication, CoarserThanPopularityAwareSchemes) {
+  // The baseline assigns by class only: within one class the hottest and the
+  // coldest video get identical replica counts even when their popularities
+  // differ a lot.  This is the coarseness Figures 4-5 expose.
+  const ClassificationReplication policy(2);
+  const auto p = zipf_popularity(20, 1.0);
+  const auto plan = policy.replicate(p, 8, 40);
+  EXPECT_EQ(plan.replicas[0], plan.replicas[9]);   // same class, 10x pop gap
+}
+
+TEST(ClassificationReplication, InsufficientBudgetThrows) {
+  const ClassificationReplication policy;
+  EXPECT_THROW((void)policy.replicate(zipf_popularity(10, 0.75), 4, 9),
+               InfeasibleError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,123 @@
+#include "src/util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+bool parse(CliFlags& flags, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, DefaultsAreReturnedWithoutParsing) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  flags.add_double("theta", 0.75, "skew");
+  flags.add_bool("quick", false, "quick mode");
+  flags.add_string("mode", "full", "mode");
+  EXPECT_EQ(flags.get_int("runs"), 20);
+  EXPECT_DOUBLE_EQ(flags.get_double("theta"), 0.75);
+  EXPECT_FALSE(flags.get_bool("quick"));
+  EXPECT_EQ(flags.get_string("mode"), "full");
+}
+
+TEST(CliFlags, ParsesEqualsAndSpaceForms) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  flags.add_double("theta", 0.75, "skew");
+  EXPECT_TRUE(parse(flags, {"--runs=5", "--theta", "0.25"}));
+  EXPECT_EQ(flags.get_int("runs"), 5);
+  EXPECT_DOUBLE_EQ(flags.get_double("theta"), 0.25);
+}
+
+TEST(CliFlags, BooleanFormsWork) {
+  CliFlags flags("t", "test");
+  flags.add_bool("quick", false, "q");
+  flags.add_bool("verbose", true, "v");
+  EXPECT_TRUE(parse(flags, {"--quick", "--no-verbose"}));
+  EXPECT_TRUE(flags.get_bool("quick"));
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, ExplicitBoolValues) {
+  CliFlags flags("t", "test");
+  flags.add_bool("quick", false, "q");
+  EXPECT_TRUE(parse(flags, {"--quick=true"}));
+  EXPECT_TRUE(flags.get_bool("quick"));
+  CliFlags flags2("t", "test");
+  flags2.add_bool("quick", true, "q");
+  EXPECT_TRUE(parse(flags2, {"--quick=false"}));
+  EXPECT_FALSE(flags2.get_bool("quick"));
+}
+
+TEST(CliFlags, RejectsUnknownFlag) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  EXPECT_THROW(parse(flags, {"--bogus=1"}), InvalidArgumentError);
+}
+
+TEST(CliFlags, RejectsMalformedValues) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  flags.add_double("theta", 0.75, "skew");
+  flags.add_bool("quick", false, "q");
+  EXPECT_THROW(parse(flags, {"--runs=abc"}), InvalidArgumentError);
+  EXPECT_THROW(parse(flags, {"--theta=xyz"}), InvalidArgumentError);
+  EXPECT_THROW(parse(flags, {"--quick=maybe"}), InvalidArgumentError);
+}
+
+TEST(CliFlags, MissingValueIsAnError) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  EXPECT_THROW(parse(flags, {"--runs"}), InvalidArgumentError);
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  EXPECT_FALSE(parse(flags, {"--help"}));
+}
+
+TEST(CliFlags, PositionalArgumentsAreCollected) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  EXPECT_TRUE(parse(flags, {"input.trace", "--runs=3", "out.csv"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.trace");
+  EXPECT_EQ(flags.positional()[1], "out.csv");
+}
+
+TEST(CliFlags, UsageListsFlagsAndDefaults) {
+  CliFlags flags("myprog", "does things");
+  flags.add_int("runs", 20, "number of runs");
+  std::ostringstream os;
+  flags.print_usage(os);
+  EXPECT_NE(os.str().find("myprog"), std::string::npos);
+  EXPECT_NE(os.str().find("--runs"), std::string::npos);
+  EXPECT_NE(os.str().find("20"), std::string::npos);
+}
+
+TEST(CliFlags, TypeMismatchAccessThrows) {
+  CliFlags flags("t", "test");
+  flags.add_int("runs", 20, "runs");
+  EXPECT_THROW((void)flags.get_double("runs"), InvalidArgumentError);
+  EXPECT_THROW((void)flags.get_int("never-declared"), InvalidArgumentError);
+}
+
+TEST(CliFlags, NegativeNumbersParse) {
+  CliFlags flags("t", "test");
+  flags.add_int("offset", 0, "offset");
+  flags.add_double("delta", 0.0, "delta");
+  EXPECT_TRUE(parse(flags, {"--offset=-5", "--delta=-2.5"}));
+  EXPECT_EQ(flags.get_int("offset"), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("delta"), -2.5);
+}
+
+}  // namespace
+}  // namespace vodrep

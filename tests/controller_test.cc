@@ -1,0 +1,109 @@
+#include "src/online/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+ControllerConfig config_of(std::size_t servers = 4, std::size_t budget = 12,
+                           std::size_t capacity = 3) {
+  ControllerConfig config;
+  config.num_servers = servers;
+  config.budget = budget;
+  config.capacity_per_server = capacity;
+  return config;
+}
+
+TEST(AdaptiveController, InitialLayoutFollowsThePrior) {
+  const auto prior = zipf_popularity(8, 1.0);
+  const AdaptiveController controller(config_of(), prior);
+  // id 0 is the prior's hottest video.
+  EXPECT_GE(controller.plan().replicas[0], controller.plan().replicas[7]);
+  EXPECT_NO_THROW(controller.layout().validate(controller.plan(), 4, 3));
+}
+
+TEST(AdaptiveController, AdaptsToInvertedPopularity) {
+  const auto prior = zipf_popularity(8, 1.0);
+  AdaptiveController controller(config_of(), prior);
+  // Observed traffic is the mirror image of the prior: id 7 is hottest.
+  std::vector<std::size_t> counts{1, 2, 4, 8, 16, 64, 256, 1024};
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    controller.observe_epoch(counts);
+    (void)controller.adapt();
+  }
+  EXPECT_GT(controller.plan().replicas[7], controller.plan().replicas[0]);
+}
+
+TEST(AdaptiveController, AdaptReturnsMigrationForLayoutChanges) {
+  const auto prior = zipf_popularity(8, 1.0);
+  AdaptiveController controller(config_of(), prior);
+  std::vector<std::size_t> counts{0, 0, 0, 0, 0, 0, 0, 5000};
+  controller.observe_epoch(counts);
+  const AdaptationStep step = controller.adapt();
+  EXPECT_TRUE(step.replanned);
+  EXPECT_FALSE(step.migration.copies.empty());
+  EXPECT_GT(step.estimate_shift_l1, 0.0);
+}
+
+TEST(AdaptiveController, ThresholdSuppressesNoiseReplans) {
+  const auto prior = zipf_popularity(8, 1.0);
+  ControllerConfig config = config_of();
+  config.replan_threshold = 1.9;  // nearly total distribution change needed
+  AdaptiveController controller(config, prior);
+  // Traffic matching the prior: tiny estimate shift.
+  std::vector<std::size_t> counts(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    counts[i] = static_cast<std::size_t>(10000.0 * prior[i]);
+  }
+  controller.observe_epoch(counts);
+  const AdaptationStep step = controller.adapt();
+  EXPECT_FALSE(step.replanned);
+  EXPECT_TRUE(step.migration.copies.empty());
+}
+
+TEST(AdaptiveController, StableWorkloadConvergesToNoMigration) {
+  const auto prior = zipf_popularity(10, 0.75);
+  AdaptiveController controller(config_of(4, 14, 4), prior);
+  std::vector<std::size_t> counts(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    counts[i] = static_cast<std::size_t>(100000.0 * prior[i]);
+  }
+  std::size_t last_copies = 999;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    controller.observe_epoch(counts);
+    last_copies = controller.adapt().migration.copies.size();
+  }
+  // Once the estimate has converged to the (stationary) truth the
+  // re-provisioned layout reproduces itself.
+  EXPECT_EQ(last_copies, 0u);
+}
+
+TEST(AdaptiveController, LayoutStaysValidAcrossManyAdaptations) {
+  const auto prior = zipf_popularity(12, 0.5);
+  AdaptiveController controller(config_of(4, 18, 5), prior);
+  Rng rng(9);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    std::vector<std::size_t> counts(12);
+    for (auto& c : counts) c = rng.uniform_index(500);
+    controller.observe_epoch(counts);
+    (void)controller.adapt();
+    ASSERT_NO_THROW(controller.layout().validate(controller.plan(), 4, 5));
+  }
+}
+
+TEST(AdaptiveController, RejectsBadInput) {
+  const auto prior = zipf_popularity(8, 1.0);
+  ControllerConfig config = config_of();
+  config.num_servers = 0;
+  EXPECT_THROW(AdaptiveController(config, prior), InvalidArgumentError);
+
+  AdaptiveController ok(config_of(), prior);
+  EXPECT_THROW(ok.observe_epoch({1, 2}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,122 @@
+#include "src/disk/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+StorageSubsystem default_subsystem() {
+  StorageSubsystem subsystem;  // 8x 2002 SCSI disks, R = 1 s, 1 GB memory
+  return subsystem;
+}
+
+TEST(PerStreamDiskTime, HandComputation) {
+  DiskSpec disk;
+  disk.avg_seek_sec = 0.005;
+  disk.avg_rotational_sec = 0.004;
+  disk.transfer_bps = 400e6;
+  // Segment: 4 Mb/s * 1 s = 4e6 bits; transfer 0.01 s; total 0.019 s.
+  EXPECT_NEAR(per_stream_disk_time(disk, units::mbps(4), 1.0), 0.019, 1e-12);
+}
+
+TEST(PerStreamDiskTime, LongerRoundsAmortizeSeeks) {
+  DiskSpec disk;
+  // Per-round time grows sublinearly: t(2R) < 2 t(R) whenever seek+rot > 0.
+  const double t1 = per_stream_disk_time(disk, units::mbps(4), 1.0);
+  const double t2 = per_stream_disk_time(disk, units::mbps(4), 2.0);
+  EXPECT_LT(t2, 2.0 * t1);
+}
+
+TEST(MaxStreamsDisk, ScalesWithArraySize) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 1;
+  const std::size_t one = max_streams_disk(subsystem, units::mbps(4));
+  subsystem.num_disks = 8;
+  EXPECT_EQ(max_streams_disk(subsystem, units::mbps(4)), 8 * one);
+  // Circa-2002 SCSI at R = 1 s: t ~ 5 + 4.17 + 12.5 ms -> ~46 per disk.
+  EXPECT_NEAR(static_cast<double>(one), 46.0, 2.0);
+}
+
+TEST(MaxStreamsMemory, DoubleBufferingMath) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.memory_bytes = units::gigabytes(1);
+  // Segment = 0.5 MB at 4 Mb/s, R = 1 s; 2 segments/stream -> 1e9 / 1e6.
+  EXPECT_EQ(max_streams_memory(subsystem, units::mbps(4)), 1000u);
+}
+
+TEST(ServerCapacity, PaperConfigurationIsNetworkBound) {
+  // 12 contemporary disks out-deliver the 1.8 Gb/s link: the paper's
+  // bottleneck assumption holds.
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 12;
+  const ServerCapacityBreakdown capacity =
+      server_capacity(subsystem, units::gbps(1.8), units::mbps(4));
+  EXPECT_EQ(capacity.network_streams, 450u);
+  EXPECT_GT(capacity.disk_streams, capacity.network_streams);
+  EXPECT_GT(capacity.memory_streams, capacity.network_streams);
+  EXPECT_STREQ(capacity.bottleneck(), "network");
+  EXPECT_EQ(capacity.sustainable(), 450u);
+}
+
+TEST(ServerCapacity, SmallArrayIsDiskBound) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 2;
+  const ServerCapacityBreakdown capacity =
+      server_capacity(subsystem, units::gbps(1.8), units::mbps(4));
+  EXPECT_LT(capacity.disk_streams, capacity.network_streams);
+  EXPECT_STREQ(capacity.bottleneck(), "disk");
+}
+
+TEST(ServerCapacity, TinyMemoryIsMemoryBound) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 24;
+  subsystem.memory_bytes = 50e6;  // 50 MB -> 50 streams
+  const ServerCapacityBreakdown capacity =
+      server_capacity(subsystem, units::gbps(1.8), units::mbps(4));
+  EXPECT_STREQ(capacity.bottleneck(), "memory");
+  EXPECT_EQ(capacity.sustainable(), capacity.memory_streams);
+}
+
+TEST(BestRoundLength, GrowsWithMemoryBudget) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 12;
+  subsystem.memory_bytes = units::gigabytes(0.25);
+  const double small = best_round_length(subsystem, units::mbps(4));
+  subsystem.memory_bytes = units::gigabytes(4.0);
+  const double large = best_round_length(subsystem, units::mbps(4));
+  EXPECT_GE(large, small);
+}
+
+TEST(BestRoundLength, BeatsTheDefaultRound) {
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 12;
+  subsystem.memory_bytes = units::gigabytes(4.0);
+  const double best = best_round_length(subsystem, units::mbps(4));
+  StorageSubsystem tuned = subsystem;
+  tuned.round_sec = best;
+  const auto streams_at = [&](const StorageSubsystem& s) {
+    return std::min(max_streams_disk(s, units::mbps(4)),
+                    max_streams_memory(s, units::mbps(4)));
+  };
+  EXPECT_GE(streams_at(tuned), streams_at(subsystem));
+}
+
+TEST(DiskModel, Validation) {
+  DiskSpec disk;
+  disk.transfer_bps = 0.0;
+  EXPECT_THROW(disk.validate(), InvalidArgumentError);
+  StorageSubsystem subsystem = default_subsystem();
+  subsystem.num_disks = 0;
+  EXPECT_THROW(subsystem.validate(), InvalidArgumentError);
+  subsystem = default_subsystem();
+  subsystem.round_sec = 0.0;
+  EXPECT_THROW(subsystem.validate(), InvalidArgumentError);
+  EXPECT_THROW((void)per_stream_disk_time(DiskSpec{}, 0.0, 1.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,103 @@
+#include "src/workload/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+double sum_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(RankSwapDrift, PreservesTheValueMultiset) {
+  Rng rng(1);
+  const auto before = zipf_popularity(50, 0.75);
+  auto after = apply_drift(rng, before, {DriftKind::kRankSwap, 0.2});
+  auto sorted_before = before;
+  std::sort(sorted_before.begin(), sorted_before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(after, sorted_before);
+}
+
+TEST(RankSwapDrift, ZeroIntensityIsIdentity) {
+  Rng rng(2);
+  const auto before = zipf_popularity(30, 0.75);
+  EXPECT_EQ(apply_drift(rng, before, {DriftKind::kRankSwap, 0.0}), before);
+}
+
+TEST(RankSwapDrift, IntensityScalesChurn) {
+  Rng rng(3);
+  const auto base = zipf_popularity(100, 0.75);
+  Rng rng_light(3);
+  Rng rng_heavy(3);
+  const auto light =
+      apply_drift(rng_light, base, {DriftKind::kRankSwap, 0.02});
+  const auto heavy =
+      apply_drift(rng_heavy, base, {DriftKind::kRankSwap, 0.8});
+  EXPECT_LT(ranking_churn(base, light), ranking_churn(base, heavy));
+}
+
+TEST(HotSwapDrift, PromotedVideoTopsTheChart) {
+  Rng rng(4);
+  const auto before = zipf_popularity(40, 0.75);
+  const auto after = apply_drift(rng, before, {DriftKind::kHotSwap, 1.0});
+  EXPECT_NEAR(sum_of(after), 1.0, 1e-9);
+  // The new maximum is a video that was previously in the cold half.
+  const auto max_it = std::max_element(after.begin(), after.end());
+  const auto idx = static_cast<std::size_t>(max_it - after.begin());
+  std::vector<double> sorted = before;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  EXPECT_LE(before[idx], sorted[before.size() / 2]);
+}
+
+TEST(HotSwapDrift, StaysNormalizedOverManyEpochs) {
+  Rng rng(5);
+  auto popularity = zipf_popularity(60, 0.75);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    popularity = apply_drift(rng, std::move(popularity),
+                             {DriftKind::kHotSwap, 2.0});
+    ASSERT_NEAR(sum_of(popularity), 1.0, 1e-9) << "epoch " << epoch;
+  }
+}
+
+TEST(ApplyDrift, RejectsBadInput) {
+  Rng rng(6);
+  EXPECT_THROW((void)apply_drift(rng, {}, {DriftKind::kRankSwap, 0.1}),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      (void)apply_drift(rng, {1.0}, {DriftKind::kRankSwap, -1.0}),
+      InvalidArgumentError);
+}
+
+TEST(RankingChurn, IdenticalVectorsHaveZeroChurn) {
+  const auto p = zipf_popularity(20, 0.75);
+  EXPECT_DOUBLE_EQ(ranking_churn(p, p), 0.0);
+}
+
+TEST(RankingChurn, FullReversalIsOne) {
+  const std::vector<double> a{0.5, 0.3, 0.2};
+  const std::vector<double> b{0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(ranking_churn(a, b), 1.0);
+}
+
+TEST(RankingChurn, SingleSwapCountsOnePair) {
+  const std::vector<double> a{0.4, 0.3, 0.2, 0.1};
+  std::vector<double> b = a;
+  std::swap(b[0], b[1]);
+  // One discordant pair out of C(4,2) = 6.
+  EXPECT_NEAR(ranking_churn(a, b), 1.0 / 6.0, 1e-12);
+}
+
+TEST(RankingChurn, RejectsMismatchedSizes) {
+  EXPECT_THROW((void)ranking_churn({1.0}, {0.5, 0.5}), InvalidArgumentError);
+  EXPECT_THROW((void)ranking_churn({}, {}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,90 @@
+#include "src/analysis/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+TEST(ErlangB, KnownClosedForms) {
+  // B(a, 1) = a / (1 + a).
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(3.0, 1), 0.75, 1e-12);
+  // B(a, 2) = (a^2/2) / (1 + a + a^2/2); a = 2 -> 2/5.
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+}
+
+TEST(ErlangB, TextbookValue) {
+  // Classic engineering table entry: a = 10 erlangs, c = 10 -> ~0.2146.
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.2146, 5e-4);
+}
+
+TEST(ErlangB, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(5.0, 0), 1.0);
+  EXPECT_THROW((void)erlang_b(-1.0, 5), InvalidArgumentError);
+}
+
+TEST(ErlangB, MonotoneInLoadAndChannels) {
+  double prev = 0.0;
+  for (double a = 1.0; a <= 50.0; a += 1.0) {
+    const double b = erlang_b(a, 20);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  prev = 1.0;
+  for (std::size_t c = 1; c <= 60; ++c) {
+    const double b = erlang_b(30.0, c);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ErlangB, StableAtClusterScale) {
+  // The paper's pooled cluster: 3600 channels.  At exactly critical load
+  // the blocking is O(1/sqrt(c)); far below it is astronomically small.
+  const double critical = erlang_b(3600.0, 3600);
+  EXPECT_GT(critical, 0.005);
+  EXPECT_LT(critical, 0.05);
+  EXPECT_LT(erlang_b(1800.0, 3600), 1e-12);
+  EXPECT_GT(erlang_b(7200.0, 3600), 0.4);
+}
+
+TEST(ErlangB, PoolingBeatsSplitting) {
+  // Resource pooling: one system of N*c channels blocks less than N
+  // independent systems of c channels at the same total load.
+  for (double total : {1000.0, 3000.0, 3600.0, 4000.0}) {
+    EXPECT_LE(erlang_b(total, 3600),
+              balanced_split_blocking(total, 8, 450) + 1e-15)
+        << total;
+  }
+}
+
+TEST(ChannelsForBlocking, InverseIsConsistent) {
+  for (double a : {5.0, 50.0, 450.0}) {
+    for (double target : {0.1, 0.01, 0.001}) {
+      const std::size_t c = channels_for_blocking(a, target);
+      EXPECT_LE(erlang_b(a, c), target);
+      if (c > 0) EXPECT_GT(erlang_b(a, c - 1), target);
+    }
+  }
+}
+
+TEST(ChannelsForBlocking, ZeroLoadNeedsNothing) {
+  EXPECT_EQ(channels_for_blocking(0.0, 0.01), 0u);
+}
+
+TEST(ChannelsForBlocking, RejectsBadTarget) {
+  EXPECT_THROW((void)channels_for_blocking(10.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW((void)channels_for_blocking(10.0, 1.0), InvalidArgumentError);
+}
+
+TEST(BalancedSplitBlocking, MatchesManualThinning) {
+  EXPECT_DOUBLE_EQ(balanced_split_blocking(80.0, 8, 20), erlang_b(10.0, 20));
+  EXPECT_THROW((void)balanced_split_blocking(10.0, 0, 5),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,92 @@
+#include "src/online/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(PopularityEstimator, UniformWhenNothingObserved) {
+  const PopularityEstimator estimator(4);
+  const auto estimate = estimator.estimate();
+  for (double p : estimate) EXPECT_DOUBLE_EQ(p, 0.25);
+  EXPECT_DOUBLE_EQ(estimator.observed_weight(), 0.0);
+}
+
+TEST(PopularityEstimator, TracksObservedFrequencies) {
+  PopularityEstimator estimator(3, 0.5, /*smoothing=*/0.0);
+  estimator.observe(0, 60);
+  estimator.observe(1, 30);
+  estimator.observe(2, 10);
+  const auto estimate = estimator.estimate();
+  EXPECT_NEAR(estimate[0], 0.6, 1e-12);
+  EXPECT_NEAR(estimate[1], 0.3, 1e-12);
+  EXPECT_NEAR(estimate[2], 0.1, 1e-12);
+}
+
+TEST(PopularityEstimator, SmoothingKeepsUnseenVideosPositive) {
+  PopularityEstimator estimator(3, 0.5, 1.0);
+  estimator.observe(0, 1000);
+  const auto estimate = estimator.estimate();
+  EXPECT_GT(estimate[1], 0.0);
+  EXPECT_GT(estimate[2], 0.0);
+  EXPECT_GT(estimate[0], estimate[1]);
+}
+
+TEST(PopularityEstimator, DecayForgetsOldEpochs) {
+  PopularityEstimator estimator(2, 0.25, 0.0);
+  estimator.observe(0, 100);  // epoch 1: all video 0
+  estimator.end_epoch();
+  estimator.observe(1, 100);  // epoch 2: all video 1
+  estimator.end_epoch();
+  const auto estimate = estimator.estimate();
+  // Video 1's fresh 100 outweighs video 0's decayed 25.
+  EXPECT_GT(estimate[1], estimate[0]);
+  EXPECT_NEAR(estimate[1], 100.0 / 125.0, 1e-12);
+}
+
+TEST(PopularityEstimator, DecayOneNeverForgets) {
+  PopularityEstimator estimator(2, 1.0, 0.0);
+  estimator.observe(0, 50);
+  estimator.end_epoch();
+  estimator.observe(1, 50);
+  estimator.end_epoch();
+  const auto estimate = estimator.estimate();
+  EXPECT_NEAR(estimate[0], 0.5, 1e-12);
+}
+
+TEST(PopularityEstimator, DecayZeroOnlySeesTheLiveWindow) {
+  PopularityEstimator estimator(2, 0.0, 0.0);
+  estimator.observe(0, 1000);
+  estimator.end_epoch();   // history *= 0, then += 1000 -> history holds it
+  estimator.end_epoch();   // history *= 0 -> gone
+  estimator.observe(1, 1);
+  const auto estimate = estimator.estimate();
+  EXPECT_NEAR(estimate[1], 1.0, 1e-12);
+}
+
+TEST(PopularityEstimator, EstimateIsAValidDistribution) {
+  PopularityEstimator estimator(10, 0.5, 1.0);
+  estimator.observe(3, 17);
+  estimator.observe(7, 5);
+  const auto estimate = estimator.estimate();
+  double sum = 0.0;
+  for (double p : estimate) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PopularityEstimator, RejectsBadArguments) {
+  EXPECT_THROW(PopularityEstimator(0), InvalidArgumentError);
+  EXPECT_THROW(PopularityEstimator(3, 1.5), InvalidArgumentError);
+  EXPECT_THROW(PopularityEstimator(3, 0.5, -1.0), InvalidArgumentError);
+  PopularityEstimator estimator(3);
+  EXPECT_THROW(estimator.observe(5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

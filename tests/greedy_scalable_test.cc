@@ -1,0 +1,103 @@
+#include "src/core/greedy_scalable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/sa_solver.h"
+#include "src/util/error.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+ScalableProblem problem_of(double storage_gb, std::size_t videos = 12,
+                           std::size_t servers = 4) {
+  ScalableProblem p;
+  p.videos.duration_sec = units::minutes(90);
+  p.videos.popularity = zipf_popularity(videos, 0.75);
+  p.cluster.num_servers = servers;
+  p.cluster.bandwidth_bps_per_server = units::gbps(1.0);
+  p.cluster.storage_bytes_per_server = units::gigabytes(storage_gb);
+  p.ladder.rates_bps = {units::mbps(1), units::mbps(2), units::mbps(4),
+                        units::mbps(8)};
+  p.expected_peak_requests = 500.0;
+  return p;
+}
+
+TEST(GreedyScalable, ImprovesOverTheInitialSolution) {
+  const ScalableProblem p = problem_of(30.0);
+  const double initial =
+      solution_objective(p, lowest_rate_round_robin(p));
+  const ScalableSolution greedy = greedy_scalable(p);
+  EXPECT_GT(solution_objective(p, greedy), initial);
+}
+
+TEST(GreedyScalable, StorageStaysHardFeasible) {
+  for (double storage : {3.0, 10.0, 30.0, 120.0}) {
+    const ScalableProblem p = problem_of(storage);
+    const ScalableSolution greedy = greedy_scalable(p);
+    const ServerUsage usage = compute_usage(p, greedy);
+    for (double bytes : usage.storage_bytes) {
+      EXPECT_LE(bytes, p.cluster.storage_bytes_per_server * (1 + 1e-9))
+          << "storage " << storage;
+    }
+    for (const auto& hosts : greedy.placement) {
+      EXPECT_GE(hosts.size(), 1u);
+      EXPECT_LE(hosts.size(), p.cluster.num_servers);
+    }
+  }
+}
+
+TEST(GreedyScalable, SaturatesAbundantStorage) {
+  // With room for everything, greedy ends at full replication at the top
+  // ladder rate.
+  const ScalableProblem p = problem_of(1000.0);
+  const ScalableSolution greedy = greedy_scalable(p);
+  for (std::size_t video = 0; video < p.videos.count(); ++video) {
+    EXPECT_EQ(greedy.bitrate_index[video], p.ladder.size() - 1);
+    EXPECT_EQ(greedy.placement[video].size(), p.cluster.num_servers);
+  }
+}
+
+TEST(GreedyScalable, TightStorageKeepsTheFloorSolution) {
+  // Storage that barely fits the floor solution admits no upgrade.
+  // 12 videos over 4 servers = 3 replicas/server at 0.675 GB each.
+  const ScalableProblem p = problem_of(2.1);
+  const ScalableSolution greedy = greedy_scalable(p);
+  for (std::size_t video = 0; video < p.videos.count(); ++video) {
+    EXPECT_EQ(greedy.bitrate_index[video], 0u);
+    EXPECT_EQ(greedy.placement[video].size(), 1u);
+  }
+}
+
+TEST(GreedyScalable, DeterministicAcrossCalls) {
+  const ScalableProblem p = problem_of(30.0);
+  const ScalableSolution a = greedy_scalable(p);
+  const ScalableSolution b = greedy_scalable(p);
+  EXPECT_EQ(a.bitrate_index, b.bitrate_index);
+  EXPECT_EQ(a.placement, b.placement);
+}
+
+TEST(GreedyScalable, ComparableToSimulatedAnnealing) {
+  // The greedy allocator is the sanity floor for SA: on a moderate
+  // instance SA (multi-chain) should land at or above greedy minus a small
+  // slack, and greedy must not be wildly worse than SA.
+  const ScalableProblem p = problem_of(30.0);
+  const double greedy = solution_objective(p, greedy_scalable(p));
+  SaSolverOptions options;
+  options.anneal.initial_temperature = 1.0;
+  options.anneal.moves_per_temperature = 80;
+  options.anneal.stall_steps = 25;
+  options.chains = 3;
+  const double sa = solve_scalable(p, 77, options).objective;
+  EXPECT_GT(greedy, 0.5 * sa);
+  EXPECT_GT(sa, 0.5 * greedy);
+}
+
+TEST(GreedyScalable, ThrowsWhenFloorDoesNotFit) {
+  const ScalableProblem p = problem_of(0.5);  // < 3 floor replicas/server
+  EXPECT_THROW((void)greedy_scalable(p), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,99 @@
+#include "src/core/layout_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/adams_replication.h"
+#include "src/core/slf_placement.h"
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+PlacementFile sample_placement() {
+  const auto popularity = zipf_popularity(20, 0.75);
+  const AdamsReplication adams;
+  const SmallestLoadFirstPlacement slf;
+  const auto plan = adams.replicate(popularity, 4, 28);
+  PlacementFile placement;
+  placement.num_servers = 4;
+  placement.layout = slf.place(plan, popularity, 4, 7);
+  return placement;
+}
+
+TEST(LayoutIo, RoundTripsExactly) {
+  const PlacementFile original = sample_placement();
+  std::stringstream ss;
+  save_placement(ss, original);
+  const PlacementFile loaded = load_placement(ss);
+  EXPECT_EQ(loaded.num_servers, original.num_servers);
+  EXPECT_EQ(loaded.layout.assignment, original.layout.assignment);
+  EXPECT_EQ(loaded.plan().replicas, original.plan().replicas);
+}
+
+TEST(LayoutIo, HeaderCarriesDimensions) {
+  const PlacementFile original = sample_placement();
+  std::stringstream ss;
+  save_placement(ss, original);
+  std::string magic;
+  std::size_t videos = 0;
+  std::size_t servers = 0;
+  ss >> magic >> videos >> servers;
+  EXPECT_EQ(magic, "vodrep-layout");
+  EXPECT_EQ(videos, 20u);
+  EXPECT_EQ(servers, 4u);
+}
+
+TEST(LayoutIo, SaveRejectsEmptyVideo) {
+  PlacementFile placement;
+  placement.num_servers = 2;
+  placement.layout.assignment = {{0}, {}};
+  std::stringstream ss;
+  EXPECT_THROW(save_placement(ss, placement), InvalidArgumentError);
+}
+
+TEST(LayoutIo, SaveRejectsDuplicateServers) {
+  PlacementFile placement;
+  placement.num_servers = 2;
+  placement.layout.assignment = {{0, 0}};
+  std::stringstream ss;
+  EXPECT_THROW(save_placement(ss, placement), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadRejectsBadHeader) {
+  std::stringstream ss("not-a-layout 1 2\n0 1 0\n");
+  EXPECT_THROW((void)load_placement(ss), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadRejectsTruncatedBody) {
+  std::stringstream ss("vodrep-layout 2 2\n0 1 0\n");
+  EXPECT_THROW((void)load_placement(ss), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadRejectsOutOfRangeServer) {
+  std::stringstream ss("vodrep-layout 1 2\n0 1 5\n");
+  EXPECT_THROW((void)load_placement(ss), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadRejectsReplicaCountBeyondServers) {
+  std::stringstream ss("vodrep-layout 1 2\n0 3 0 1 0\n");
+  EXPECT_THROW((void)load_placement(ss), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadRejectsDuplicateVideoRecord) {
+  std::stringstream ss("vodrep-layout 2 2\n0 1 0\n0 1 1\n");
+  EXPECT_THROW((void)load_placement(ss), InvalidArgumentError);
+}
+
+TEST(LayoutIo, LoadAcceptsOutOfOrderRecords) {
+  std::stringstream ss("vodrep-layout 2 2\n1 1 0\n0 2 0 1\n");
+  const PlacementFile placement = load_placement(ss);
+  EXPECT_EQ(placement.layout.assignment[0],
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(placement.layout.assignment[1], (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace vodrep

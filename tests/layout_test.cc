@@ -1,0 +1,95 @@
+#include "src/core/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+Layout two_video_layout() {
+  Layout layout;
+  layout.assignment = {{0, 1}, {1}};
+  return layout;
+}
+
+TEST(Layout, ReplicasPerServerCounts) {
+  const Layout layout = two_video_layout();
+  EXPECT_EQ(layout.replicas_per_server(3),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Layout, ReplicasPerServerRejectsOutOfRange) {
+  Layout layout;
+  layout.assignment = {{5}};
+  EXPECT_THROW((void)layout.replicas_per_server(3), InvalidArgumentError);
+}
+
+TEST(Layout, ExpectedLoadsSplitWeightAcrossReplicas) {
+  const Layout layout = two_video_layout();
+  const std::vector<double> popularity{0.6, 0.4};
+  const auto loads = layout.expected_loads(popularity, 3);
+  EXPECT_DOUBLE_EQ(loads[0], 0.3);   // half of video 0
+  EXPECT_DOUBLE_EQ(loads[1], 0.7);   // half of video 0 + all of video 1
+  EXPECT_DOUBLE_EQ(loads[2], 0.0);
+}
+
+TEST(Layout, ExpectedLoadsSumToTotalPopularity) {
+  const Layout layout = two_video_layout();
+  const auto loads = layout.expected_loads({0.6, 0.4}, 2);
+  EXPECT_NEAR(loads[0] + loads[1], 1.0, 1e-12);
+}
+
+TEST(Layout, ExpectedLoadsRejectBadInput) {
+  Layout layout = two_video_layout();
+  EXPECT_THROW((void)layout.expected_loads({1.0}, 3), InvalidArgumentError);
+  layout.assignment[1].clear();
+  EXPECT_THROW((void)layout.expected_loads({0.6, 0.4}, 3),
+               InvalidArgumentError);
+}
+
+TEST(Layout, ImpliedPlanMatchesAssignment) {
+  const Layout layout = two_video_layout();
+  const ReplicationPlan plan = layout.implied_plan();
+  EXPECT_EQ(plan.replicas, (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(Layout, ValidateAcceptsConsistentLayout) {
+  const Layout layout = two_video_layout();
+  EXPECT_NO_THROW(layout.validate(layout.implied_plan(), 2, 2));
+}
+
+TEST(Layout, ValidateRejectsPlanMismatch) {
+  const Layout layout = two_video_layout();
+  ReplicationPlan plan;
+  plan.replicas = {1, 1};
+  EXPECT_THROW(layout.validate(plan, 2, 2), InvalidArgumentError);
+}
+
+TEST(Layout, ValidateRejectsDuplicateServers) {
+  Layout layout;
+  layout.assignment = {{0, 0}};
+  ReplicationPlan plan;
+  plan.replicas = {2};
+  EXPECT_THROW(layout.validate(plan, 2, 4), InvalidArgumentError);
+}
+
+TEST(Layout, ValidateRejectsOverCapacity) {
+  Layout layout;
+  layout.assignment = {{0}, {0}, {0}};
+  ReplicationPlan plan;
+  plan.replicas = {1, 1, 1};
+  EXPECT_THROW(layout.validate(plan, 2, 2), InvalidArgumentError);
+  EXPECT_NO_THROW(layout.validate(plan, 2, 3));
+}
+
+TEST(Layout, ValidateRejectsServerOutOfRange) {
+  Layout layout;
+  layout.assignment = {{2}};
+  ReplicationPlan plan;
+  plan.replicas = {1};
+  EXPECT_THROW(layout.validate(plan, 2, 2), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

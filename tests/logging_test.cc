@@ -1,0 +1,61 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vodrep {
+namespace {
+
+/// RAII fixture: captures the global logger sink and restores defaults.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(&captured_);
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+
+  std::ostringstream captured_;
+};
+
+TEST_F(LoggingTest, EmitsTaggedLine) {
+  log(LogLevel::kInfo) << "hello " << 42;
+  EXPECT_EQ(captured_.str(), "[INFO ] hello 42\n");
+}
+
+TEST_F(LoggingTest, LevelsAreTagged) {
+  log(LogLevel::kDebug) << "d";
+  log(LogLevel::kWarn) << "w";
+  log(LogLevel::kError) << "e";
+  const std::string out = captured_.str();
+  EXPECT_NE(out.find("[DEBUG] d"), std::string::npos);
+  EXPECT_NE(out.find("[WARN ] w"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] e"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FiltersBelowThreshold) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log(LogLevel::kDebug) << "hidden";
+  log(LogLevel::kInfo) << "hidden too";
+  log(LogLevel::kWarn) << "visible";
+  const std::string out = captured_.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamsArbitraryTypes) {
+  log(LogLevel::kInfo) << 1.5 << " " << true << " " << 'x';
+  EXPECT_NE(captured_.str().find("1.5 1 x"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelAccessorReflectsSetting) {
+  Logger::instance().set_level(LogLevel::kError);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,117 @@
+#include "src/core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+FixedRateProblem small_problem() {
+  FixedRateProblem p;
+  p.videos.duration_sec = units::minutes(90);
+  p.videos.popularity = zipf_popularity(10, 0.75);
+  p.bitrate_bps = units::mbps(4);
+  p.cluster.num_servers = 4;
+  p.cluster.bandwidth_bps_per_server = units::gbps(1.8);
+  p.cluster.storage_bytes_per_server = units::gigabytes(27);  // 10 replicas
+  return p;
+}
+
+TEST(Units, PaperVideoSizeIs2Point7GB) {
+  // 90 minutes at 4 Mb/s: the paper states 2.7 GB per replica.
+  EXPECT_NEAR(units::to_gigabytes(
+                  units::video_bytes(units::minutes(90), units::mbps(4))),
+              2.7, 1e-9);
+}
+
+TEST(ClusterSpec, StreamsPerServer) {
+  ClusterSpec cluster;
+  cluster.num_servers = 8;
+  cluster.bandwidth_bps_per_server = units::gbps(1.8);
+  // 1.8 Gb/s / 4 Mb/s = 450 concurrent streams.
+  EXPECT_EQ(cluster.streams_per_server(units::mbps(4)), 450u);
+  EXPECT_THROW((void)cluster.streams_per_server(0.0), InvalidArgumentError);
+}
+
+TEST(ClusterSpec, Aggregates) {
+  ClusterSpec cluster;
+  cluster.num_servers = 8;
+  cluster.bandwidth_bps_per_server = units::gbps(1.8);
+  cluster.storage_bytes_per_server = units::gigabytes(100);
+  EXPECT_DOUBLE_EQ(cluster.total_bandwidth_bps(), units::gbps(14.4));
+  EXPECT_DOUBLE_EQ(cluster.total_storage_bytes(), units::gigabytes(800));
+}
+
+TEST(FixedRateProblem, ReplicaCapacityFloorsStorage) {
+  FixedRateProblem p = small_problem();
+  EXPECT_NEAR(units::to_gigabytes(p.replica_bytes()), 2.7, 1e-9);
+  EXPECT_EQ(p.replica_capacity_per_server(), 10u);  // floor(27 / 2.7)
+  EXPECT_EQ(p.total_replica_capacity(), 40u);
+  EXPECT_DOUBLE_EQ(p.max_replication_degree(), 4.0);
+}
+
+TEST(FixedRateProblem, ValidateAcceptsConsistentInstance) {
+  EXPECT_NO_THROW(small_problem().validate());
+}
+
+TEST(FixedRateProblem, ValidateRejectsBrokenInstances) {
+  {
+    FixedRateProblem p = small_problem();
+    p.cluster.num_servers = 0;
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    FixedRateProblem p = small_problem();
+    p.videos.popularity.clear();
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    FixedRateProblem p = small_problem();
+    p.bitrate_bps = 0.0;
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    FixedRateProblem p = small_problem();
+    p.cluster.bandwidth_bps_per_server = units::mbps(1);  // < one stream
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    FixedRateProblem p = small_problem();
+    p.cluster.storage_bytes_per_server = units::gigabytes(1);  // 0 replicas
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    FixedRateProblem p = small_problem();
+    p.videos.popularity = {0.4, 0.6};  // increasing, invalid
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+}
+
+TEST(MakePaperProblem, MatchesReconstructedSetting) {
+  const FixedRateProblem p = make_paper_problem(0.75, 1.2);
+  EXPECT_EQ(p.cluster.num_servers, 8u);
+  EXPECT_EQ(p.videos.count(), 300u);
+  EXPECT_DOUBLE_EQ(p.bitrate_bps, units::mbps(4));
+  EXPECT_DOUBLE_EQ(p.cluster.bandwidth_bps_per_server, units::gbps(1.8));
+  EXPECT_DOUBLE_EQ(p.videos.duration_sec, units::minutes(90));
+  // Degree 1.2 over 300 videos = 360 replicas = 45 slots per server.
+  EXPECT_EQ(p.replica_capacity_per_server(), 45u);
+  EXPECT_EQ(p.total_replica_capacity(), 360u);
+}
+
+TEST(MakePaperProblem, StorageCoversRequestedDegree) {
+  for (double degree : {1.0, 1.2, 1.4, 1.6, 1.8}) {
+    const FixedRateProblem p = make_paper_problem(0.75, degree);
+    EXPECT_GE(p.max_replication_degree(), degree - 1e-9) << degree;
+  }
+}
+
+TEST(MakePaperProblem, RejectsDegreeBelowOne) {
+  EXPECT_THROW((void)make_paper_problem(0.75, 0.5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,116 @@
+#include "src/workload/multiclass.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/stats.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+MulticlassSpec two_class_spec() {
+  MulticlassSpec spec;
+  spec.segment_sec = 100.0;
+  ClassProfile a;
+  a.popularity_by_id = {1.0, 1.0, 0.0, 0.0};
+  a.rate_per_segment = {1.0, 0.0, 0.0};
+  ClassProfile b;
+  b.popularity_by_id = {0.0, 0.0, 1.0, 1.0};
+  b.rate_per_segment = {0.0, 0.0, 2.0};
+  spec.classes = {a, b};
+  return spec;
+}
+
+TEST(MulticlassSpec, DimensionsAndValidation) {
+  const MulticlassSpec spec = two_class_spec();
+  EXPECT_EQ(spec.num_segments(), 3u);
+  EXPECT_DOUBLE_EQ(spec.horizon(), 300.0);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(MulticlassSpec, RejectsInconsistentClasses) {
+  MulticlassSpec spec = two_class_spec();
+  spec.classes[1].rate_per_segment.pop_back();
+  EXPECT_THROW(spec.validate(), InvalidArgumentError);
+
+  spec = two_class_spec();
+  spec.classes[1].popularity_by_id.pop_back();
+  EXPECT_THROW(spec.validate(), InvalidArgumentError);
+
+  spec = two_class_spec();
+  spec.classes[0].popularity_by_id.assign(4, 0.0);
+  EXPECT_THROW(spec.validate(), InvalidArgumentError);
+
+  spec = two_class_spec();
+  spec.segment_sec = 0.0;
+  EXPECT_THROW(spec.validate(), InvalidArgumentError);
+}
+
+TEST(GenerateMulticlassTrace, RequestsLandInTheRightSegments) {
+  Rng rng(1);
+  const RequestTrace trace = generate_multiclass_trace(rng, two_class_spec());
+  EXPECT_TRUE(trace.is_well_formed());
+  for (const Request& r : trace.requests) {
+    if (r.arrival_time < 100.0) {
+      EXPECT_LT(r.video, 2u);  // class A only in segment 0
+    } else if (r.arrival_time < 200.0) {
+      FAIL() << "segment 1 has zero rate for every class";
+    } else {
+      EXPECT_GE(r.video, 2u);  // class B only in segment 2
+    }
+  }
+}
+
+TEST(GenerateMulticlassTrace, VolumesMatchRates) {
+  Rng rng(2);
+  OnlineStats class_a;
+  OnlineStats class_b;
+  for (int rep = 0; rep < 100; ++rep) {
+    const RequestTrace trace =
+        generate_multiclass_trace(rng, two_class_spec());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    for (const Request& r : trace.requests) (r.video < 2 ? a : b) += 1;
+    class_a.add(static_cast<double>(a));
+    class_b.add(static_cast<double>(b));
+  }
+  EXPECT_NEAR(class_a.mean(), 100.0, 5.0);   // 1/s * 100 s
+  EXPECT_NEAR(class_b.mean(), 200.0, 8.0);   // 2/s * 100 s
+}
+
+TEST(GenerateMulticlassTrace, ClassPopularityIsRespected) {
+  MulticlassSpec spec = two_class_spec();
+  spec.classes[0].popularity_by_id = {3.0, 1.0, 0.0, 0.0};
+  Rng rng(3);
+  std::size_t hot = 0;
+  std::size_t cold = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const RequestTrace trace = generate_multiclass_trace(rng, spec);
+    for (const Request& r : trace.requests) {
+      if (r.video == 0) ++hot;
+      if (r.video == 1) ++cold;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(hot + cold),
+              0.75, 0.03);
+}
+
+TEST(GenerateMulticlassTrace, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(generate_multiclass_trace(a, two_class_spec()).requests,
+            generate_multiclass_trace(b, two_class_spec()).requests);
+}
+
+TEST(SinglePeakProfile, ShapesAsRequested) {
+  const auto profile = single_peak_profile(6, 2, 4, 1.0, 5.0);
+  EXPECT_EQ(profile, (std::vector<double>{1.0, 1.0, 5.0, 5.0, 1.0, 1.0}));
+  EXPECT_THROW((void)single_peak_profile(4, 3, 2, 1.0, 5.0),
+               InvalidArgumentError);
+  EXPECT_THROW((void)single_peak_profile(4, 1, 5, 1.0, 5.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,105 @@
+#include "src/core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+TEST(ImbalanceMaxRelative, BalancedLoadsAreZero) {
+  EXPECT_DOUBLE_EQ(imbalance_max_relative({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(ImbalanceMaxRelative, KnownValue) {
+  // loads {3, 1}: mean 2, max 3 -> (3-2)/2 = 0.5.
+  EXPECT_DOUBLE_EQ(imbalance_max_relative({3.0, 1.0}), 0.5);
+}
+
+TEST(ImbalanceMaxRelative, IdleClusterIsBalanced) {
+  EXPECT_DOUBLE_EQ(imbalance_max_relative({0.0, 0.0}), 0.0);
+}
+
+TEST(ImbalanceMaxRelative, RejectsBadInput) {
+  EXPECT_THROW((void)imbalance_max_relative({}), InvalidArgumentError);
+  EXPECT_THROW((void)imbalance_max_relative({-1.0, 1.0}),
+               InvalidArgumentError);
+}
+
+TEST(ImbalanceCv, KnownValue) {
+  // loads {3, 1}: mean 2, population stddev 1 -> CV 0.5.
+  EXPECT_DOUBLE_EQ(imbalance_cv({3.0, 1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(imbalance_cv({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(ImbalanceCv, LessSensitiveToSingleOutlierThanMaxRelative) {
+  const std::vector<double> loads{10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(imbalance_cv(loads), imbalance_max_relative(loads));
+}
+
+TEST(LoadSpread, KnownValue) {
+  EXPECT_DOUBLE_EQ(load_spread({1.0, 4.0, 2.5}), 3.0);
+  EXPECT_DOUBLE_EQ(load_spread({2.0}), 0.0);
+  EXPECT_THROW((void)load_spread({}), InvalidArgumentError);
+}
+
+TEST(ImbalanceDispatch, SelectsDefinition) {
+  const std::vector<double> loads{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(imbalance(loads, ImbalanceDefinition::kMaxRelative), 0.5);
+  EXPECT_DOUBLE_EQ(
+      imbalance(loads, ImbalanceDefinition::kCoefficientOfVariation), 0.5);
+}
+
+TEST(ObjectiveValue, CombinesThreeTerms) {
+  // Two videos at 4 Mb/s with 1 and 3 replicas on 4 servers, loads {3,1}.
+  const std::vector<double> rates{units::mbps(4), units::mbps(4)};
+  const std::vector<std::size_t> replicas{1, 3};
+  const std::vector<double> loads{3.0, 1.0};
+  ObjectiveWeights w;
+  w.alpha = 2.0;
+  w.beta = 4.0;
+  // mean rate 4 Mb/s; mean degree 2/4 = 0.5; L = 0.5.
+  EXPECT_DOUBLE_EQ(objective_value(rates, replicas, loads, 4, w),
+                   4.0 + 2.0 * 0.5 - 4.0 * 0.5);
+}
+
+TEST(ObjectiveValue, HigherBitrateRaisesObjective) {
+  ObjectiveWeights w;
+  const std::vector<std::size_t> replicas{1};
+  const std::vector<double> loads{1.0};
+  EXPECT_GT(objective_value({units::mbps(8)}, replicas, loads, 2, w),
+            objective_value({units::mbps(4)}, replicas, loads, 2, w));
+}
+
+TEST(ObjectiveValue, MoreReplicasRaiseObjective) {
+  ObjectiveWeights w;
+  const std::vector<double> rates{units::mbps(4)};
+  const std::vector<double> loads{1.0};
+  EXPECT_GT(objective_value(rates, {2}, loads, 4, w),
+            objective_value(rates, {1}, loads, 4, w));
+}
+
+TEST(ObjectiveValue, ImbalanceLowersObjective) {
+  ObjectiveWeights w;
+  const std::vector<double> rates{units::mbps(4)};
+  EXPECT_GT(objective_value(rates, {1}, {1.0, 1.0}, 2, w),
+            objective_value(rates, {1}, {2.0, 0.0}, 2, w));
+}
+
+TEST(ObjectiveValue, RejectsBadInput) {
+  ObjectiveWeights w;
+  EXPECT_THROW((void)objective_value({}, {}, {1.0}, 2, w),
+               InvalidArgumentError);
+  EXPECT_THROW((void)objective_value({1.0}, {1, 2}, {1.0}, 2, w),
+               InvalidArgumentError);
+  EXPECT_THROW((void)objective_value({0.0}, {1}, {1.0}, 2, w),
+               InvalidArgumentError);
+  EXPECT_THROW((void)objective_value({1.0}, {0}, {1.0}, 2, w),
+               InvalidArgumentError);
+  EXPECT_THROW((void)objective_value({1.0}, {1}, {1.0}, 0, w),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,75 @@
+#include "src/core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/model.h"
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+TEST(MakeReplicationPolicy, KnowsAllNames) {
+  for (const char* name : {"adams", "zipf", "classification", "uniform"}) {
+    const auto policy = make_replication_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW((void)make_replication_policy("bogus"), InvalidArgumentError);
+}
+
+TEST(MakePlacementPolicy, KnowsAllNames) {
+  for (const char* name : {"slf", "round-robin", "best-fit"}) {
+    const auto policy = make_placement_policy(name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW((void)make_placement_policy("bogus"), InvalidArgumentError);
+}
+
+TEST(Provision, ProducesConsistentValidatedResult) {
+  const FixedRateProblem problem = make_paper_problem(0.75, 1.2, 60, 8);
+  const auto replication = make_replication_policy("adams");
+  const auto placement = make_placement_policy("slf");
+  const ProvisioningResult result = provision(problem, *replication, *placement);
+  EXPECT_EQ(result.plan.num_videos(), 60u);
+  EXPECT_EQ(result.layout.num_videos(), 60u);
+  EXPECT_EQ(result.expected_loads.size(), 8u);
+  EXPECT_GT(result.max_weight, 0.0);
+  EXPECT_GE(result.spread_bound, 0.0);
+  // Loads conserve total popularity.
+  double total = 0.0;
+  for (double l : result.expected_loads) total += l;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Provision, BudgetOverrideLimitsReplicas) {
+  const FixedRateProblem problem = make_paper_problem(0.75, 1.8, 60, 8);
+  const auto replication = make_replication_policy("adams");
+  const auto placement = make_placement_policy("slf");
+  const ProvisioningResult result =
+      provision(problem, *replication, *placement, /*budget_override=*/66);
+  EXPECT_EQ(result.plan.total_replicas(), 66u);
+}
+
+TEST(Provision, OverrideBeyondStorageThrows) {
+  const FixedRateProblem problem = make_paper_problem(0.75, 1.0, 60, 8);
+  const auto replication = make_replication_policy("adams");
+  const auto placement = make_placement_policy("slf");
+  EXPECT_THROW((void)provision(problem, *replication, *placement, 100000),
+               InvalidArgumentError);
+}
+
+TEST(Provision, AllPolicyCombinationsProduceValidLayouts) {
+  const FixedRateProblem problem = make_paper_problem(0.75, 1.4, 50, 8);
+  for (const char* repl : {"adams", "zipf", "classification", "uniform"}) {
+    for (const char* place : {"slf", "round-robin", "best-fit"}) {
+      const auto replication = make_replication_policy(repl);
+      const auto placement = make_placement_policy(place);
+      EXPECT_NO_THROW((void)provision(problem, *replication, *placement))
+          << repl << "+" << place;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,112 @@
+#include "src/workload/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+double sum_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ZipfPopularity, SumsToOne) {
+  for (double theta : {0.0, 0.271, 0.5, 0.75, 1.0}) {
+    const auto p = zipf_popularity(100, theta);
+    EXPECT_NEAR(sum_of(p), 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfPopularity, IsNonIncreasing) {
+  const auto p = zipf_popularity(50, 0.75);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_LE(p[i], p[i - 1]);
+}
+
+TEST(ZipfPopularity, FollowsPowerLaw) {
+  const double theta = 0.8;
+  const auto p = zipf_popularity(200, theta);
+  // p_i / p_j == (j / i)^theta for a pure Zipf-like law.
+  EXPECT_NEAR(p[0] / p[9], std::pow(10.0, theta), 1e-9);
+  EXPECT_NEAR(p[4] / p[49], std::pow(10.0, theta), 1e-9);
+}
+
+TEST(ZipfPopularity, ZeroSkewIsUniform) {
+  const auto p = zipf_popularity(10, 0.0);
+  for (double v : p) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(ZipfPopularity, HigherSkewConcentratesMass) {
+  const auto low = zipf_popularity(300, 0.25);
+  const auto high = zipf_popularity(300, 1.0);
+  EXPECT_GT(high[0], low[0]);
+  EXPECT_LT(high[299], low[299]);
+}
+
+TEST(ZipfPopularity, SingleVideoIsCertain) {
+  const auto p = zipf_popularity(1, 0.75);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(ZipfPopularity, RejectsBadArguments) {
+  EXPECT_THROW((void)zipf_popularity(0, 0.5), InvalidArgumentError);
+  EXPECT_THROW((void)zipf_popularity(10, -0.1), InvalidArgumentError);
+}
+
+TEST(UniformPopularity, MatchesZipfZero) {
+  EXPECT_EQ(uniform_popularity(25), zipf_popularity(25, 0.0));
+}
+
+TEST(NormalizedPopularity, NormalizesAndSorts) {
+  const auto p = normalized_popularity({1.0, 3.0, 2.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(p[2], 1.0 / 6.0, 1e-12);
+}
+
+TEST(NormalizedPopularity, RejectsDegenerateInput) {
+  EXPECT_THROW((void)normalized_popularity({}), InvalidArgumentError);
+  EXPECT_THROW((void)normalized_popularity({1.0, -0.5}), InvalidArgumentError);
+  EXPECT_THROW((void)normalized_popularity({0.0, 0.0}), InvalidArgumentError);
+}
+
+TEST(IsPopularityVector, AcceptsValidVectors) {
+  EXPECT_TRUE(is_popularity_vector(zipf_popularity(100, 0.75)));
+  EXPECT_TRUE(is_popularity_vector({1.0}));
+  EXPECT_TRUE(is_popularity_vector({0.5, 0.5}));
+}
+
+TEST(IsPopularityVector, RejectsInvalidVectors) {
+  EXPECT_FALSE(is_popularity_vector({}));                 // empty
+  EXPECT_FALSE(is_popularity_vector({0.3, 0.3}));         // sums to 0.6
+  EXPECT_FALSE(is_popularity_vector({0.4, 0.6}));         // increasing
+  EXPECT_FALSE(is_popularity_vector({1.5, -0.5}));        // out of range
+}
+
+TEST(TopKForCoverage, KnownDistribution) {
+  // {0.5, 0.3, 0.2}: 50% needs 1 video, 80% needs 2, 100% needs 3.
+  const std::vector<double> p{0.5, 0.3, 0.2};
+  EXPECT_EQ(top_k_for_coverage(p, 0.5), 1u);
+  EXPECT_EQ(top_k_for_coverage(p, 0.6), 2u);
+  EXPECT_EQ(top_k_for_coverage(p, 1.0), 3u);
+  EXPECT_EQ(top_k_for_coverage(p, 0.0), 1u);
+}
+
+TEST(TopKForCoverage, SkewReducesCoverageSet) {
+  const auto flat = zipf_popularity(300, 0.271);
+  const auto skewed = zipf_popularity(300, 1.0);
+  EXPECT_LT(top_k_for_coverage(skewed, 0.5), top_k_for_coverage(flat, 0.5));
+}
+
+TEST(TopKForCoverage, RejectsBadArguments) {
+  EXPECT_THROW((void)top_k_for_coverage({}, 0.5), InvalidArgumentError);
+  EXPECT_THROW((void)top_k_for_coverage({1.0}, 1.5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,69 @@
+#include "src/core/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(ReplicationPlan, TotalsAndDegree) {
+  ReplicationPlan plan;
+  plan.replicas = {3, 2, 1, 1, 1};
+  EXPECT_EQ(plan.num_videos(), 5u);
+  EXPECT_EQ(plan.total_replicas(), 8u);
+  EXPECT_DOUBLE_EQ(plan.degree(), 1.6);
+}
+
+TEST(ReplicationPlan, DegreeOfEmptyPlanThrows) {
+  ReplicationPlan plan;
+  EXPECT_THROW((void)plan.degree(), InvalidArgumentError);
+}
+
+TEST(ReplicationPlan, WeightsArePopularityOverReplicas) {
+  ReplicationPlan plan;
+  plan.replicas = {2, 1};
+  const std::vector<double> popularity{0.6, 0.4};
+  const auto w = plan.weights(popularity);
+  EXPECT_DOUBLE_EQ(w[0], 0.3);
+  EXPECT_DOUBLE_EQ(w[1], 0.4);
+  EXPECT_DOUBLE_EQ(plan.max_weight(popularity), 0.4);
+  EXPECT_DOUBLE_EQ(plan.min_weight(popularity), 0.3);
+}
+
+TEST(ReplicationPlan, WeightsRejectSizeMismatch) {
+  ReplicationPlan plan;
+  plan.replicas = {1, 1};
+  EXPECT_THROW((void)plan.weights({1.0}), InvalidArgumentError);
+}
+
+TEST(ReplicationPlan, WeightsRejectZeroReplica) {
+  ReplicationPlan plan;
+  plan.replicas = {0, 1};
+  EXPECT_THROW((void)plan.weights({0.5, 0.5}), InvalidArgumentError);
+}
+
+TEST(ReplicationPlan, ValidateEnforcesConstraints) {
+  ReplicationPlan plan;
+  plan.replicas = {2, 1};
+  EXPECT_NO_THROW(plan.validate(/*num_servers=*/2, /*budget=*/3));
+  EXPECT_THROW(plan.validate(1, 3), InvalidArgumentError);   // r_i > N
+  EXPECT_THROW(plan.validate(2, 2), InvalidArgumentError);   // over budget
+  plan.replicas = {0, 1};
+  EXPECT_THROW(plan.validate(2, 3), InvalidArgumentError);   // r_i == 0
+  plan.replicas = {};
+  EXPECT_THROW(plan.validate(2, 3), InvalidArgumentError);   // empty
+}
+
+TEST(CheckReplicationInputs, ValidatesEachPrecondition) {
+  const auto p = zipf_popularity(4, 0.5);
+  EXPECT_NO_THROW(check_replication_inputs(p, 2, 4));
+  EXPECT_THROW(check_replication_inputs({0.4, 0.6}, 2, 4),
+               InvalidArgumentError);            // not non-increasing
+  EXPECT_THROW(check_replication_inputs(p, 0, 4), InvalidArgumentError);
+  EXPECT_THROW(check_replication_inputs(p, 2, 3), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace vodrep

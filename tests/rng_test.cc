@@ -1,0 +1,195 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestoresStream) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next_u64());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  const Rng parent(99);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  Rng child1_again = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = child1.next_u64();
+    const auto b = child2.next_u64();
+    EXPECT_EQ(a, child1_again.next_u64());
+    equal += a == b;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsOneHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexOfOneIsAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(19);
+  EXPECT_THROW((void)rng.uniform_index(0), InvalidArgumentError);
+}
+
+TEST(Rng, UniformIndexIsApproximatelyUnbiased) {
+  Rng rng(23);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 100);
+}
+
+TEST(Rng, ExponentialHasCorrectMean) {
+  Rng rng(29);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsNonNegativeAndRejectsBadRate) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+  EXPECT_THROW((void)rng.exponential(0.0), InvalidArgumentError);
+  EXPECT_THROW((void)rng.exponential(-1.0), InvalidArgumentError);
+}
+
+TEST(Rng, BernoulliRespectsExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(static_cast<std::uint64_t>(mean * 1000) + 1);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<double>(rng.poisson(mean));
+    sum += k;
+    sum2 += k * k;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum2 / n - sample_mean * sample_mean;
+  // Poisson: mean == variance == lambda.
+  EXPECT_NEAR(sample_mean, mean, 0.05 * mean + 0.05);
+  EXPECT_NEAR(sample_var, mean, 0.10 * mean + 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, RngPoissonTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 25.0, 40.0, 120.0,
+                                           500.0));
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonRejectsNegativeMean) {
+  Rng rng(47);
+  EXPECT_THROW((void)rng.poisson(-1.0), InvalidArgumentError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,85 @@
+#include "src/workload/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(DiscreteSampler, NormalizesInput) {
+  const DiscreteSampler sampler({2.0, 6.0});
+  EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteSampler, RejectsDegenerateInput) {
+  EXPECT_THROW(DiscreteSampler({}), InvalidArgumentError);
+  EXPECT_THROW(DiscreteSampler({1.0, -1.0}), InvalidArgumentError);
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), InvalidArgumentError);
+}
+
+TEST(DiscreteSampler, SingleOutcomeAlwaysSampled) {
+  const DiscreteSampler sampler({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, ZeroProbabilityOutcomeNeverSampled) {
+  const DiscreteSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, EmpiricalFrequenciesMatch) {
+  const std::vector<double> p{0.5, 0.3, 0.15, 0.05};
+  const DiscreteSampler sampler(p);
+  Rng rng(3);
+  std::vector<int> counts(p.size(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, p[i], 0.01) << "i=" << i;
+  }
+}
+
+TEST(DiscreteSampler, ZipfFrequenciesMatch) {
+  const auto p = zipf_popularity(50, 0.75);
+  const DiscreteSampler sampler(p);
+  Rng rng(4);
+  std::vector<int> counts(p.size(), 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  // Check head and a mid-tail entry.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, p[0], 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[9]) / n, p[9], 0.005);
+}
+
+TEST(DiscreteSampler, DeterministicGivenSeed) {
+  const auto p = zipf_popularity(10, 0.5);
+  const DiscreteSampler sampler(p);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(a), sampler.sample(b));
+}
+
+TEST(DiscreteSampler, ProbabilityOutOfRangeThrows) {
+  const DiscreteSampler sampler({1.0, 1.0});
+  EXPECT_THROW((void)sampler.probability(2), InvalidArgumentError);
+}
+
+TEST(DiscreteSampler, LargeUniformDistributionCoversRange) {
+  const DiscreteSampler sampler(std::vector<double>(1000, 1.0));
+  Rng rng(8);
+  std::size_t max_seen = 0;
+  for (int i = 0; i < 50000; ++i) {
+    max_seen = std::max(max_seen, sampler.sample(rng));
+  }
+  EXPECT_GT(max_seen, 990u);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,134 @@
+#include "src/core/scalable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+ScalableProblem small_problem() {
+  ScalableProblem p;
+  p.videos.duration_sec = units::minutes(90);
+  p.videos.popularity = zipf_popularity(8, 0.75);
+  p.cluster.num_servers = 4;
+  p.cluster.bandwidth_bps_per_server = units::gbps(1.8);
+  p.cluster.storage_bytes_per_server = units::gigabytes(30);
+  p.ladder.rates_bps = {units::mbps(1), units::mbps(2), units::mbps(4),
+                        units::mbps(8)};
+  p.expected_peak_requests = 1000.0;
+  return p;
+}
+
+TEST(BitrateLadder, ValidatesOrdering) {
+  BitrateLadder ladder;
+  ladder.rates_bps = {units::mbps(1), units::mbps(2)};
+  EXPECT_NO_THROW(ladder.validate());
+  EXPECT_DOUBLE_EQ(ladder.lowest(), units::mbps(1));
+  EXPECT_DOUBLE_EQ(ladder.highest(), units::mbps(2));
+
+  ladder.rates_bps = {units::mbps(2), units::mbps(1)};
+  EXPECT_THROW(ladder.validate(), InvalidArgumentError);
+  ladder.rates_bps = {units::mbps(2), units::mbps(2)};
+  EXPECT_THROW(ladder.validate(), InvalidArgumentError);
+  ladder.rates_bps.clear();
+  EXPECT_THROW(ladder.validate(), InvalidArgumentError);
+}
+
+TEST(ScalableProblem, ValidateChecksAllParts) {
+  EXPECT_NO_THROW(small_problem().validate());
+  {
+    ScalableProblem p = small_problem();
+    p.cluster.num_servers = 0;
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+  {
+    ScalableProblem p = small_problem();
+    p.expected_peak_requests = -1.0;
+    EXPECT_THROW(p.validate(), InvalidArgumentError);
+  }
+}
+
+TEST(LowestRateRoundRobin, OneReplicaEachAtFloorRate) {
+  const ScalableProblem p = small_problem();
+  const ScalableSolution s = lowest_rate_round_robin(p);
+  ASSERT_EQ(s.num_videos(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.bitrate_index[i], 0u);
+    ASSERT_EQ(s.placement[i].size(), 1u);
+    EXPECT_EQ(s.placement[i][0], i % 4);
+  }
+}
+
+TEST(LowestRateRoundRobin, ThrowsWhenStorageTooSmall) {
+  ScalableProblem p = small_problem();
+  // 1 Mb/s * 90 min = 675 MB per video; two videos per server need 1.35 GB.
+  p.cluster.storage_bytes_per_server = units::gigabytes(0.5);
+  EXPECT_THROW((void)lowest_rate_round_robin(p), InfeasibleError);
+}
+
+TEST(ComputeUsage, MatchesHandComputation) {
+  ScalableProblem p = small_problem();
+  p.videos.popularity = {0.6, 0.4};
+  ScalableSolution s;
+  s.bitrate_index = {2, 0};  // 4 Mb/s and 1 Mb/s
+  s.placement = {{0, 1}, {1}};
+  const ServerUsage usage = compute_usage(p, s);
+  // Storage: server 0 holds one 4 Mb/s video (2.7 GB); server 1 holds the
+  // same plus a 1 Mb/s video (0.675 GB).
+  EXPECT_NEAR(units::to_gigabytes(usage.storage_bytes[0]), 2.7, 1e-9);
+  EXPECT_NEAR(units::to_gigabytes(usage.storage_bytes[1]), 3.375, 1e-9);
+  EXPECT_DOUBLE_EQ(usage.storage_bytes[2], 0.0);
+  // Bandwidth: video 0 -> 1000*0.6/2 = 300 requests per replica at 4 Mb/s;
+  // video 1 -> 400 requests at 1 Mb/s.
+  EXPECT_NEAR(usage.bandwidth_bps[0], 300.0 * units::mbps(4), 1e-6);
+  EXPECT_NEAR(usage.bandwidth_bps[1],
+              300.0 * units::mbps(4) + 400.0 * units::mbps(1), 1e-6);
+}
+
+TEST(IsFeasible, DetectsEveryViolationKind) {
+  ScalableProblem p = small_problem();
+  const ScalableSolution base = lowest_rate_round_robin(p);
+  EXPECT_TRUE(is_feasible(p, base));
+  {
+    ScalableSolution s = base;
+    s.placement[0] = {};  // no replica
+    EXPECT_FALSE(is_feasible(p, s));
+  }
+  {
+    ScalableSolution s = base;
+    s.placement[0] = {1, 1};  // duplicate server
+    EXPECT_FALSE(is_feasible(p, s));
+  }
+  {
+    ScalableSolution s = base;
+    s.placement[0] = {9};  // out of range
+    EXPECT_FALSE(is_feasible(p, s));
+  }
+  {
+    ScalableProblem tight = small_problem();
+    tight.cluster.storage_bytes_per_server = units::gigabytes(1.4);
+    ScalableSolution s = lowest_rate_round_robin(tight);
+    s.bitrate_index.assign(8, 3);  // 8 Mb/s -> 5.4 GB each, over storage
+    EXPECT_FALSE(is_feasible(tight, s));
+  }
+}
+
+TEST(SolutionObjective, ImprovesWithQualityAndReplication) {
+  const ScalableProblem p = small_problem();
+  ScalableSolution s = lowest_rate_round_robin(p);
+  const double base = solution_objective(p, s);
+  ScalableSolution better = s;
+  better.bitrate_index.assign(8, 1);  // one notch up for everything
+  EXPECT_GT(solution_objective(p, better), base);
+  ScalableSolution replicated = s;
+  for (std::size_t i = 0; i < 8; ++i) {
+    replicated.placement[i] = {0, 1, 2, 3};
+  }
+  EXPECT_GT(solution_objective(p, replicated), base);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,86 @@
+#include "src/exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+TEST(PaperScenario, DefaultsMatchReconstructedSetting) {
+  const PaperScenario scenario;
+  EXPECT_EQ(scenario.num_servers, 8u);
+  EXPECT_EQ(scenario.num_videos, 300u);
+  EXPECT_DOUBLE_EQ(scenario.server_bandwidth_gbps, 1.8);
+  EXPECT_DOUBLE_EQ(scenario.bitrate_mbps, 4.0);
+  EXPECT_DOUBLE_EQ(scenario.duration_minutes, 90.0);
+}
+
+TEST(PaperScenario, SaturationRateIs40PerMinute) {
+  const PaperScenario scenario;
+  // 8 * 1.8 Gb/s / 4 Mb/s = 3600 streams over 90 minutes = 40 req/min: the
+  // paper's stated peak rate.
+  EXPECT_NEAR(scenario.saturation_rate_per_min(), 40.0, 1e-9);
+}
+
+TEST(PaperScenario, ReplicaBudgetTracksDegree) {
+  PaperScenario scenario;
+  scenario.replication_degree = 1.2;
+  EXPECT_EQ(scenario.replica_budget(), 360u);
+  scenario.replication_degree = 1.0;
+  EXPECT_EQ(scenario.replica_budget(), 300u);
+  scenario.replication_degree = 0.5;
+  EXPECT_THROW((void)scenario.replica_budget(), InvalidArgumentError);
+}
+
+TEST(PaperScenario, ProblemIsConsistentAcrossDegrees) {
+  PaperScenario scenario;
+  for (double degree : {1.0, 1.2, 1.4, 1.6, 1.8}) {
+    scenario.replication_degree = degree;
+    const FixedRateProblem problem = scenario.problem();
+    EXPECT_NO_THROW(problem.validate());
+    EXPECT_GE(problem.total_replica_capacity(), scenario.replica_budget());
+  }
+}
+
+TEST(PaperScenario, TraceSpecConvertsUnits) {
+  const PaperScenario scenario;
+  const TraceSpec spec = scenario.trace_spec(30.0);
+  EXPECT_DOUBLE_EQ(spec.arrival_rate, 0.5);  // 30/min = 0.5/s
+  EXPECT_DOUBLE_EQ(spec.horizon, units::minutes(90));
+  EXPECT_EQ(spec.popularity.size(), 300u);
+}
+
+TEST(PaperScenario, SimConfigMatchesScenario) {
+  const PaperScenario scenario;
+  const SimConfig config = scenario.sim_config();
+  EXPECT_EQ(config.num_servers, 8u);
+  EXPECT_DOUBLE_EQ(config.bandwidth_bps_per_server, units::gbps(1.8));
+  EXPECT_DOUBLE_EQ(config.stream_bitrate_bps, units::mbps(4));
+  EXPECT_EQ(config.redirect, RedirectMode::kNone);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ArrivalRateSweep, CoversRequestedRange) {
+  const PaperScenario scenario;
+  const auto rates = arrival_rate_sweep(scenario, 12, 0.1, 1.2);
+  ASSERT_EQ(rates.size(), 12u);
+  EXPECT_NEAR(rates.front(), 4.0, 1e-9);
+  EXPECT_NEAR(rates.back(), 48.0, 1e-9);
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GT(rates[i], rates[i - 1]);
+  }
+}
+
+TEST(ArrivalRateSweep, RejectsBadRanges) {
+  const PaperScenario scenario;
+  EXPECT_THROW((void)arrival_rate_sweep(scenario, 1), InvalidArgumentError);
+  EXPECT_THROW((void)arrival_rate_sweep(scenario, 5, 1.0, 0.5),
+               InvalidArgumentError);
+  EXPECT_THROW((void)arrival_rate_sweep(scenario, 5, 0.0, 1.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,87 @@
+#include "src/anneal/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+namespace {
+
+TEST(GeometricCooling, MultipliesByAlpha) {
+  const auto schedule = geometric_cooling(0.9);
+  EXPECT_DOUBLE_EQ(schedule->next(10.0, {}), 9.0);
+  EXPECT_EQ(schedule->name(), "geometric");
+}
+
+TEST(GeometricCooling, RejectsBadAlpha) {
+  EXPECT_THROW((void)geometric_cooling(0.0), InvalidArgumentError);
+  EXPECT_THROW((void)geometric_cooling(1.0), InvalidArgumentError);
+  EXPECT_THROW((void)geometric_cooling(-0.5), InvalidArgumentError);
+}
+
+TEST(LinearCooling, SubtractsDeltaAndFloorsAtZero) {
+  const auto schedule = linear_cooling(3.0);
+  EXPECT_DOUBLE_EQ(schedule->next(10.0, {}), 7.0);
+  EXPECT_DOUBLE_EQ(schedule->next(2.0, {}), 0.0);
+  EXPECT_EQ(schedule->name(), "linear");
+}
+
+TEST(LinearCooling, RejectsNonPositiveDelta) {
+  EXPECT_THROW((void)linear_cooling(0.0), InvalidArgumentError);
+}
+
+TEST(AdaptiveCooling, CoolsFastWhenHot) {
+  const auto schedule = adaptive_cooling(0.5, 0.8, 0.99, 0.8, 0.2);
+  CoolingStepInfo info;
+  info.moves = 100;
+  info.accepted = 90;  // 90% acceptance: random-walk regime
+  EXPECT_DOUBLE_EQ(schedule->next(1.0, info), 0.5);
+}
+
+TEST(AdaptiveCooling, CoolsSlowlyWhenCold) {
+  const auto schedule = adaptive_cooling(0.5, 0.8, 0.99, 0.8, 0.2);
+  CoolingStepInfo info;
+  info.moves = 100;
+  info.accepted = 5;  // 5% acceptance: careful descent
+  EXPECT_DOUBLE_EQ(schedule->next(1.0, info), 0.99);
+}
+
+TEST(AdaptiveCooling, MidRegimeUsesMidAlpha) {
+  const auto schedule = adaptive_cooling(0.5, 0.8, 0.99, 0.8, 0.2);
+  CoolingStepInfo info;
+  info.moves = 100;
+  info.accepted = 50;
+  EXPECT_DOUBLE_EQ(schedule->next(1.0, info), 0.8);
+}
+
+TEST(AdaptiveCooling, NoMovesCountsAsHot) {
+  const auto schedule = adaptive_cooling(0.5, 0.8, 0.99, 0.8, 0.2);
+  CoolingStepInfo info;  // moves == 0
+  EXPECT_DOUBLE_EQ(schedule->next(1.0, info), 0.5);
+}
+
+TEST(AdaptiveCooling, RejectsBadParameters) {
+  EXPECT_THROW((void)adaptive_cooling(1.5, 0.8, 0.99, 0.8, 0.2),
+               InvalidArgumentError);
+  EXPECT_THROW((void)adaptive_cooling(0.5, 0.8, 0.99, 0.2, 0.8),
+               InvalidArgumentError);
+}
+
+TEST(AllSchedules, StrictlyDecreaseTemperature) {
+  CoolingStepInfo info;
+  info.moves = 10;
+  info.accepted = 5;
+  for (const auto& schedule :
+       {geometric_cooling(0.95), linear_cooling(0.01), adaptive_cooling()}) {
+    double t = 1.0;
+    for (int i = 0; i < 50; ++i) {
+      const double next = schedule->next(t, info);
+      EXPECT_LT(next, t) << schedule->name();
+      t = next;
+      if (t == 0.0) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vodrep

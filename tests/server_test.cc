@@ -1,0 +1,101 @@
+#include "src/sim/server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+namespace {
+
+TEST(StreamingServer, StartsIdle) {
+  const StreamingServer server(units::gbps(1.8));
+  EXPECT_DOUBLE_EQ(server.capacity_bps(), units::gbps(1.8));
+  EXPECT_DOUBLE_EQ(server.busy_bps(), 0.0);
+  EXPECT_EQ(server.active_streams(), 0u);
+  EXPECT_EQ(server.served_total(), 0u);
+}
+
+TEST(StreamingServer, AdmitReservesBandwidth) {
+  StreamingServer server(units::mbps(10));
+  server.admit(units::mbps(4));
+  EXPECT_DOUBLE_EQ(server.busy_bps(), units::mbps(4));
+  EXPECT_DOUBLE_EQ(server.free_bps(), units::mbps(6));
+  EXPECT_EQ(server.active_streams(), 1u);
+  EXPECT_EQ(server.served_total(), 1u);
+}
+
+TEST(StreamingServer, CanAdmitUntilCapacityExactly) {
+  StreamingServer server(units::mbps(12));
+  EXPECT_TRUE(server.can_admit(units::mbps(4)));
+  server.admit(units::mbps(4));
+  server.admit(units::mbps(4));
+  EXPECT_TRUE(server.can_admit(units::mbps(4)));  // exactly fills
+  server.admit(units::mbps(4));
+  EXPECT_FALSE(server.can_admit(units::mbps(4)));
+}
+
+TEST(StreamingServer, ReleaseRestoresBandwidth) {
+  StreamingServer server(units::mbps(8));
+  server.admit(units::mbps(4));
+  server.admit(units::mbps(4));
+  server.release(units::mbps(4));
+  EXPECT_DOUBLE_EQ(server.busy_bps(), units::mbps(4));
+  EXPECT_EQ(server.active_streams(), 1u);
+  EXPECT_EQ(server.served_total(), 2u);  // lifetime count unaffected
+  EXPECT_TRUE(server.can_admit(units::mbps(4)));
+}
+
+TEST(StreamingServer, ReleaseWithoutStreamThrows) {
+  StreamingServer server(units::mbps(8));
+  EXPECT_THROW(server.release(units::mbps(4)), InvalidArgumentError);
+}
+
+TEST(StreamingServer, PaperCapacityIs450Streams) {
+  StreamingServer server(units::gbps(1.8));
+  int admitted = 0;
+  while (server.can_admit(units::mbps(4))) {
+    server.admit(units::mbps(4));
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 450);
+}
+
+TEST(StreamingServer, ManyAdmitReleaseCyclesStayConsistent) {
+  StreamingServer server(units::gbps(1.8));
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    server.admit(units::mbps(4));
+    server.release(units::mbps(4));
+  }
+  EXPECT_NEAR(server.busy_bps(), 0.0, 1.0);
+  EXPECT_EQ(server.active_streams(), 0u);
+  EXPECT_EQ(server.served_total(), 10000u);
+}
+
+TEST(StreamingServer, FailDropsStreamsAndBlocksAdmission) {
+  StreamingServer server(units::gbps(1.8));
+  server.admit(units::mbps(4));
+  server.admit(units::mbps(4));
+  EXPECT_FALSE(server.failed());
+  EXPECT_EQ(server.fail(), 2u);
+  EXPECT_TRUE(server.failed());
+  EXPECT_EQ(server.active_streams(), 0u);
+  EXPECT_DOUBLE_EQ(server.busy_bps(), 0.0);
+  EXPECT_FALSE(server.can_admit(units::mbps(4)));
+  EXPECT_EQ(server.served_total(), 2u);  // history survives the crash
+}
+
+TEST(StreamingServer, FailOnIdleServerDropsNothing) {
+  StreamingServer server(units::gbps(1.8));
+  EXPECT_EQ(server.fail(), 0u);
+  EXPECT_TRUE(server.failed());
+}
+
+TEST(StreamingServer, RejectsNegativeCapacityAndRates) {
+  EXPECT_THROW(StreamingServer(-1.0), InvalidArgumentError);
+  StreamingServer server(units::mbps(8));
+  EXPECT_THROW(server.admit(0.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

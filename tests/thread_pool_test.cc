@@ -1,0 +1,92 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vodrep {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeIsHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ResultsAreIndependentOfThreadCount) {
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(64, 0.0);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) + 0.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, AllIterationsRunDespiteException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      ++ran;
+      if (i == 0) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SequentialParallelForCallsWork) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 10 * 4950);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,55 @@
+#include "src/core/uniform_replication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+TEST(UniformReplication, ExactMultipleGivesEqualCounts) {
+  const UniformReplication policy;
+  const auto plan = policy.replicate(zipf_popularity(10, 0.75), 8, 30);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 3u);
+}
+
+TEST(UniformReplication, LeftoverGoesToHottestVideos) {
+  const UniformReplication policy;
+  const auto plan = policy.replicate(zipf_popularity(10, 0.75), 8, 33);
+  EXPECT_EQ(plan.replicas[0], 4u);
+  EXPECT_EQ(plan.replicas[1], 4u);
+  EXPECT_EQ(plan.replicas[2], 4u);
+  EXPECT_EQ(plan.replicas[3], 3u);
+  EXPECT_EQ(plan.total_replicas(), 33u);
+}
+
+TEST(UniformReplication, CapsAtFullReplication) {
+  const UniformReplication policy;
+  const auto plan = policy.replicate(zipf_popularity(5, 0.75), 3, 100);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 3u);
+}
+
+TEST(UniformReplication, BudgetEqualToVideos) {
+  const UniformReplication policy;
+  const auto plan = policy.replicate(zipf_popularity(6, 0.5), 4, 6);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 1u);
+}
+
+TEST(UniformReplication, InsufficientBudgetThrows) {
+  const UniformReplication policy;
+  EXPECT_THROW((void)policy.replicate(zipf_popularity(6, 0.5), 4, 5),
+               InfeasibleError);
+}
+
+TEST(UniformReplication, OptimalForUniformPopularity) {
+  // With uniform popularity every plan that spreads the budget evenly
+  // minimizes max w; uniform replication should achieve max w = p / base.
+  const UniformReplication policy;
+  const auto p = uniform_popularity(10);
+  const auto plan = policy.replicate(p, 8, 20);
+  EXPECT_DOUBLE_EQ(plan.max_weight(p), 0.1 / 2.0);
+}
+
+}  // namespace
+}  // namespace vodrep

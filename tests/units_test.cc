@@ -1,0 +1,52 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace vodrep {
+namespace {
+
+TEST(Units, BitratesRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::mbps(4), 4e6);
+  EXPECT_DOUBLE_EQ(units::gbps(1.8), 1.8e9);
+  EXPECT_DOUBLE_EQ(units::to_mbps(units::mbps(7.5)), 7.5);
+  EXPECT_DOUBLE_EQ(units::to_mbps(units::gbps(1)), 1000.0);
+}
+
+TEST(Units, StorageRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::gigabytes(2.7), 2.7e9);
+  EXPECT_DOUBLE_EQ(units::to_gigabytes(units::gigabytes(13.5)), 13.5);
+}
+
+TEST(Units, TimeRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::minutes(90), 5400.0);
+  EXPECT_DOUBLE_EQ(units::to_minutes(units::minutes(42)), 42.0);
+}
+
+TEST(Units, RatesRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::per_minute(40), 40.0 / 60.0);
+  EXPECT_DOUBLE_EQ(units::to_per_minute(units::per_minute(38)), 38.0);
+}
+
+TEST(Units, VideoBytesMatchesThePaperConstant) {
+  // The paper: a 90-minute MPEG-II movie at 4 Mb/s occupies 2.7 GB.
+  EXPECT_DOUBLE_EQ(units::video_bytes(units::minutes(90), units::mbps(4)),
+                   units::gigabytes(2.7));
+}
+
+TEST(Units, VideoBytesScalesLinearly) {
+  const double base = units::video_bytes(units::minutes(90), units::mbps(4));
+  EXPECT_DOUBLE_EQ(units::video_bytes(units::minutes(180), units::mbps(4)),
+                   2.0 * base);
+  EXPECT_DOUBLE_EQ(units::video_bytes(units::minutes(90), units::mbps(8)),
+                   2.0 * base);
+}
+
+TEST(Units, AllHelpersAreConstexpr) {
+  static_assert(units::mbps(4) == 4e6);
+  static_assert(units::minutes(90) == 5400.0);
+  static_assert(units::video_bytes(5400.0, 4e6) == 2.7e9);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,139 @@
+#include "src/core/zipf_interval_replication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/adams_replication.h"
+#include "src/util/error.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+std::size_t total_of(const std::vector<std::size_t>& r) {
+  std::size_t t = 0;
+  for (std::size_t x : r) t += x;
+  return t;
+}
+
+TEST(ZipfIntervalBoundaries, AreStrictlyDecreasingInsideRange) {
+  const auto z = ZipfIntervalReplication::interval_boundaries(0.1, 8, 0.7);
+  ASSERT_EQ(z.size(), 7u);
+  double prev = 0.1;
+  for (double b : z) {
+    EXPECT_LT(b, prev);
+    EXPECT_GT(b, 0.0);
+    prev = b;
+  }
+}
+
+TEST(ZipfIntervalBoundaries, UniformSkewGivesEqualWidths) {
+  const auto z = ZipfIntervalReplication::interval_boundaries(1.0, 4, 0.0);
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_NEAR(z[0], 0.75, 1e-12);
+  EXPECT_NEAR(z[1], 0.50, 1e-12);
+  EXPECT_NEAR(z[2], 0.25, 1e-12);
+}
+
+TEST(ZipfIntervalBoundaries, BoundariesDecreaseAsSkewIncreases) {
+  // Lemma 4.1's mechanism: larger u pushes every boundary down.
+  const auto low = ZipfIntervalReplication::interval_boundaries(1.0, 8, 0.2);
+  const auto high = ZipfIntervalReplication::interval_boundaries(1.0, 8, 2.0);
+  for (std::size_t k = 0; k < low.size(); ++k) {
+    EXPECT_LT(high[k], low[k]) << "k=" << k;
+  }
+}
+
+TEST(ZipfIntervalBoundaries, SingleServerHasNoBoundaries) {
+  EXPECT_TRUE(ZipfIntervalReplication::interval_boundaries(1.0, 1, 0.5).empty());
+}
+
+TEST(ZipfIntervalAssign, TopVideoGetsTopInterval) {
+  const auto p = zipf_popularity(20, 0.75);
+  const auto r = ZipfIntervalReplication::assign_for_skew(p, 4, 0.7);
+  EXPECT_EQ(r[0], 4u);  // the most popular video sits at the top boundary
+}
+
+TEST(ZipfIntervalAssign, AssignmentIsMonotoneInPopularity) {
+  const auto p = zipf_popularity(50, 0.9);
+  const auto r = ZipfIntervalReplication::assign_for_skew(p, 8, 1.0);
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_GE(r[i - 1], r[i]);
+}
+
+TEST(ZipfIntervalAssign, TotalIsNonDecreasingInSkew) {
+  // Lemma 4.1 itself.
+  const auto p = zipf_popularity(100, 0.75);
+  std::size_t prev = 0;
+  for (double u = -8.0; u <= 8.0; u += 0.5) {
+    const std::size_t total =
+        total_of(ZipfIntervalReplication::assign_for_skew(p, 8, u));
+    EXPECT_GE(total, prev) << "u=" << u;
+    prev = total;
+  }
+}
+
+TEST(ZipfIntervalReplication, FitsBudgetAndCoversEveryVideo) {
+  const ZipfIntervalReplication zipf;
+  const auto p = zipf_popularity(100, 0.75);
+  const auto plan = zipf.replicate(p, 8, 130);
+  EXPECT_LE(plan.total_replicas(), 130u);
+  for (std::size_t r : plan.replicas) {
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 8u);
+  }
+}
+
+TEST(ZipfIntervalReplication, UsesMostOfTheBudget) {
+  const ZipfIntervalReplication zipf;
+  const auto p = zipf_popularity(300, 0.75);
+  for (std::size_t budget : {330u, 360u, 420u, 480u, 540u}) {
+    const auto plan = zipf.replicate(p, 8, budget);
+    EXPECT_LE(plan.total_replicas(), budget);
+    // The discrete interval structure cannot always hit the budget exactly,
+    // but it should land within the heaviest video's worth of slack.
+    EXPECT_GE(plan.total_replicas(), budget - 8u) << "budget=" << budget;
+  }
+}
+
+TEST(ZipfIntervalReplication, FullReplicationWhenBudgetAllows) {
+  const ZipfIntervalReplication zipf;
+  const auto p = zipf_popularity(10, 0.75);
+  const auto plan = zipf.replicate(p, 4, 40);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 4u);
+}
+
+TEST(ZipfIntervalReplication, NearOptimalMaxWeight) {
+  // Section 5: "the Zipf replication and the Adams replication achieved
+  // nearly the same results in most test cases".
+  const ZipfIntervalReplication zipf;
+  const AdamsReplication adams;
+  const auto p = zipf_popularity(300, 0.75);
+  const std::size_t budget = 360;
+  const double zipf_max = zipf.replicate(p, 8, budget).max_weight(p);
+  const double adams_max = adams.replicate(p, 8, budget).max_weight(p);
+  EXPECT_LE(zipf_max, 2.5 * adams_max);
+}
+
+TEST(ZipfIntervalReplication, SingleServerDegeneratesToOneEach) {
+  const ZipfIntervalReplication zipf;
+  const auto plan = zipf.replicate(zipf_popularity(7, 0.5), 1, 7);
+  for (std::size_t r : plan.replicas) EXPECT_EQ(r, 1u);
+}
+
+TEST(ZipfIntervalReplication, InsufficientBudgetThrows) {
+  const ZipfIntervalReplication zipf;
+  EXPECT_THROW((void)zipf.replicate(zipf_popularity(10, 0.5), 4, 9),
+               InfeasibleError);
+}
+
+TEST(ZipfIntervalReplication, WorksAcrossSkews) {
+  const ZipfIntervalReplication zipf;
+  for (double theta : {0.271, 0.5, 0.75, 1.0}) {
+    const auto p = zipf_popularity(200, theta);
+    const auto plan = zipf.replicate(p, 8, 280);
+    EXPECT_LE(plan.total_replicas(), 280u) << theta;
+    EXPECT_GE(plan.total_replicas(), 200u) << theta;
+  }
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,188 @@
+// vodrep_plan — the operational placement planner.
+//
+// Computes a replication plan and placement for a cluster and writes it in
+// the vodrep-layout exchange format, or inspects an existing layout file.
+//
+//   # plan 300 Zipf(0.75) videos onto 8 servers at degree 1.2
+//   vodrep_plan --videos=300 --theta=0.75 --servers=8 --degree=1.2
+//               --output=layout.txt
+//
+//   # plan from measured per-video request counts (one weight per line,
+//   # line number = video id)
+//   vodrep_plan --popularity-file=counts.txt --servers=8 --degree=1.3
+//
+//   # inspect an existing layout
+//   vodrep_plan --inspect=layout.txt
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/layout_io.h"
+#include "src/core/objective.h"
+#include "src/core/pipeline.h"
+#include "src/sim/simulator.h"
+#include "src/util/cli.h"
+#include "src/util/error.h"
+#include "src/util/units.h"
+#include "src/workload/trace.h"
+#include "src/util/table.h"
+#include "src/workload/popularity.h"
+
+namespace {
+
+using namespace vodrep;
+
+std::vector<double> read_weights(const std::string& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in), "cannot open popularity file: " + path);
+  std::vector<double> weights;
+  double w = 0.0;
+  while (in >> w) weights.push_back(w);
+  require(!weights.empty(), "popularity file is empty: " + path);
+  return weights;
+}
+
+void print_summary(const Layout& layout, const std::vector<double>& popularity,
+                   std::size_t servers) {
+  const ReplicationPlan plan = layout.implied_plan();
+  const auto loads = layout.expected_loads(popularity, servers);
+  const auto counts = layout.replicas_per_server(servers);
+  std::cout << "videos: " << layout.num_videos()
+            << ", replicas: " << plan.total_replicas() << " (degree "
+            << plan.degree() << ")\n"
+            << "expected-load imbalance L (Eq. 2): "
+            << 100.0 * imbalance_max_relative(loads) << " %\n\n";
+  Table table({"server", "replicas", "expected_load_share%"});
+  table.set_precision(2);
+  for (std::size_t s = 0; s < servers; ++s) {
+    table.add_row({static_cast<long long>(s),
+                   static_cast<long long>(counts[s]), 100.0 * loads[s]});
+  }
+  table.print(std::cout);
+}
+
+int run(int argc, char** argv) {
+  CliFlags flags("vodrep_plan", "Compute or inspect a cluster placement");
+  flags.add_int("videos", 300, "catalogue size (ignored with --popularity-file)");
+  flags.add_double("theta", 0.75, "Zipf skew for synthetic popularity");
+  flags.add_string("popularity-file", "",
+                   "one weight per line, line number = video id");
+  flags.add_int("servers", 8, "cluster size N");
+  flags.add_double("degree", 1.2, "target replication degree");
+  flags.add_string("replication", "adams",
+                   "adams | zipf | classification | uniform");
+  flags.add_string("placement", "slf", "slf | round-robin | best-fit");
+  flags.add_string("output", "", "write the layout here ('-' for stdout)");
+  flags.add_string("inspect", "", "read and summarize an existing layout");
+  flags.add_string("evaluate", "",
+                   "simulate a layout (--inspect) against this trace file");
+  flags.add_double("bandwidth-gbps", 1.8, "per-server bandwidth for --evaluate");
+  flags.add_double("bitrate-mbps", 4.0, "stream bit rate for --evaluate");
+  flags.add_double("duration-min", 90.0, "video duration for --evaluate");
+  if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+
+  const auto servers = static_cast<std::size_t>(flags.get_int("servers"));
+
+  if (!flags.get_string("evaluate").empty()) {
+    require(!flags.get_string("inspect").empty(),
+            "--evaluate needs --inspect=<layout file>");
+    std::ifstream layout_in(flags.get_string("inspect"));
+    require(static_cast<bool>(layout_in),
+            "cannot open layout file: " + flags.get_string("inspect"));
+    const PlacementFile placement = load_placement(layout_in);
+    std::ifstream trace_in(flags.get_string("evaluate"));
+    require(static_cast<bool>(trace_in),
+            "cannot open trace file: " + flags.get_string("evaluate"));
+    const RequestTrace trace = load_trace(trace_in);
+
+    SimConfig config;
+    config.num_servers = placement.num_servers;
+    config.bandwidth_bps_per_server =
+        units::gbps(flags.get_double("bandwidth-gbps"));
+    config.stream_bitrate_bps = units::mbps(flags.get_double("bitrate-mbps"));
+    config.video_duration_sec =
+        units::minutes(flags.get_double("duration-min"));
+    const SimResult result = simulate(placement.layout, config, trace);
+
+    std::cout << "== " << flags.get_string("inspect") << " vs "
+              << flags.get_string("evaluate") << " ==\n"
+              << "requests: " << result.total_requests
+              << ", rejected: " << result.rejected << " ("
+              << 100.0 * result.rejection_rate() << " %)\n"
+              << "time-averaged L (Eq. 2): "
+              << 100.0 * result.mean_imbalance_eq2 << " %\n"
+              << "mean link utilization: "
+              << 100.0 * result.mean_utilization() << " %\n";
+    return EXIT_SUCCESS;
+  }
+
+  if (!flags.get_string("inspect").empty()) {
+    std::ifstream in(flags.get_string("inspect"));
+    require(static_cast<bool>(in),
+            "cannot open layout file: " + flags.get_string("inspect"));
+    const PlacementFile placement = load_placement(in);
+    std::cout << "== " << flags.get_string("inspect") << " ==\n";
+    // Without the original popularity, summarize with a uniform one.
+    print_summary(placement.layout,
+                  uniform_popularity(placement.layout.num_videos()),
+                  placement.num_servers);
+    std::cout << "\n(expected loads shown under uniform popularity; re-run "
+                 "with the original\n popularity file for the provisioning "
+                 "view)\n";
+    return EXIT_SUCCESS;
+  }
+
+  std::vector<double> popularity;
+  if (!flags.get_string("popularity-file").empty()) {
+    popularity = normalized_popularity(
+        read_weights(flags.get_string("popularity-file")));
+  } else {
+    popularity = zipf_popularity(
+        static_cast<std::size_t>(flags.get_int("videos")),
+        flags.get_double("theta"));
+  }
+  const auto budget = static_cast<std::size_t>(
+      flags.get_double("degree") * static_cast<double>(popularity.size()));
+  const std::size_t capacity = (budget + servers - 1) / servers;
+
+  const auto replication =
+      make_replication_policy(flags.get_string("replication"));
+  const auto placement_policy =
+      make_placement_policy(flags.get_string("placement"));
+  const ReplicationPlan plan =
+      replication->replicate(popularity, servers, budget);
+  const Layout layout =
+      placement_policy->place(plan, popularity, servers, capacity);
+
+  std::cout << "== plan: " << flags.get_string("replication") << " + "
+            << flags.get_string("placement") << " ==\n";
+  print_summary(layout, popularity, servers);
+
+  const std::string output = flags.get_string("output");
+  if (!output.empty()) {
+    PlacementFile placement;
+    placement.num_servers = servers;
+    placement.layout = layout;
+    if (output == "-") {
+      save_placement(std::cout, placement);
+    } else {
+      std::ofstream out(output);
+      require(static_cast<bool>(out), "cannot write layout file: " + output);
+      save_placement(out, placement);
+      std::cout << "\nlayout written to " << output << "\n";
+    }
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
