@@ -1,0 +1,301 @@
+// SA hot-path benchmark: copy-based full recompute vs incremental
+// delta-evaluation (src/core/incremental_state.h).
+//
+// `BaselineSaProblem` below preserves the pre-incremental solver verbatim —
+// per-move State deep copy, O(M) videos_on_server scans, compute_usage
+// rebuilt from scratch in cost() and once per repair action — so the
+// speedup reported here stays honest across future PRs even as the library
+// solver evolves.  Both solvers run the identical annealing schedule (fixed
+// temperature-step count, stall disabled) so the Metropolis loop iteration
+// count is the same; moves/sec = iterations / wall time.
+//
+// The last stdout line is machine-readable JSON for tracking the perf
+// trajectory across PRs.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/sa_solver.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace {
+
+using namespace vodrep;
+
+/// The seed implementation of the scalable SA problem (copy-based path):
+/// kept as the benchmark baseline, not used by the library.
+class BaselineSaProblem {
+ public:
+  using State = ScalableSolution;
+
+  BaselineSaProblem(const ScalableProblem& problem,
+                    const SaSolverOptions& options)
+      : problem_(problem), options_(options) {}
+
+  State initial(Rng& rng) const {
+    (void)rng;
+    ScalableSolution solution = lowest_rate_round_robin(problem_);
+    (void)repair(solution);
+    return solution;
+  }
+
+  double cost(const State& state) const {
+    const ServerUsage usage = compute_usage(problem_, state);
+    double overflow = 0.0;
+    const double capacity = problem_.cluster.bandwidth_bps_per_server;
+    for (double load : usage.bandwidth_bps) {
+      if (load > capacity) overflow += (load - capacity) / capacity;
+    }
+    const double objective =
+        objective_value(state.bitrates(problem_.ladder), state.replicas(),
+                        usage.bandwidth_bps, problem_.cluster.num_servers,
+                        problem_.weights);
+    return -objective + options_.bandwidth_penalty * overflow;
+  }
+
+  State neighbor(const State& state, Rng& rng) const {
+    const std::size_t n = problem_.cluster.num_servers;
+    const std::size_t m = problem_.videos.count();
+    State next = state;
+    const auto server = static_cast<std::size_t>(rng.uniform_index(n));
+
+    auto try_increase_rate = [&]() {
+      std::vector<std::size_t> hosted = videos_on_server(next, server);
+      std::erase_if(hosted, [&](std::size_t v) {
+        return next.bitrate_index[v] + 1 >= problem_.ladder.size();
+      });
+      if (hosted.empty()) return false;
+      const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
+      ++next.bitrate_index[pick];
+      return true;
+    };
+    auto try_add_replica = [&]() {
+      std::vector<std::size_t> absent;
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto& servers = next.placement[i];
+        if (servers.size() < n &&
+            std::find(servers.begin(), servers.end(), server) ==
+                servers.end()) {
+          absent.push_back(i);
+        }
+      }
+      if (absent.empty()) return false;
+      const std::size_t pick = absent[rng.uniform_index(absent.size())];
+      next.placement[pick].push_back(server);
+      return true;
+    };
+    auto try_shrink = [&]() {
+      std::vector<std::size_t> hosted = videos_on_server(next, server);
+      std::erase_if(hosted, [&](std::size_t v) {
+        return next.bitrate_index[v] == 0 && next.placement[v].size() <= 1;
+      });
+      if (hosted.empty()) return false;
+      const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
+      if (next.bitrate_index[pick] > 0 &&
+          (next.placement[pick].size() <= 1 || rng.bernoulli(0.5))) {
+        --next.bitrate_index[pick];
+      } else {
+        auto& servers_of = next.placement[pick];
+        servers_of.erase(
+            std::find(servers_of.begin(), servers_of.end(), server));
+      }
+      return true;
+    };
+
+    bool moved;
+    if (rng.bernoulli(options_.shrink_probability)) {
+      moved = try_shrink();
+    } else if (rng.bernoulli(options_.increase_rate_probability)) {
+      moved = try_increase_rate() || try_add_replica();
+    } else {
+      moved = try_add_replica() || try_increase_rate();
+    }
+    if (!moved) return state;
+    if (!repair(next)) return state;
+    return next;
+  }
+
+  bool repair(State& state) const {
+    const double storage_cap = problem_.cluster.storage_bytes_per_server;
+    const double bandwidth_cap = problem_.cluster.bandwidth_bps_per_server;
+    for (;;) {
+      const ServerUsage usage = compute_usage(problem_, state);
+      std::size_t worst = problem_.cluster.num_servers;
+      for (std::size_t s = 0; s < problem_.cluster.num_servers; ++s) {
+        if (usage.storage_bytes[s] > storage_cap ||
+            usage.bandwidth_bps[s] > bandwidth_cap) {
+          worst = s;
+          break;
+        }
+      }
+      if (worst == problem_.cluster.num_servers) return true;
+
+      std::vector<std::size_t> hosted = videos_on_server(state, worst);
+      std::sort(hosted.begin(), hosted.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (state.bitrate_index[a] != state.bitrate_index[b]) {
+                    return state.bitrate_index[a] < state.bitrate_index[b];
+                  }
+                  return a > b;
+                });
+      bool acted = false;
+      for (std::size_t video : hosted) {
+        if (state.bitrate_index[video] > 0) {
+          --state.bitrate_index[video];
+          acted = true;
+          break;
+        }
+        if (state.placement[video].size() > 1) {
+          auto& servers = state.placement[video];
+          servers.erase(std::find(servers.begin(), servers.end(), worst));
+          acted = true;
+          break;
+        }
+      }
+      if (!acted) {
+        return std::all_of(
+            usage.storage_bytes.begin(), usage.storage_bytes.end(),
+            [&](double b) { return b <= storage_cap; });
+      }
+    }
+  }
+
+ private:
+  static std::vector<std::size_t> videos_on_server(
+      const ScalableSolution& solution, std::size_t s) {
+    std::vector<std::size_t> videos;
+    for (std::size_t i = 0; i < solution.placement.size(); ++i) {
+      const auto& servers = solution.placement[i];
+      if (std::find(servers.begin(), servers.end(), s) != servers.end()) {
+        videos.push_back(i);
+      }
+    }
+    return videos;
+  }
+
+  const ScalableProblem& problem_;
+  SaSolverOptions options_;
+};
+
+struct RunStats {
+  double seconds = 0.0;
+  double moves_per_sec = 0.0;
+  std::size_t iterations = 0;
+  double objective = 0.0;
+  std::size_t moves_noop = 0;
+};
+
+template <typename Problem>
+RunStats run_annealer(const Problem& sa, const ScalableProblem& problem,
+                      const AnnealOptions& options, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = anneal(sa, rng, options);
+  const auto stop = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.seconds = std::chrono::duration<double>(stop - start).count();
+  stats.iterations = result.temperature_steps * options.moves_per_temperature;
+  stats.moves_per_sec =
+      static_cast<double>(stats.iterations) / std::max(stats.seconds, 1e-12);
+  stats.objective = solution_objective(problem, result.best_state);
+  stats.moves_noop = result.moves_noop;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags("vodrep_sa_hotpath",
+                 "SA hot path: copy-based baseline vs incremental "
+                 "delta-evaluation, same schedule, moves/sec");
+  flags.add_int("videos", 1000, "catalogue size M");
+  flags.add_int("servers", 16, "cluster size N");
+  flags.add_double("theta", 0.75, "Zipf skew");
+  flags.add_double("lambda", 30.0, "peak arrival rate, requests/minute");
+  flags.add_double("storage-gb", 120.0, "per-server storage budget, GB");
+  flags.add_int("temp-steps", 60, "temperature steps (fixed, stall disabled)");
+  flags.add_int("moves", 200, "moves per temperature step");
+  flags.add_int("seed", 2002, "annealer seed");
+  flags.add_bool("quick", false, "small fast configuration (CI smoke mode)");
+  try {
+    if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
+    const bool quick = flags.get_bool("quick");
+    const auto m =
+        quick ? 120u : static_cast<std::size_t>(flags.get_int("videos"));
+    const auto n =
+        quick ? 8u : static_cast<std::size_t>(flags.get_int("servers"));
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+    ScalableProblem problem;
+    problem.videos.duration_sec = units::minutes(90);
+    problem.videos.popularity = zipf_popularity(m, flags.get_double("theta"));
+    problem.cluster.num_servers = n;
+    problem.cluster.bandwidth_bps_per_server = units::gbps(1.8);
+    problem.cluster.storage_bytes_per_server =
+        units::gigabytes(flags.get_double("storage-gb"));
+    problem.ladder.rates_bps = {units::mbps(1), units::mbps(2),
+                                units::mbps(3), units::mbps(4),
+                                units::mbps(6), units::mbps(8)};
+    problem.expected_peak_requests = flags.get_double("lambda") * 90.0;
+
+    SaSolverOptions options;
+    options.anneal.initial_temperature = 1.0;
+    options.anneal.final_temperature = 1e-12;  // temp-steps bounds the run
+    options.anneal.moves_per_temperature =
+        static_cast<std::size_t>(flags.get_int("moves"));
+    options.anneal.max_temperature_steps =
+        quick ? 6 : static_cast<std::size_t>(flags.get_int("temp-steps"));
+    options.anneal.stall_steps = 0;
+
+    std::cout << "== SA hot path: full recompute vs incremental "
+                 "delta-evaluation ==\n"
+              << "M=" << m << " videos, N=" << n << " servers, "
+              << options.anneal.max_temperature_steps << " temperature steps x "
+              << options.anneal.moves_per_temperature << " moves\n\n";
+
+    const BaselineSaProblem baseline(problem, options);
+    const ScalableSaProblem incremental(problem, options);
+    static_assert(!InPlaceAnnealProblem<BaselineSaProblem>,
+                  "baseline must exercise the copy path");
+    static_assert(InPlaceAnnealProblem<ScalableSaProblem>,
+                  "library solver must exercise the in-place path");
+
+    const RunStats copy_stats =
+        run_annealer(baseline, problem, options.anneal, seed);
+    const RunStats inc_stats =
+        run_annealer(incremental, problem, options.anneal, seed);
+    const double speedup = inc_stats.moves_per_sec / copy_stats.moves_per_sec;
+
+    Table table({"path", "seconds", "moves_per_sec", "objective"});
+    table.set_precision(3);
+    table.add_row({std::string("copy_full_recompute"), copy_stats.seconds,
+                   copy_stats.moves_per_sec, copy_stats.objective});
+    table.add_row({std::string("incremental_delta"), inc_stats.seconds,
+                   inc_stats.moves_per_sec, inc_stats.objective});
+    table.print(std::cout);
+    std::cout << "\nspeedup: " << speedup << "x  (noop moves skipped by the "
+              << "in-place path: " << inc_stats.moves_noop << ")\n\n";
+
+    std::cout << "{\"bench\":\"sa_hotpath\",\"videos\":" << m
+              << ",\"servers\":" << n
+              << ",\"iterations\":" << inc_stats.iterations
+              << ",\"copy_seconds\":" << copy_stats.seconds
+              << ",\"copy_moves_per_sec\":" << copy_stats.moves_per_sec
+              << ",\"incremental_seconds\":" << inc_stats.seconds
+              << ",\"incremental_moves_per_sec\":" << inc_stats.moves_per_sec
+              << ",\"speedup\":" << speedup
+              << ",\"copy_objective\":" << copy_stats.objective
+              << ",\"incremental_objective\":" << inc_stats.objective
+              << ",\"incremental_noop_moves\":" << inc_stats.moves_noop
+              << "}\n";
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -14,6 +14,10 @@
 //     double cost(const State& s) const;       // value to MINIMIZE
 //     State neighbor(const State& s, Rng&) const;  // random feasible move
 //   };
+//
+// Problems may additionally implement the in-place move API (see
+// InPlaceAnnealProblem below); the engine then evaluates moves as O(delta)
+// incremental updates instead of copying and re-costing the whole State.
 #pragma once
 
 #include <cmath>
@@ -36,6 +40,31 @@ concept AnnealProblem = requires(const P& p, const typename P::State& s, Rng& rn
   { p.neighbor(s, rng) } -> std::convertible_to<typename P::State>;
 };
 
+/// Optional extension of AnnealProblem: problems that can evaluate moves as
+/// in-place deltas instead of copy-modify-recompute.  The engine then keeps
+/// one mutable `Scratch` per chain and never copies the State on the move
+/// path (only when a new best solution is extracted):
+///
+///   Scratch make_scratch(State s);   // owns the chain's mutable state
+///   bool propose(Scratch&, Rng&);    // tentatively apply a move; false =
+///                                    // no-op (nothing applied, skip eval)
+///   double delta_cost(const Scratch&);  // cost(after) - cost(before)
+///   void commit(Scratch&);           // accept the tentative move
+///   void revert(Scratch&);           // undo the tentative move
+///   State extract(const Scratch&);   // snapshot for best-state tracking
+template <typename P>
+concept InPlaceAnnealProblem =
+    AnnealProblem<P> && requires { typename P::Scratch; } &&
+    requires(const P& p, typename P::State s, typename P::Scratch& scratch,
+             Rng& rng) {
+      { p.make_scratch(std::move(s)) } -> std::convertible_to<typename P::Scratch>;
+      { p.propose(scratch, rng) } -> std::convertible_to<bool>;
+      { p.delta_cost(std::as_const(scratch)) } -> std::convertible_to<double>;
+      { p.commit(scratch) };
+      { p.revert(scratch) };
+      { p.extract(std::as_const(scratch)) } -> std::convertible_to<typename P::State>;
+    };
+
 /// Engine parameters.  Defaults suit problems whose cost is O(1)-scaled;
 /// initial_temperature <= 0 requests automatic calibration (see
 /// calibrate_initial_temperature).
@@ -50,6 +79,13 @@ struct AnnealOptions {
   /// Target acceptance ratio for automatic temperature calibration.
   double calibration_acceptance = 0.8;
   std::size_t calibration_samples = 200;
+  /// Cap on stored trajectory samples.  While under the cap one
+  /// (temperature, best-cost) sample is kept per temperature step; on
+  /// overflow the trajectory is decimated in place (every other sample
+  /// dropped, sampling stride doubled), so memory stays bounded on long
+  /// multi-chain runs while the samples remain chronologically uniform.
+  /// 0 disables the cap.
+  std::size_t trajectory_max_samples = 4096;
 };
 
 /// What the engine did, for instrumentation and tests.
@@ -61,7 +97,12 @@ struct AnnealResult {
   std::size_t temperature_steps = 0;
   std::size_t moves_proposed = 0;
   std::size_t moves_accepted = 0;
-  /// (temperature, best-cost) samples, one per temperature step.
+  /// Move slots that produced no candidate (saturated server, irreparable
+  /// move): skipped without a cost evaluation.  Only the in-place path can
+  /// detect these; the copy path always counts a proposal.
+  std::size_t moves_noop = 0;
+  /// (temperature, best-cost) samples: one per temperature step, decimated
+  /// to every k-th step once options.trajectory_max_samples is exceeded.
   std::vector<std::pair<double, double>> trajectory;
 };
 
@@ -97,7 +138,10 @@ template <AnnealProblem P>
 }
 
 /// Runs simulated annealing and returns the best state encountered.
-/// Deterministic given `rng`'s seed.
+/// Deterministic given `rng`'s seed.  Problems satisfying
+/// InPlaceAnnealProblem are driven through the allocation-free
+/// propose/delta_cost/commit/revert path; everything else uses the classic
+/// copy-modify-recompute loop.
 template <AnnealProblem P>
 [[nodiscard]] AnnealResult<typename P::State> anneal(
     const P& problem, Rng& rng, const AnnealOptions& options,
@@ -108,10 +152,58 @@ template <AnnealProblem P>
           "anneal: moves_per_temperature must be positive");
 
   AnnealResult<typename P::State> result;
-  typename P::State current = problem.initial(rng);
-  double current_cost = problem.cost(current);
-  result.best_state = current;
+  typename P::State initial_state = problem.initial(rng);
+  double current_cost = problem.cost(initial_state);
+  result.best_state = initial_state;
   result.best_cost = current_cost;
+
+  // The chain's mutable state: the problem's Scratch when it supports
+  // in-place moves, a plain State copy otherwise.
+  auto chain = [&] {
+    if constexpr (InPlaceAnnealProblem<P>) {
+      return problem.make_scratch(std::move(initial_state));
+    } else {
+      return std::move(initial_state);
+    }
+  }();
+
+  /// One Metropolis step at `temperature`; returns whether it was accepted.
+  auto metropolis_step = [&](double temperature) {
+    if constexpr (InPlaceAnnealProblem<P>) {
+      if (!problem.propose(chain, rng)) {
+        ++result.moves_noop;  // nothing applied, nothing to evaluate
+        return false;
+      }
+      ++result.moves_proposed;
+      const double delta = problem.delta_cost(chain);
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        problem.commit(chain);
+        current_cost += delta;
+        if (current_cost < result.best_cost) {
+          result.best_cost = current_cost;
+          result.best_state = problem.extract(chain);
+        }
+        return true;
+      }
+      problem.revert(chain);
+      return false;
+    } else {
+      typename P::State candidate = problem.neighbor(chain, rng);
+      const double candidate_cost = problem.cost(candidate);
+      const double delta = candidate_cost - current_cost;
+      ++result.moves_proposed;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+        chain = std::move(candidate);
+        current_cost = candidate_cost;
+        if (current_cost < result.best_cost) {
+          result.best_cost = current_cost;
+          result.best_state = chain;
+        }
+        return true;
+      }
+      return false;
+    }
+  };
 
   double temperature = options.initial_temperature;
   if (temperature <= 0.0) {
@@ -121,29 +213,35 @@ template <AnnealProblem P>
   }
 
   std::size_t stall = 0;
+  std::size_t trajectory_stride = 1;
   CoolingStepInfo info;
   while (temperature > options.final_temperature &&
          result.temperature_steps < options.max_temperature_steps) {
     std::size_t accepted = 0;
     const double best_before = result.best_cost;
     for (std::size_t m = 0; m < options.moves_per_temperature; ++m) {
-      typename P::State candidate = problem.neighbor(current, rng);
-      const double candidate_cost = problem.cost(candidate);
-      const double delta = candidate_cost - current_cost;
-      ++result.moves_proposed;
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-        current = std::move(candidate);
-        current_cost = candidate_cost;
-        ++accepted;
-        if (current_cost < result.best_cost) {
-          result.best_cost = current_cost;
-          result.best_state = current;
-        }
-      }
+      if (metropolis_step(temperature)) ++accepted;
     }
     result.moves_accepted += accepted;
-    ++result.temperature_steps;
-    result.trajectory.emplace_back(temperature, result.best_cost);
+    const std::size_t step_index = result.temperature_steps++;
+
+    // Bounded trajectory: sample every trajectory_stride-th step; on hitting
+    // the cap drop every other stored sample and double the stride.  Stored
+    // steps are always the multiples of the current stride.
+    if (step_index % trajectory_stride == 0) {
+      if (options.trajectory_max_samples != 0 &&
+          result.trajectory.size() >= options.trajectory_max_samples) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < result.trajectory.size(); i += 2) {
+          result.trajectory[kept++] = result.trajectory[i];
+        }
+        result.trajectory.resize(kept);
+        trajectory_stride *= 2;
+      }
+      if (step_index % trajectory_stride == 0) {
+        result.trajectory.emplace_back(temperature, result.best_cost);
+      }
+    }
 
     stall = result.best_cost < best_before ? 0 : stall + 1;
     if (options.stall_steps != 0 && stall >= options.stall_steps) break;
@@ -195,14 +293,17 @@ template <AnnealProblem P>
   std::size_t best = 0;
   std::size_t moves_proposed = 0;
   std::size_t moves_accepted = 0;
+  std::size_t moves_noop = 0;
   for (std::size_t chain = 0; chain < chains; ++chain) {
     moves_proposed += results[chain].moves_proposed;
     moves_accepted += results[chain].moves_accepted;
+    moves_noop += results[chain].moves_noop;
     if (results[chain].best_cost < results[best].best_cost) best = chain;
   }
   AnnealResult<typename P::State> winner = std::move(results[best]);
   winner.moves_proposed = moves_proposed;
   winner.moves_accepted = moves_accepted;
+  winner.moves_noop = moves_noop;
   return winner;
 }
 

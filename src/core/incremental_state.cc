@@ -1,0 +1,252 @@
+#include "src/core/incremental_state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/error.h"
+#include "src/util/units.h"
+
+namespace vodrep {
+
+IncrementalState::IncrementalState(const ScalableProblem& problem,
+                                   ScalableSolution solution)
+    : problem_(&problem),
+      solution_(std::move(solution)),
+      num_servers_(problem.cluster.num_servers) {
+  const std::size_t m = problem.videos.count();
+  require(solution_.bitrate_index.size() == m && solution_.placement.size() == m,
+          "IncrementalState: solution/problem size mismatch");
+
+  slot_bytes_.reserve(problem.ladder.size());
+  slot_mbps_.reserve(problem.ladder.size());
+  for (double rate : problem.ladder.rates_bps) {
+    slot_bytes_.push_back(units::video_bytes(problem.videos.duration_sec, rate));
+    slot_mbps_.push_back(units::to_mbps(rate));
+  }
+  peak_requests_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    peak_requests_.push_back(problem.expected_peak_requests *
+                             problem.videos.popularity[i]);
+  }
+
+  storage_bytes_.assign(num_servers_, 0.0);
+  bandwidth_bps_.assign(num_servers_, 0.0);
+  server_videos_.resize(num_servers_);
+  host_pos_.assign(m * num_servers_, kNoPos);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& servers = solution_.placement[i];
+    require(!servers.empty(), "IncrementalState: video with no replica");
+    const std::size_t idx = solution_.bitrate_index[i];
+    require(idx < problem.ladder.size(),
+            "IncrementalState: ladder index out of range");
+    const double per_replica_bps =
+        peak_requests_[i] / static_cast<double>(servers.size()) *
+        problem.ladder.rates_bps[idx];
+    for (std::size_t s : servers) {
+      require(s < num_servers_, "IncrementalState: server index out of range");
+      require(host_pos_[i * num_servers_ + s] == kNoPos,
+              "IncrementalState: duplicate replica");
+      storage_bytes_[s] += slot_bytes_[idx];
+      bandwidth_bps_[s] += per_replica_bps;
+      host_pos_[i * num_servers_ + s] = server_videos_[s].size();
+      server_videos_[s].push_back(i);
+    }
+    rate_sum_mbps_ += slot_mbps_[idx];
+    replica_sum_ += servers.size();
+  }
+
+  const double cap = problem.cluster.bandwidth_bps_per_server;
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    total_load_bps_ += bandwidth_bps_[s];
+    if (bandwidth_bps_[s] > cap) {
+      overflow_sum_ += (bandwidth_bps_[s] - cap) / cap;
+      ++overflow_count_;
+    }
+    if (bandwidth_bps_[s] > bandwidth_bps_[max_server_]) max_server_ = s;
+  }
+}
+
+void IncrementalState::add_load(std::size_t server, double delta) {
+  const double cap = problem_->cluster.bandwidth_bps_per_server;
+  const double before = bandwidth_bps_[server];
+  const double after = before + delta;
+  bandwidth_bps_[server] = after;
+  total_load_bps_ += delta;
+
+  const double over_before = before > cap ? (before - cap) / cap : 0.0;
+  const double over_after = after > cap ? (after - cap) / cap : 0.0;
+  if (over_before > 0.0 && over_after == 0.0) {
+    --overflow_count_;
+  } else if (over_before == 0.0 && over_after > 0.0) {
+    ++overflow_count_;
+  }
+  overflow_sum_ += over_after - over_before;
+  // With no overflowing server the penalty is exactly zero; resetting here
+  // discards the drift accumulated across past excursions over the cap.
+  if (overflow_count_ == 0) overflow_sum_ = 0.0;
+
+  if (!max_dirty_) {
+    if (server == max_server_) {
+      // The max server's load fell: some other server may now lead.  Defer
+      // the O(N) re-scan until the max is actually needed.
+      if (delta < 0.0) max_dirty_ = true;
+    } else if (after > bandwidth_bps_[max_server_]) {
+      max_server_ = server;
+    }
+  }
+}
+
+double IncrementalState::max_bandwidth_bps() const {
+  if (max_dirty_) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < num_servers_; ++s) {
+      if (bandwidth_bps_[s] > bandwidth_bps_[best]) best = s;
+    }
+    max_server_ = best;
+    max_dirty_ = false;
+  }
+  return bandwidth_bps_[max_server_];
+}
+
+void IncrementalState::apply_set_bitrate(std::size_t video,
+                                         std::size_t ladder_index,
+                                         bool journal) {
+  const std::size_t prev = solution_.bitrate_index[video];
+  if (prev == ladder_index) return;
+  if (journal) journal_.push_back({Op::kSetBitrate, video, prev});
+
+  const auto& servers = solution_.placement[video];
+  const auto replicas = static_cast<double>(servers.size());
+  const double delta_bytes = slot_bytes_[ladder_index] - slot_bytes_[prev];
+  const double delta_bps =
+      peak_requests_[video] / replicas *
+      (problem_->ladder.rates_bps[ladder_index] -
+       problem_->ladder.rates_bps[prev]);
+  for (std::size_t s : servers) {
+    storage_bytes_[s] += delta_bytes;
+    add_load(s, delta_bps);
+  }
+  rate_sum_mbps_ += slot_mbps_[ladder_index] - slot_mbps_[prev];
+  solution_.bitrate_index[video] = ladder_index;
+}
+
+void IncrementalState::apply_add_replica(std::size_t video, std::size_t server,
+                                         bool journal) {
+  if (journal) journal_.push_back({Op::kAddReplica, video, server});
+
+  auto& servers = solution_.placement[video];
+  const std::size_t idx = solution_.bitrate_index[video];
+  const double rate = problem_->ladder.rates_bps[idx];
+  const auto r_old = static_cast<double>(servers.size());
+  const double per_old = peak_requests_[video] / r_old * rate;
+  const double per_new = peak_requests_[video] / (r_old + 1.0) * rate;
+  // Adding a host redistributes this video's requests over r+1 replicas, so
+  // every existing host sheds a share of its load.
+  for (std::size_t s : servers) add_load(s, per_new - per_old);
+  servers.push_back(server);
+  storage_bytes_[server] += slot_bytes_[idx];
+  add_load(server, per_new);
+  host_pos_[video * num_servers_ + server] = server_videos_[server].size();
+  server_videos_[server].push_back(video);
+  ++replica_sum_;
+}
+
+void IncrementalState::apply_drop_replica(std::size_t video, std::size_t server,
+                                          bool journal) {
+  if (journal) journal_.push_back({Op::kDropReplica, video, server});
+
+  auto& servers = solution_.placement[video];
+  const std::size_t idx = solution_.bitrate_index[video];
+  const double rate = problem_->ladder.rates_bps[idx];
+  const auto r_old = static_cast<double>(servers.size());
+  const double per_old = peak_requests_[video] / r_old * rate;
+  const double per_new = peak_requests_[video] / (r_old - 1.0) * rate;
+  servers.erase(std::find(servers.begin(), servers.end(), server));
+  storage_bytes_[server] -= slot_bytes_[idx];
+  add_load(server, -per_old);
+  for (std::size_t s : servers) add_load(s, per_new - per_old);
+
+  std::vector<std::size_t>& hosted = server_videos_[server];
+  const std::size_t pos = host_pos_[video * num_servers_ + server];
+  const std::size_t moved = hosted.back();
+  hosted[pos] = moved;
+  host_pos_[moved * num_servers_ + server] = pos;
+  hosted.pop_back();
+  host_pos_[video * num_servers_ + server] = kNoPos;
+  if (hosted.empty()) {
+    // An empty server's usage is exactly zero; snap there so add/sub drift
+    // cannot leave a (possibly negative) residue.
+    storage_bytes_[server] = 0.0;
+    add_load(server, -bandwidth_bps_[server]);
+  }
+  --replica_sum_;
+}
+
+void IncrementalState::set_bitrate(std::size_t video, std::size_t ladder_index) {
+  require(video < solution_.num_videos(), "set_bitrate: video out of range");
+  require(ladder_index < problem_->ladder.size(),
+          "set_bitrate: ladder index out of range");
+  apply_set_bitrate(video, ladder_index, /*journal=*/true);
+}
+
+void IncrementalState::add_replica(std::size_t video, std::size_t server) {
+  require(video < solution_.num_videos(), "add_replica: video out of range");
+  require(server < num_servers_, "add_replica: server out of range");
+  require(!is_hosted(video, server), "add_replica: replica already hosted");
+  apply_add_replica(video, server, /*journal=*/true);
+}
+
+void IncrementalState::drop_replica(std::size_t video, std::size_t server) {
+  require(video < solution_.num_videos(), "drop_replica: video out of range");
+  require(server < num_servers_, "drop_replica: server out of range");
+  require(is_hosted(video, server), "drop_replica: replica not hosted");
+  require(solution_.placement[video].size() >= 2,
+          "drop_replica: cannot drop the last replica (Eq. 6)");
+  apply_drop_replica(video, server, /*journal=*/true);
+}
+
+void IncrementalState::rollback(Checkpoint mark) {
+  require(mark <= journal_.size(), "rollback: checkpoint from the future");
+  while (journal_.size() > mark) {
+    const JournalEntry entry = journal_.back();
+    journal_.pop_back();
+    switch (entry.op) {
+      case Op::kSetBitrate:
+        apply_set_bitrate(entry.video, entry.aux, /*journal=*/false);
+        break;
+      case Op::kAddReplica:
+        apply_drop_replica(entry.video, entry.aux, /*journal=*/false);
+        break;
+      case Op::kDropReplica:
+        apply_add_replica(entry.video, entry.aux, /*journal=*/false);
+        break;
+    }
+  }
+}
+
+double IncrementalState::objective() const {
+  const auto m = static_cast<double>(solution_.num_videos());
+  const auto n = static_cast<double>(num_servers_);
+  const double mean_rate_mbps = rate_sum_mbps_ / m;
+  const double mean_degree_normalized =
+      static_cast<double>(replica_sum_) / m / n;
+  const ObjectiveWeights& weights = problem_->weights;
+  double l = 0.0;
+  if (weights.imbalance_definition == ImbalanceDefinition::kMaxRelative) {
+    const double mean = total_load_bps_ / n;
+    if (mean > 0.0) {
+      l = std::max(0.0, (max_bandwidth_bps() - mean) / mean);
+    }
+  } else {
+    l = imbalance_cv(bandwidth_bps_);
+  }
+  return mean_rate_mbps + weights.alpha * mean_degree_normalized -
+         weights.beta * l;
+}
+
+double IncrementalState::relative_bandwidth_overflow() const {
+  return overflow_count_ == 0 ? 0.0 : std::max(0.0, overflow_sum_);
+}
+
+}  // namespace vodrep

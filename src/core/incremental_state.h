@@ -1,0 +1,135 @@
+// Incremental annealing state for the scalable-bit-rate problem.
+//
+// The SA solver proposes millions of small moves (raise one video's rate,
+// add or drop one replica).  Re-deriving per-server usage and the Eq. 1
+// objective from scratch per candidate costs O(M*r + N); this class keeps
+// that state live and updates it in O(r) per primitive move, where r is the
+// touched video's replica count (<= N and typically tiny):
+//
+//   * per-server storage (Eq. 4 LHS) and expected bandwidth (Eq. 5 LHS);
+//   * the objective's running sums: encoding-rate sum (Mb/s), replica count,
+//     and total cluster load;
+//   * the Eq. 2 max term via a lazy max: the argmax server is tracked
+//     eagerly while loads grow and only re-scanned (O(N)) after a move
+//     lowered the current max server's load;
+//   * a server -> hosted-videos reverse index (swap-remove, O(1) updates,
+//     O(1) membership) so neighborhood generation never rescans the
+//     placement of all M videos;
+//   * the soft bandwidth-overflow penalty term (sum over servers of relative
+//     excess), with an overflowing-server count so the common all-feasible
+//     case pays nothing and accumulates no float drift.
+//
+// Mutations are journaled: `checkpoint()` marks the journal, `rollback(mark)`
+// undoes every primitive op back to the mark (a rejected composite
+// move-plus-repair), `commit()` forgets the journal.  Invariants (running
+// sums equal the from-scratch `compute_usage` + `objective_value` up to
+// float drift) are enforced by tests/incremental_state_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/scalable.h"
+
+namespace vodrep {
+
+class IncrementalState {
+ public:
+  using Checkpoint = std::size_t;
+
+  /// Takes ownership of `solution` and derives all running state from it in
+  /// O(M*r + N).  `problem` must outlive this object.
+  IncrementalState(const ScalableProblem& problem, ScalableSolution solution);
+
+  // --- Primitive mutations (journaled; see checkpoint/rollback/commit) ---
+
+  /// Re-encodes `video` at ladder slot `ladder_index`; O(r) usage updates.
+  void set_bitrate(std::size_t video, std::size_t ladder_index);
+  /// Hosts a new replica of `video` on `server` (must not already host it).
+  void add_replica(std::size_t video, std::size_t server);
+  /// Removes the replica of `video` on `server`; never the last replica.
+  void drop_replica(std::size_t video, std::size_t server);
+
+  // --- Transaction control ---
+
+  [[nodiscard]] Checkpoint checkpoint() const { return journal_.size(); }
+  /// Undoes journaled mutations, most recent first, back to `mark`.
+  void rollback(Checkpoint mark);
+  /// Accepts all journaled mutations (empties the undo journal).
+  void commit() { journal_.clear(); }
+
+  // --- Observers ---
+
+  [[nodiscard]] const ScalableSolution& solution() const { return solution_; }
+  [[nodiscard]] const std::vector<double>& storage_bytes() const {
+    return storage_bytes_;
+  }
+  [[nodiscard]] const std::vector<double>& bandwidth_bps() const {
+    return bandwidth_bps_;
+  }
+  /// Videos hosted on `server`, in unspecified order (swap-remove index).
+  [[nodiscard]] const std::vector<std::size_t>& videos_on(
+      std::size_t server) const {
+    return server_videos_[server];
+  }
+  /// O(1) membership test.
+  [[nodiscard]] bool is_hosted(std::size_t video, std::size_t server) const {
+    return host_pos_[video * num_servers_ + server] != kNoPos;
+  }
+
+  /// Eq. 1 objective of the current configuration from the running sums;
+  /// O(1) except for the lazy max re-scan (O(N)) after the max server's load
+  /// decreased.  The Eq. 3 (CV) imbalance definition is computed over the
+  /// live load vector in O(N) — no running sum of squares, whose
+  /// cancellation would cost precision exactly when loads are nearly equal.
+  [[nodiscard]] double objective() const;
+  /// Soft-constraint term: sum over servers of max(0, (l_j - B) / B).
+  [[nodiscard]] double relative_bandwidth_overflow() const;
+  /// Largest per-server bandwidth load (lazy max).
+  [[nodiscard]] double max_bandwidth_bps() const;
+
+ private:
+  enum class Op : unsigned char { kSetBitrate, kAddReplica, kDropReplica };
+  struct JournalEntry {
+    Op op;
+    std::size_t video;
+    std::size_t aux;  ///< prev ladder index (kSetBitrate) or server id
+  };
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+  void apply_set_bitrate(std::size_t video, std::size_t ladder_index,
+                         bool journal);
+  void apply_add_replica(std::size_t video, std::size_t server, bool journal);
+  void apply_drop_replica(std::size_t video, std::size_t server, bool journal);
+  /// Single entry point for load changes: maintains the total-load sum, the
+  /// overflow penalty term, and the lazy-max bookkeeping.
+  void add_load(std::size_t server, double delta);
+
+  const ScalableProblem* problem_;
+  ScalableSolution solution_;
+  std::size_t num_servers_ = 0;
+
+  // Per-ladder-slot constants (all videos share the paper's fixed duration).
+  std::vector<double> slot_bytes_;
+  std::vector<double> slot_mbps_;
+  // Per-video expected peak requests: lambda*T * p_i.
+  std::vector<double> peak_requests_;
+
+  std::vector<double> storage_bytes_;
+  std::vector<double> bandwidth_bps_;
+  std::vector<std::vector<std::size_t>> server_videos_;
+  std::vector<std::size_t> host_pos_;  ///< [video * N + server] -> position
+
+  double rate_sum_mbps_ = 0.0;
+  std::size_t replica_sum_ = 0;
+  double total_load_bps_ = 0.0;
+  double overflow_sum_ = 0.0;
+  std::size_t overflow_count_ = 0;
+
+  mutable std::size_t max_server_ = 0;
+  mutable bool max_dirty_ = false;
+
+  std::vector<JournalEntry> journal_;
+};
+
+}  // namespace vodrep

@@ -1,25 +1,24 @@
 #include "src/core/sa_solver.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/util/error.h"
 
 namespace vodrep {
+
+// The whole point of this solver is the delta-evaluation path; a silent
+// fallback to the copy-based engine loop would be a perf regression.
+static_assert(InPlaceAnnealProblem<ScalableSaProblem>);
+
 namespace {
 
-/// Videos hosted on server `s` (by index into the solution).
-std::vector<std::size_t> videos_on_server(const ScalableSolution& solution,
-                                          std::size_t s) {
-  std::vector<std::size_t> videos;
-  for (std::size_t i = 0; i < solution.placement.size(); ++i) {
-    const auto& servers = solution.placement[i];
-    if (std::find(servers.begin(), servers.end(), s) != servers.end()) {
-      videos.push_back(i);
-    }
-  }
-  return videos;
-}
+/// Attempts of O(1) rejection sampling for "random video absent from this
+/// server" before falling back to the exact O(M) scan.  Most videos are
+/// absent from any given server (mean degree << N), so the fallback only
+/// triggers when the server is nearly full — a state worth the scan.
+constexpr std::size_t kAddReplicaRejectionAttempts = 32;
 
 }  // namespace
 
@@ -58,44 +57,57 @@ double ScalableSaProblem::cost(const State& state) const {
   return -objective + options_.bandwidth_penalty * overflow;
 }
 
-bool ScalableSaProblem::repair(State& state) const {
+double ScalableSaProblem::incremental_cost(const IncrementalState& inc) const {
+  return -inc.objective() +
+         options_.bandwidth_penalty * inc.relative_bandwidth_overflow();
+}
+
+bool ScalableSaProblem::repair_incremental(
+    IncrementalState& inc, std::vector<std::size_t>& hosted) const {
   const double storage_cap = problem_.cluster.storage_bytes_per_server;
   const double bandwidth_cap = problem_.cluster.bandwidth_bps_per_server;
+  const std::size_t n = problem_.cluster.num_servers;
   // Iterate until every server fits; each action strictly reduces either a
-  // ladder index or a replica count, so the loop terminates.
+  // ladder index or a replica count, so the loop terminates.  Unlike the
+  // seed implementation this never rebuilds usage from scratch — the live
+  // per-server vectors are consulted (O(N)) and updated by each action.
   for (;;) {
-    const ServerUsage usage = compute_usage(problem_, state);
-    std::size_t worst = problem_.cluster.num_servers;
-    for (std::size_t s = 0; s < problem_.cluster.num_servers; ++s) {
-      if (usage.storage_bytes[s] > storage_cap ||
-          usage.bandwidth_bps[s] > bandwidth_cap) {
+    const std::vector<double>& storage = inc.storage_bytes();
+    const std::vector<double>& bandwidth = inc.bandwidth_bps();
+    std::size_t worst = n;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (storage[s] > storage_cap || bandwidth[s] > bandwidth_cap) {
         worst = s;
         break;
       }
     }
-    if (worst == problem_.cluster.num_servers) return true;
+    if (worst == n) return true;
 
     // Prefer the cheapest quality loss: among videos on the server, try the
     // lowest-rate ones first — lower their rate a notch, or evict their
     // replica here if already at the ladder floor (never the last replica).
-    std::vector<std::size_t> hosted = videos_on_server(state, worst);
+    hosted = inc.videos_on(worst);
+    const std::vector<std::size_t>& bitrate_index =
+        inc.solution().bitrate_index;
+    // The comparator is a strict total order, so the sorted sequence (and
+    // with it the shed order) does not depend on the reverse index's
+    // swap-remove permutation.
     std::sort(hosted.begin(), hosted.end(),
               [&](std::size_t a, std::size_t b) {
-                if (state.bitrate_index[a] != state.bitrate_index[b]) {
-                  return state.bitrate_index[a] < state.bitrate_index[b];
+                if (bitrate_index[a] != bitrate_index[b]) {
+                  return bitrate_index[a] < bitrate_index[b];
                 }
                 return a > b;  // colder video first
               });
     bool acted = false;
     for (std::size_t video : hosted) {
-      if (state.bitrate_index[video] > 0) {
-        --state.bitrate_index[video];
+      if (bitrate_index[video] > 0) {
+        inc.set_bitrate(video, bitrate_index[video] - 1);
         acted = true;
         break;
       }
-      if (state.placement[video].size() > 1) {
-        auto& servers = state.placement[video];
-        servers.erase(std::find(servers.begin(), servers.end(), worst));
+      if (inc.solution().placement[video].size() > 1) {
+        inc.drop_replica(video, worst);
         acted = true;
         break;
       }
@@ -104,77 +116,134 @@ bool ScalableSaProblem::repair(State& state) const {
       // Everything on the server is at the floor rate with a single replica.
       // Storage overflow is then unfixable; bandwidth overflow is tolerated
       // (soft constraint, penalized in the cost).
-      const bool storage_ok = usage.storage_bytes[worst] <= storage_cap;
-      return storage_ok &&
-             std::all_of(usage.storage_bytes.begin(), usage.storage_bytes.end(),
+      return std::all_of(storage.begin(), storage.end(),
                          [&](double b) { return b <= storage_cap; });
     }
   }
 }
 
-ScalableSolution ScalableSaProblem::neighbor(const State& state,
-                                             Rng& rng) const {
+bool ScalableSaProblem::repair(State& state) const {
+  IncrementalState inc(problem_, std::move(state));
+  std::vector<std::size_t> hosted;
+  const bool ok = repair_incremental(inc, hosted);
+  state = inc.solution();
+  return ok;
+}
+
+bool ScalableSaProblem::propose_move(IncrementalState& inc,
+                                     std::vector<std::size_t>& candidates,
+                                     Rng& rng) const {
   const std::size_t n = problem_.cluster.num_servers;
   const std::size_t m = problem_.videos.count();
-  State next = state;
   const auto server = static_cast<std::size_t>(rng.uniform_index(n));
+  const ScalableSolution& solution = inc.solution();
 
   auto try_increase_rate = [&]() {
-    std::vector<std::size_t> hosted = videos_on_server(next, server);
-    std::erase_if(hosted, [&](std::size_t v) {
-      return next.bitrate_index[v] + 1 >= problem_.ladder.size();
-    });
-    if (hosted.empty()) return false;
-    const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
-    ++next.bitrate_index[pick];
+    candidates.clear();
+    for (std::size_t v : inc.videos_on(server)) {
+      if (solution.bitrate_index[v] + 1 < problem_.ladder.size()) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) return false;
+    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    inc.set_bitrate(pick, solution.bitrate_index[pick] + 1);
     return true;
   };
   auto try_add_replica = [&]() {
-    std::vector<std::size_t> absent;
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto& servers = next.placement[i];
-      if (servers.size() < n &&
-          std::find(servers.begin(), servers.end(), server) == servers.end()) {
-        absent.push_back(i);
+    // Uniform draw over the videos absent from this server: rejection
+    // sampling first (O(1) expected), exact scan as the rare fallback.
+    for (std::size_t attempt = 0; attempt < kAddReplicaRejectionAttempts;
+         ++attempt) {
+      const auto v = static_cast<std::size_t>(rng.uniform_index(m));
+      if (solution.placement[v].size() < n && !inc.is_hosted(v, server)) {
+        inc.add_replica(v, server);
+        return true;
       }
     }
-    if (absent.empty()) return false;
-    const std::size_t pick = absent[rng.uniform_index(absent.size())];
-    next.placement[pick].push_back(server);
+    candidates.clear();
+    for (std::size_t v = 0; v < m; ++v) {
+      if (solution.placement[v].size() < n && !inc.is_hosted(v, server)) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) return false;
+    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    inc.add_replica(pick, server);
     return true;
   };
-
   auto try_shrink = [&]() {
     // Lower a hosted video's rate, or drop its replica here (never the last
     // one).  Uphill in objective, but it frees storage so later growth
     // moves can re-pack — the escape hatch from the storage-full plateau.
-    std::vector<std::size_t> hosted = videos_on_server(next, server);
-    std::erase_if(hosted, [&](std::size_t v) {
-      return next.bitrate_index[v] == 0 && next.placement[v].size() <= 1;
-    });
-    if (hosted.empty()) return false;
-    const std::size_t pick = hosted[rng.uniform_index(hosted.size())];
-    if (next.bitrate_index[pick] > 0 &&
-        (next.placement[pick].size() <= 1 || rng.bernoulli(0.5))) {
-      --next.bitrate_index[pick];
+    candidates.clear();
+    for (std::size_t v : inc.videos_on(server)) {
+      if (solution.bitrate_index[v] == 0 && solution.placement[v].size() <= 1) {
+        continue;
+      }
+      candidates.push_back(v);
+    }
+    if (candidates.empty()) return false;
+    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    if (solution.bitrate_index[pick] > 0 &&
+        (solution.placement[pick].size() <= 1 || rng.bernoulli(0.5))) {
+      inc.set_bitrate(pick, solution.bitrate_index[pick] - 1);
     } else {
-      auto& servers_of = next.placement[pick];
-      servers_of.erase(std::find(servers_of.begin(), servers_of.end(), server));
+      inc.drop_replica(pick, server);
     }
     return true;
   };
 
-  bool moved;
   if (rng.bernoulli(options_.shrink_probability)) {
-    moved = try_shrink();
-  } else if (rng.bernoulli(options_.increase_rate_probability)) {
-    moved = try_increase_rate() || try_add_replica();
-  } else {
-    moved = try_add_replica() || try_increase_rate();
+    return try_shrink();
   }
-  if (!moved) return state;           // saturated server: no-op move
-  if (!repair(next)) return state;    // irreparable storage overflow
-  return next;
+  if (rng.bernoulli(options_.increase_rate_probability)) {
+    return try_increase_rate() || try_add_replica();
+  }
+  return try_add_replica() || try_increase_rate();
+}
+
+ScalableSolution ScalableSaProblem::neighbor(const State& state,
+                                             Rng& rng) const {
+  // Copy-based entry point (kept for the AnnealProblem concept, calibration,
+  // and tests): runs the same move + repair as the in-place path against a
+  // freshly built incremental state.
+  IncrementalState inc(problem_, state);
+  std::vector<std::size_t> candidates;
+  if (!propose_move(inc, candidates, rng)) return state;  // saturated server
+  if (!repair_incremental(inc, candidates)) return state;  // irreparable
+  return inc.solution();
+}
+
+ScalableSaProblem::Scratch ScalableSaProblem::make_scratch(State state) const {
+  return Scratch{IncrementalState(problem_, std::move(state)), 0, 0.0, {}};
+}
+
+bool ScalableSaProblem::propose(Scratch& scratch, Rng& rng) const {
+  scratch.mark = scratch.state.checkpoint();
+  scratch.cost_before = incremental_cost(scratch.state);
+  if (!propose_move(scratch.state, scratch.candidates, rng)) return false;
+  if (!repair_incremental(scratch.state, scratch.candidates)) {
+    scratch.state.rollback(scratch.mark);
+    return false;
+  }
+  return true;
+}
+
+double ScalableSaProblem::delta_cost(const Scratch& scratch) const {
+  return incremental_cost(scratch.state) - scratch.cost_before;
+}
+
+void ScalableSaProblem::commit(Scratch& scratch) const {
+  scratch.state.commit();
+}
+
+void ScalableSaProblem::revert(Scratch& scratch) const {
+  scratch.state.rollback(scratch.mark);
+}
+
+ScalableSolution ScalableSaProblem::extract(const Scratch& scratch) const {
+  return scratch.state.solution();
 }
 
 SaSolverResult solve_scalable(const ScalableProblem& problem,

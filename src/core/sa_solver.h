@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "src/anneal/annealer.h"
+#include "src/core/incremental_state.h"
 #include "src/core/scalable.h"
 
 namespace vodrep {
@@ -53,11 +55,25 @@ struct SaSolverResult {
   AnnealResult<ScalableSolution> anneal;  ///< engine instrumentation
 };
 
+/// Mutable per-chain working set for the in-place annealing path: the live
+/// incremental state plus the transaction bookkeeping of the tentatively
+/// applied move and reusable candidate buffers (no per-move allocation).
+struct SaScratch {
+  IncrementalState state;
+  IncrementalState::Checkpoint mark = 0;
+  double cost_before = 0.0;
+  std::vector<std::size_t> candidates;
+};
+
 /// The AnnealProblem adapter; exposed so tests can exercise the neighborhood
-/// and repair logic directly.
+/// and repair logic directly.  Implements both the classic copy-based
+/// concept (initial/cost/neighbor) and the in-place move API
+/// (make_scratch/propose/delta_cost/commit/revert/extract) the engine
+/// prefers — see InPlaceAnnealProblem in src/anneal/annealer.h.
 class ScalableSaProblem {
  public:
   using State = ScalableSolution;
+  using Scratch = SaScratch;
 
   ScalableSaProblem(const ScalableProblem& problem,
                     const SaSolverOptions& options);
@@ -72,7 +88,29 @@ class ScalableSaProblem {
   /// storage constraint could not be met (caller should discard the move).
   [[nodiscard]] bool repair(State& state) const;
 
+  // In-place move API.  One move is a neighborhood action plus any repair
+  // actions it triggered, journaled as a unit: propose() tentatively applies
+  // it to scratch.state and returns false for a no-op (saturated server or
+  // irreparable overflow — nothing applied); delta_cost() is the cost change
+  // of the applied move; commit()/revert() accept or undo it.
+  [[nodiscard]] Scratch make_scratch(State state) const;
+  [[nodiscard]] bool propose(Scratch& scratch, Rng& rng) const;
+  [[nodiscard]] double delta_cost(const Scratch& scratch) const;
+  void commit(Scratch& scratch) const;
+  void revert(Scratch& scratch) const;
+  [[nodiscard]] State extract(const Scratch& scratch) const;
+
  private:
+  [[nodiscard]] double incremental_cost(const IncrementalState& inc) const;
+  /// The neighborhood action (no repair); false when the server is saturated.
+  [[nodiscard]] bool propose_move(IncrementalState& inc,
+                                  std::vector<std::size_t>& candidates,
+                                  Rng& rng) const;
+  /// repair() on the live incremental state; false on irreparable storage
+  /// overflow (caller must roll back).
+  [[nodiscard]] bool repair_incremental(IncrementalState& inc,
+                                        std::vector<std::size_t>& hosted) const;
+
   const ScalableProblem& problem_;
   SaSolverOptions options_;
 };

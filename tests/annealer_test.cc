@@ -42,6 +42,44 @@ struct RuggedProblem {
   }
 };
 
+/// The quadratic problem again, but through the in-place move API: the
+/// engine must pick the propose/delta_cost/commit/revert path, skip no-op
+/// moves (steps below the domain floor at 0) without evaluating them, and
+/// still find the optimum.
+struct InPlaceQuadratic {
+  using State = int;
+  struct Scratch {
+    int committed = 0;
+    int tentative = 0;
+  };
+
+  State initial(Rng&) const { return 60; }
+  double cost(const State& x) const {
+    const double d = static_cast<double>(x);
+    return d * d;
+  }
+  State neighbor(const State& x, Rng& rng) const {
+    return rng.bernoulli(0.5) ? x + 1 : x - 1;
+  }
+
+  Scratch make_scratch(State s) const { return {s, s}; }
+  bool propose(Scratch& s, Rng& rng) const {
+    const int candidate = s.committed + (rng.bernoulli(0.5) ? 1 : -1);
+    if (candidate < 0) return false;  // outside the domain: no-op move
+    s.tentative = candidate;
+    return true;
+  }
+  double delta_cost(const Scratch& s) const {
+    return cost(s.tentative) - cost(s.committed);
+  }
+  void commit(Scratch& s) const { s.committed = s.tentative; }
+  void revert(Scratch& s) const { s.tentative = s.committed; }
+  State extract(const Scratch& s) const { return s.committed; }
+};
+
+static_assert(InPlaceAnnealProblem<InPlaceQuadratic>);
+static_assert(!InPlaceAnnealProblem<QuadraticProblem>);
+
 TEST(Annealer, SolvesConvexProblem) {
   QuadraticProblem problem;
   Rng rng(1);
@@ -184,6 +222,72 @@ TEST(AnnealMultichain, RejectsZeroChains) {
   options.initial_temperature = 10.0;
   EXPECT_THROW((void)anneal_multichain(problem, 1, 0, options),
                InvalidArgumentError);
+}
+
+TEST(Annealer, InPlacePathSolvesAndCountsNoops) {
+  InPlaceQuadratic problem;
+  Rng rng(11);
+  AnnealOptions options;
+  options.initial_temperature = 50.0;
+  options.stall_steps = 0;
+  options.max_temperature_steps = 200;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.best_state, 0);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+  // Once the chain reaches the floor, downward steps are no-ops: they must
+  // be counted separately and the move-slot accounting must close.
+  EXPECT_GT(result.moves_noop, 0u);
+  EXPECT_EQ(result.moves_proposed + result.moves_noop,
+            result.temperature_steps * options.moves_per_temperature);
+  EXPECT_LE(result.moves_accepted, result.moves_proposed);
+}
+
+TEST(Annealer, InPlaceDeterministicGivenSeed) {
+  InPlaceQuadratic problem;
+  AnnealOptions options;
+  options.initial_temperature = 50.0;
+  Rng a(13);
+  Rng b(13);
+  const auto ra = anneal(problem, a, options);
+  const auto rb = anneal(problem, b, options);
+  EXPECT_EQ(ra.best_state, rb.best_state);
+  EXPECT_EQ(ra.moves_proposed, rb.moves_proposed);
+  EXPECT_EQ(ra.moves_noop, rb.moves_noop);
+}
+
+TEST(Annealer, TrajectoryStaysUnderTheSampleCap) {
+  QuadraticProblem problem;
+  Rng rng(14);
+  AnnealOptions options;
+  options.initial_temperature = 100.0;
+  options.final_temperature = 1e-12;
+  options.stall_steps = 0;
+  options.max_temperature_steps = 300;
+  options.trajectory_max_samples = 16;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.temperature_steps, 300u);
+  EXPECT_LE(result.trajectory.size(), 16u);
+  EXPECT_GE(result.trajectory.size(), 8u);  // decimation halves, no further
+  // The decimated samples keep the per-step semantics: temperatures strictly
+  // cooling, best cost non-increasing, starting at the first step.
+  EXPECT_DOUBLE_EQ(result.trajectory.front().first, 100.0);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_LT(result.trajectory[i].first, result.trajectory[i - 1].first);
+    EXPECT_LE(result.trajectory[i].second, result.trajectory[i - 1].second);
+  }
+}
+
+TEST(Annealer, TrajectoryCapZeroKeepsEverySample) {
+  QuadraticProblem problem;
+  Rng rng(15);
+  AnnealOptions options;
+  options.initial_temperature = 100.0;
+  options.final_temperature = 1e-12;
+  options.stall_steps = 0;
+  options.max_temperature_steps = 120;
+  options.trajectory_max_samples = 0;
+  const auto result = anneal(problem, rng, options);
+  EXPECT_EQ(result.trajectory.size(), result.temperature_steps);
 }
 
 TEST(Annealer, AcceptanceCountsAreConsistent) {

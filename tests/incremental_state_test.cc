@@ -1,0 +1,242 @@
+#include "src/core/incremental_state.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+ScalableProblem test_problem(ImbalanceDefinition definition =
+                                 ImbalanceDefinition::kMaxRelative) {
+  ScalableProblem p;
+  p.videos.duration_sec = units::minutes(90);
+  p.videos.popularity = zipf_popularity(40, 0.75);
+  p.cluster.num_servers = 6;
+  p.cluster.bandwidth_bps_per_server = units::gbps(0.5);
+  p.cluster.storage_bytes_per_server = units::gigabytes(200.0);
+  p.ladder.rates_bps = {units::mbps(1), units::mbps(2), units::mbps(4),
+                        units::mbps(8)};
+  p.expected_peak_requests = 800.0;
+  p.weights.imbalance_definition = definition;
+  return p;
+}
+
+/// Mixed absolute/relative agreement at the 1e-9 contract of the
+/// incremental-evaluation layer.
+void expect_close(double actual, double expected, const char* what) {
+  const double tolerance =
+      1e-9 * std::max({1.0, std::abs(actual), std::abs(expected)});
+  EXPECT_NEAR(actual, expected, tolerance) << what;
+}
+
+/// The correctness contract: every running quantity of the incremental state
+/// must agree with a from-scratch compute_usage + objective_value evaluation
+/// of the solution it carries.
+void verify_against_recompute(const ScalableProblem& problem,
+                              const IncrementalState& inc) {
+  const ServerUsage usage = compute_usage(problem, inc.solution());
+  for (std::size_t s = 0; s < problem.cluster.num_servers; ++s) {
+    expect_close(inc.storage_bytes()[s], usage.storage_bytes[s], "storage");
+    expect_close(inc.bandwidth_bps()[s], usage.bandwidth_bps[s], "bandwidth");
+  }
+  const double expected_objective = objective_value(
+      inc.solution().bitrates(problem.ladder), inc.solution().replicas(),
+      usage.bandwidth_bps, problem.cluster.num_servers, problem.weights);
+  expect_close(inc.objective(), expected_objective, "objective");
+
+  double expected_overflow = 0.0;
+  const double cap = problem.cluster.bandwidth_bps_per_server;
+  for (double load : usage.bandwidth_bps) {
+    if (load > cap) expected_overflow += (load - cap) / cap;
+  }
+  expect_close(inc.relative_bandwidth_overflow(), expected_overflow,
+               "overflow");
+  expect_close(inc.max_bandwidth_bps(),
+               *std::max_element(usage.bandwidth_bps.begin(),
+                                 usage.bandwidth_bps.end()),
+               "max load");
+}
+
+/// Reverse index and solution placement must describe the same hosting
+/// relation.  O(M*N) — sampled sparsely inside the big property loop.
+void verify_hosting_index(const ScalableProblem& problem,
+                          const IncrementalState& inc) {
+  for (std::size_t i = 0; i < inc.solution().num_videos(); ++i) {
+    for (std::size_t s = 0; s < problem.cluster.num_servers; ++s) {
+      const auto& servers = inc.solution().placement[i];
+      const bool placed =
+          std::find(servers.begin(), servers.end(), s) != servers.end();
+      ASSERT_EQ(inc.is_hosted(i, s), placed) << "video " << i << " server " << s;
+      const auto& hosted = inc.videos_on(s);
+      ASSERT_EQ(std::find(hosted.begin(), hosted.end(), i) != hosted.end(),
+                placed);
+    }
+  }
+}
+
+/// Applies one random legal primitive mutation; returns false if the drawn
+/// op had no legal target this time.
+bool random_mutation(const ScalableProblem& problem, IncrementalState& inc,
+                     Rng& rng) {
+  const std::size_t m = problem.videos.count();
+  const std::size_t n = problem.cluster.num_servers;
+  const auto video = static_cast<std::size_t>(rng.uniform_index(m));
+  switch (rng.uniform_index(3)) {
+    case 0: {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_index(problem.ladder.size()));
+      inc.set_bitrate(video, idx);
+      return true;
+    }
+    case 1: {
+      std::vector<std::size_t> absent;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!inc.is_hosted(video, s)) absent.push_back(s);
+      }
+      if (absent.empty()) return false;
+      inc.add_replica(video, absent[rng.uniform_index(absent.size())]);
+      return true;
+    }
+    default: {
+      const auto& servers = inc.solution().placement[video];
+      if (servers.size() < 2) return false;
+      inc.drop_replica(video, servers[rng.uniform_index(servers.size())]);
+      return true;
+    }
+  }
+}
+
+std::vector<std::vector<std::size_t>> sorted_placement(
+    const ScalableSolution& solution) {
+  std::vector<std::vector<std::size_t>> placement = solution.placement;
+  for (auto& servers : placement) std::sort(servers.begin(), servers.end());
+  return placement;
+}
+
+TEST(IncrementalState, FreshStateMatchesRecompute) {
+  const ScalableProblem p = test_problem();
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  verify_against_recompute(p, inc);
+  verify_hosting_index(p, inc);
+}
+
+// The tentpole's acceptance contract: >= 10k random apply/commit/rollback
+// sequences, each checked against the from-scratch evaluation to 1e-9.
+TEST(IncrementalState, RandomMoveUndoSequencesAgreeWithFromScratch) {
+  for (const auto definition : {ImbalanceDefinition::kMaxRelative,
+                                ImbalanceDefinition::kCoefficientOfVariation}) {
+    const ScalableProblem p = test_problem(definition);
+    IncrementalState inc(p, lowest_rate_round_robin(p));
+    Rng rng(definition == ImbalanceDefinition::kMaxRelative ? 7u : 8u);
+    for (int sequence = 0; sequence < 5'000; ++sequence) {
+      const auto mark = inc.checkpoint();
+      const auto ops = 1 + rng.uniform_index(5);
+      for (std::size_t op = 0; op < ops; ++op) {
+        (void)random_mutation(p, inc, rng);
+      }
+      if (rng.bernoulli(0.5)) {
+        inc.rollback(mark);
+      } else {
+        inc.commit();
+      }
+      verify_against_recompute(p, inc);
+      if (sequence % 64 == 0) verify_hosting_index(p, inc);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(IncrementalState, RollbackRestoresTheSolution) {
+  const ScalableProblem p = test_problem();
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  Rng rng(21);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<std::size_t> bitrates = inc.solution().bitrate_index;
+    const auto placement = sorted_placement(inc.solution());
+    const auto mark = inc.checkpoint();
+    const auto ops = 1 + rng.uniform_index(6);
+    for (std::size_t op = 0; op < ops; ++op) {
+      (void)random_mutation(p, inc, rng);
+    }
+    inc.rollback(mark);
+    EXPECT_EQ(inc.solution().bitrate_index, bitrates);
+    EXPECT_EQ(sorted_placement(inc.solution()), placement);
+  }
+  verify_against_recompute(p, inc);
+}
+
+TEST(IncrementalState, LazyMaxSurvivesLoweringTheMaxServer) {
+  const ScalableProblem p = test_problem();
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  // Make server 0 the clear maximum, then shrink it below the rest: the
+  // lazy max must fall back to a re-scan, not keep reporting server 0.
+  inc.add_replica(1, 0);  // video 1 is hot; hosting it loads server 0
+  inc.set_bitrate(0, p.ladder.size() - 1);
+  verify_against_recompute(p, inc);
+  const double loaded_max = inc.max_bandwidth_bps();
+  inc.set_bitrate(0, 0);
+  inc.drop_replica(1, 0);
+  EXPECT_LT(inc.max_bandwidth_bps(), loaded_max);
+  verify_against_recompute(p, inc);
+}
+
+TEST(IncrementalState, TracksBandwidthOverflowAcrossExcursions) {
+  ScalableProblem p = test_problem();
+  p.expected_peak_requests = 4e5;  // deliberately saturating
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  Rng rng(31);
+  bool saw_overflow = false;
+  for (int round = 0; round < 500; ++round) {
+    (void)random_mutation(p, inc, rng);
+    inc.commit();
+    saw_overflow |= inc.relative_bandwidth_overflow() > 0.0;
+  }
+  EXPECT_TRUE(saw_overflow);
+  verify_against_recompute(p, inc);
+}
+
+TEST(IncrementalState, RejectsIllegalMutations) {
+  const ScalableProblem p = test_problem();
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  EXPECT_THROW(inc.drop_replica(0, inc.solution().placement[0][0]),
+               InvalidArgumentError);  // would drop the last replica
+  EXPECT_THROW(inc.add_replica(0, inc.solution().placement[0][0]),
+               InvalidArgumentError);  // duplicate replica
+  EXPECT_THROW(inc.set_bitrate(0, p.ladder.size()), InvalidArgumentError);
+  EXPECT_THROW(inc.add_replica(p.videos.count(), 0), InvalidArgumentError);
+  const std::size_t host = inc.solution().placement[1][0];
+  const std::size_t other = (host + 1) % p.cluster.num_servers;
+  EXPECT_THROW(inc.drop_replica(1, other), InvalidArgumentError);
+}
+
+TEST(IncrementalState, EmptiedServerReportsExactlyZeroUsage) {
+  const ScalableProblem p = test_problem();
+  ScalableSolution solution = lowest_rate_round_robin(p);
+  IncrementalState inc(p, std::move(solution));
+  // Give every video on server 0 a second home, then clear server 0.
+  const std::vector<std::size_t> hosted = inc.videos_on(0);
+  for (std::size_t video : hosted) {
+    for (std::size_t s = 1; s < p.cluster.num_servers; ++s) {
+      if (!inc.is_hosted(video, s)) {
+        inc.add_replica(video, s);
+        break;
+      }
+    }
+    inc.drop_replica(video, 0);
+  }
+  EXPECT_TRUE(inc.videos_on(0).empty());
+  EXPECT_EQ(inc.storage_bytes()[0], 0.0);
+  EXPECT_EQ(inc.bandwidth_bps()[0], 0.0);
+  verify_against_recompute(p, inc);
+}
+
+}  // namespace
+}  // namespace vodrep
