@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/audit/audit.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -42,6 +44,16 @@ Layout BestFitPlacement::place(const ReplicationPlan& plan,
       ++stored[best];
     }
   }
+#if VODREP_CONTRACTS_ENABLED
+  {
+    LayoutAuditor::Limits limits;
+    limits.num_servers = num_servers;
+    limits.capacity_per_server = capacity_per_server;
+    const AuditReport report =
+        LayoutAuditor(limits).audit(layout, &plan, &popularity);
+    VODREP_DCHECK(report.ok(), report.summary());
+  }
+#endif
   return layout;
 }
 

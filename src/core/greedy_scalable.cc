@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "src/audit/audit.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 #include "src/util/units.h"
 
@@ -186,6 +188,18 @@ ScalableSolution greedy_scalable(const ScalableProblem& problem) {
     const double add = state.add_utility(move.video);
     if (add > 0.0) queue.push(Move{add, MoveKind::kAddReplica, move.video});
   }
+#if VODREP_CONTRACTS_ENABLED
+  {
+    // Structure (Eqs. 6/7) and storage (Eq. 4) are hard: every upgrade is
+    // storage-checked before it applies.  Bandwidth (Eq. 5) is best-effort —
+    // replicas go to the least-loaded feasible server but no cap is
+    // enforced, so an overloaded catalogue legitimately overflows it.
+    const AuditReport report =
+        LayoutAuditor::audit_solution(problem, state.solution());
+    VODREP_DCHECK(report.ok_ignoring(ViolationKind::kBandwidthOverflow),
+                  report.summary());
+  }
+#endif
   return state.solution();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/check.h"
 #include "src/util/error.h"
 #include "src/util/units.h"
 
@@ -169,6 +170,12 @@ void IncrementalState::apply_drop_replica(std::size_t video, std::size_t server,
 
   std::vector<std::size_t>& hosted = server_videos_[server];
   const std::size_t pos = host_pos_[video * num_servers_ + server];
+  VODREP_DCHECK_NE(pos, kNoPos,
+                   "drop_replica: reverse index lost track of a replica");
+  VODREP_DCHECK_LT(pos, hosted.size(),
+                   "drop_replica: reverse index position out of range");
+  VODREP_DCHECK_EQ(hosted[pos], video,
+                   "drop_replica: reverse index points at the wrong video");
   const std::size_t moved = hosted.back();
   hosted[pos] = moved;
   host_pos_[moved * num_servers_ + server] = pos;
@@ -180,6 +187,10 @@ void IncrementalState::apply_drop_replica(std::size_t video, std::size_t server,
     storage_bytes_[server] = 0.0;
     add_load(server, -bandwidth_bps_[server]);
   }
+  VODREP_DCHECK_GE(storage_bytes_[server], -1e-3,
+                   "drop_replica: negative cached storage after removal");
+  VODREP_DCHECK_GT(replica_sum_, std::size_t{0},
+                   "drop_replica: replica sum underflow");
   --replica_sum_;
 }
 
@@ -247,6 +258,14 @@ double IncrementalState::objective() const {
 
 double IncrementalState::relative_bandwidth_overflow() const {
   return overflow_count_ == 0 ? 0.0 : std::max(0.0, overflow_sum_);
+}
+
+void IncrementalState::debug_inject_drift(std::size_t server,
+                                          double storage_delta_bytes,
+                                          double bandwidth_delta_bps) {
+  require(server < num_servers_, "debug_inject_drift: server out of range");
+  storage_bytes_[server] += storage_delta_bytes;
+  bandwidth_bps_[server] += bandwidth_delta_bps;
 }
 
 }  // namespace vodrep

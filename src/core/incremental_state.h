@@ -60,6 +60,7 @@ class IncrementalState {
 
   // --- Observers ---
 
+  [[nodiscard]] const ScalableProblem& problem() const { return *problem_; }
   [[nodiscard]] const ScalableSolution& solution() const { return solution_; }
   [[nodiscard]] const std::vector<double>& storage_bytes() const {
     return storage_bytes_;
@@ -87,6 +88,13 @@ class IncrementalState {
   [[nodiscard]] double relative_bandwidth_overflow() const;
   /// Largest per-server bandwidth load (lazy max).
   [[nodiscard]] double max_bandwidth_bps() const;
+
+  /// Test hook for the audit layer (LayoutAuditor::audit_state): additively
+  /// perturbs the cached per-server sums while leaving the solution intact,
+  /// so tests can prove that cache drift is detected.  Never called by
+  /// solvers.
+  void debug_inject_drift(std::size_t server, double storage_delta_bytes,
+                          double bandwidth_delta_bps);
 
  private:
   enum class Op : unsigned char { kSetBitrate, kAddReplica, kDropReplica };

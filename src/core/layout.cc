@@ -1,7 +1,6 @@
 #include "src/core/layout.h"
 
-#include <algorithm>
-
+#include "src/audit/audit.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -44,23 +43,30 @@ ReplicationPlan Layout::implied_plan() const {
 
 void Layout::validate(const ReplicationPlan& plan, std::size_t num_servers,
                       std::size_t capacity_per_server) const {
-  require(assignment.size() == plan.replicas.size(),
-          "Layout::validate: video count mismatch with plan");
-  for (std::size_t i = 0; i < assignment.size(); ++i) {
-    const auto& servers = assignment[i];
-    require(servers.size() == plan.replicas[i],
-            "Layout::validate: replica count differs from the plan");
-    std::vector<std::size_t> sorted = servers;
-    std::sort(sorted.begin(), sorted.end());
-    require(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
-            "Layout::validate: duplicate server for one video (Eq. 6)");
-    require(sorted.empty() || sorted.back() < num_servers,
-            "Layout::validate: server index out of range");
-  }
-  for (std::size_t count : replicas_per_server(num_servers)) {
-    require(count <= capacity_per_server,
-            "Layout::validate: server over storage capacity (Eq. 4)");
-  }
+  LayoutAuditor::Limits limits;
+  limits.num_servers = num_servers;
+  limits.capacity_per_server = capacity_per_server;
+  const AuditReport report = LayoutAuditor(limits).audit(*this, &plan);
+  require(report.ok(),
+          [&] { return "Layout::validate: " + report.summary(); });
+}
+
+void Layout::validate(const ReplicationPlan& plan, std::size_t num_servers,
+                      std::size_t capacity_per_server,
+                      const std::vector<double>& popularity,
+                      double bandwidth_bps_per_server,
+                      double expected_peak_requests,
+                      double bitrate_bps) const {
+  LayoutAuditor::Limits limits;
+  limits.num_servers = num_servers;
+  limits.capacity_per_server = capacity_per_server;
+  limits.bandwidth_bps_per_server = bandwidth_bps_per_server;
+  limits.expected_peak_requests = expected_peak_requests;
+  limits.bitrate_bps = bitrate_bps;
+  const AuditReport report =
+      LayoutAuditor(limits).audit(*this, &plan, &popularity);
+  require(report.ok(),
+          [&] { return "Layout::validate: " + report.summary(); });
 }
 
 }  // namespace vodrep

@@ -34,11 +34,22 @@ struct Layout {
   [[nodiscard]] ReplicationPlan implied_plan() const;
 
   /// Throws InvalidArgumentError unless the layout realizes `plan` on
-  /// `num_servers` servers within `capacity_per_server` replica slots:
-  /// matching replica counts, distinct in-range servers per video (Eq. 6),
-  /// and no server over its storage capacity (Eq. 4).
+  /// `num_servers` servers within `capacity_per_server` replica slots.
+  /// Delegates to the constraint auditor (src/audit): matching replica
+  /// counts, distinct in-range servers per video (Eq. 6), 1 <= r_i <= N
+  /// (Eq. 7), and no server over its storage capacity (Eq. 4).
   void validate(const ReplicationPlan& plan, std::size_t num_servers,
                 std::size_t capacity_per_server) const;
+
+  /// As above, and additionally checks the Eq. 5 bandwidth constraint:
+  /// every server's expected outgoing load — its share of `popularity`
+  /// scaled by `expected_peak_requests` requests at `bitrate_bps` each —
+  /// must fit within `bandwidth_bps_per_server`.
+  void validate(const ReplicationPlan& plan, std::size_t num_servers,
+                std::size_t capacity_per_server,
+                const std::vector<double>& popularity,
+                double bandwidth_bps_per_server,
+                double expected_peak_requests, double bitrate_bps) const;
 };
 
 }  // namespace vodrep

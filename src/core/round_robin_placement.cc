@@ -1,5 +1,8 @@
 #include "src/core/round_robin_placement.h"
 
+#include "src/audit/audit.h"
+#include "src/util/check.h"
+
 namespace vodrep {
 
 Layout RoundRobinPlacement::place(const ReplicationPlan& plan,
@@ -17,6 +20,16 @@ Layout RoundRobinPlacement::place(const ReplicationPlan& plan,
       ++cursor;
     }
   }
+#if VODREP_CONTRACTS_ENABLED
+  {
+    LayoutAuditor::Limits limits;
+    limits.num_servers = num_servers;
+    limits.capacity_per_server = capacity_per_server;
+    const AuditReport report =
+        LayoutAuditor(limits).audit(layout, &plan, &popularity);
+    VODREP_DCHECK(report.ok(), report.summary());
+  }
+#endif
   return layout;
 }
 

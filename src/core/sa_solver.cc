@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/audit.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -227,6 +229,15 @@ bool ScalableSaProblem::propose(Scratch& scratch, Rng& rng) const {
     scratch.state.rollback(scratch.mark);
     return false;
   }
+#if VODREP_CONTRACTS_ENABLED
+  // A successful move+repair must leave every server within storage (Eq. 4);
+  // bandwidth may overflow (soft constraint, penalized in the cost).
+  for (double bytes : scratch.state.storage_bytes()) {
+    VODREP_DCHECK_LE(bytes,
+                     problem_.cluster.storage_bytes_per_server * (1.0 + 1e-9),
+                     "propose: repair left a server over storage capacity");
+  }
+#endif
   return true;
 }
 
@@ -264,6 +275,22 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
   result.solution = result.anneal.best_state;
   result.objective = solution_objective(problem, result.solution);
   result.feasible = is_feasible(problem, result.solution);
+#if VODREP_CONTRACTS_ENABLED
+  {
+    const AuditReport report =
+        LayoutAuditor::audit_solution(problem, result.solution);
+    if (result.feasible) {
+      VODREP_DCHECK(report.ok(), report.summary());
+    } else {
+      // Eq. 5 is the solver's soft constraint: when the offered load exceeds
+      // the cluster's outgoing bandwidth no solution satisfies it and the
+      // annealer returns the least-overflowing one; everything else
+      // (structure, Eq. 4 storage) must still hold.
+      VODREP_DCHECK(report.ok_ignoring(ViolationKind::kBandwidthOverflow),
+                    report.summary());
+    }
+  }
+#endif
   return result;
 }
 

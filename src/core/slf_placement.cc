@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 
+#include "src/audit/audit.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -102,6 +104,16 @@ Layout SmallestLoadFirstPlacement::place_traced(
     }
     ++round;
   }
+#if VODREP_CONTRACTS_ENABLED
+  {
+    LayoutAuditor::Limits limits;
+    limits.num_servers = num_servers;
+    limits.capacity_per_server = capacity_per_server;
+    const AuditReport report =
+        LayoutAuditor(limits).audit(layout, &plan, &popularity);
+    VODREP_DCHECK(report.ok(), report.summary());
+  }
+#endif
   return layout;
 }
 

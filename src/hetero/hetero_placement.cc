@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/audit/audit.h"
 #include "src/core/placement.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -60,6 +62,24 @@ Layout weighted_greedy_place(const ReplicationPlan& plan,
       ++stored[best];
     }
   }
+#if VODREP_CONTRACTS_ENABLED
+  {
+    // Structure + plan realization via the shared auditor (the fleet-wide
+    // slot maximum stands in for Eq. 4); the true per-server slot limits are
+    // checked directly below.
+    LayoutAuditor::Limits limits;
+    limits.num_servers = n;
+    limits.capacity_per_server = *std::max_element(capacity_slots.begin(),
+                                                   capacity_slots.end());
+    const AuditReport report =
+        LayoutAuditor(limits).audit(layout, &plan, &popularity);
+    VODREP_DCHECK(report.ok(), report.summary());
+    for (std::size_t s = 0; s < n; ++s) {
+      VODREP_DCHECK_LE(stored[s], capacity_slots[s],
+                       "weighted_greedy_place: server over its slot limit");
+    }
+  }
+#endif
   return layout;
 }
 

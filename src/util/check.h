@@ -1,0 +1,105 @@
+// Contract-check macros for internal invariants.
+//
+// `vodrep::require` (src/util/error.h) guards public API boundaries and is
+// always on.  The VODREP_DCHECK family guards *internal* invariants — the
+// delta/undo bookkeeping of the SA hot path, placement post-conditions, audit
+// cross-checks — and compiles to nothing on the default release path:
+//
+//   * Debug builds (NDEBUG undefined): contracts are enforced.
+//   * Release builds: contracts are compiled out unless the build defines
+//     VODREP_AUDIT (CMake option of the same name), which re-enables them at
+//     full optimization for soak runs and CI audit jobs.
+//
+// A failed contract throws ContractViolationError carrying the stringified
+// expression, source location, and message, so tests can assert on violations
+// and the audit CLI reports them instead of aborting mid-run.  Message
+// arguments are evaluated only on the failure path; when contracts are
+// disabled the condition itself is not evaluated (only type-checked).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vodrep {
+
+/// Raised when a VODREP_DCHECK contract fails: an internal invariant the
+/// library promised itself no longer holds.  Always a bug, never bad input.
+class ContractViolationError : public std::logic_error {
+ public:
+  explicit ContractViolationError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failed(const char* expression,
+                                         const char* file, int line,
+                                         const std::string& message) {
+  std::ostringstream os;
+  os << "contract violated: " << expression << " (" << file << ":" << line
+     << ")";
+  if (!message.empty()) os << ": " << message;
+  throw ContractViolationError(os.str());
+}
+
+template <typename Lhs, typename Rhs>
+[[noreturn]] void contract_failed_binary(const char* expression,
+                                         const char* file, int line,
+                                         const std::string& message,
+                                         const Lhs& lhs, const Rhs& rhs) {
+  std::ostringstream os;
+  os << "contract violated: " << expression << " with lhs=" << lhs
+     << " rhs=" << rhs << " (" << file << ":" << line << ")";
+  if (!message.empty()) os << ": " << message;
+  throw ContractViolationError(os.str());
+}
+
+}  // namespace detail
+}  // namespace vodrep
+
+#if !defined(NDEBUG) || defined(VODREP_AUDIT)
+#define VODREP_CONTRACTS_ENABLED 1
+#else
+#define VODREP_CONTRACTS_ENABLED 0
+#endif
+
+#if VODREP_CONTRACTS_ENABLED
+
+#define VODREP_DCHECK(condition, message)                            \
+  ((condition) ? static_cast<void>(0)                                \
+               : ::vodrep::detail::contract_failed(#condition, __FILE__, \
+                                                   __LINE__, (message)))
+
+#define VODREP_DCHECK_BINARY_(op, lhs, rhs, message)                       \
+  (((lhs)op(rhs))                                                          \
+       ? static_cast<void>(0)                                              \
+       : ::vodrep::detail::contract_failed_binary(#lhs " " #op " " #rhs,   \
+                                                  __FILE__, __LINE__,      \
+                                                  (message), (lhs), (rhs)))
+
+#else
+
+// Disabled: nothing is evaluated, but operands stay type-checked so a
+// contract cannot silently rot (and variables used only in contracts do not
+// trigger -Wunused warnings).
+#define VODREP_DCHECK(condition, message) \
+  (false ? static_cast<void>(condition) : static_cast<void>(0))
+
+#define VODREP_DCHECK_BINARY_(op, lhs, rhs, message) \
+  (false ? static_cast<void>((lhs)op(rhs)) : static_cast<void>(0))
+
+#endif
+
+#define VODREP_DCHECK_EQ(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(==, lhs, rhs, message)
+#define VODREP_DCHECK_NE(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(!=, lhs, rhs, message)
+#define VODREP_DCHECK_LE(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(<=, lhs, rhs, message)
+#define VODREP_DCHECK_LT(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(<, lhs, rhs, message)
+#define VODREP_DCHECK_GE(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(>=, lhs, rhs, message)
+#define VODREP_DCHECK_GT(lhs, rhs, message) \
+  VODREP_DCHECK_BINARY_(>, lhs, rhs, message)

@@ -45,26 +45,29 @@ void CliFlags::add_string(const std::string& name,
 
 void CliFlags::set_value(const std::string& name, const std::string& value) {
   auto it = flags_.find(name);
-  require(it != flags_.end(), "unknown flag --" + name);
+  require(it != flags_.end(), [&] { return "unknown flag --" + name; });
   Flag& flag = it->second;
   switch (flag.kind) {
     case Kind::kInt: {
       char* end = nullptr;
       (void)std::strtoll(value.c_str(), &end, 10);
-      require(end != value.c_str() && *end == '\0',
-              "flag --" + name + " expects an integer, got '" + value + "'");
+      require(end != value.c_str() && *end == '\0', [&] {
+        return "flag --" + name + " expects an integer, got '" + value + "'";
+      });
       break;
     }
     case Kind::kDouble: {
       char* end = nullptr;
       (void)std::strtod(value.c_str(), &end);
-      require(end != value.c_str() && *end == '\0',
-              "flag --" + name + " expects a number, got '" + value + "'");
+      require(end != value.c_str() && *end == '\0', [&] {
+        return "flag --" + name + " expects a number, got '" + value + "'";
+      });
       break;
     }
     case Kind::kBool:
-      require(value == "true" || value == "false",
-              "flag --" + name + " expects true/false, got '" + value + "'");
+      require(value == "true" || value == "false", [&] {
+        return "flag --" + name + " expects true/false, got '" + value + "'";
+      });
       break;
     case Kind::kString:
       break;
@@ -99,12 +102,13 @@ bool CliFlags::parse(int argc, const char* const* argv) {
       }
     }
     auto it = flags_.find(body);
-    require(it != flags_.end(), "unknown flag --" + body);
+    require(it != flags_.end(), [&] { return "unknown flag --" + body; });
     if (it->second.kind == Kind::kBool) {
       it->second.value = "true";
       continue;
     }
-    require(i + 1 < argc, "flag --" + body + " expects a value");
+    require(i + 1 < argc,
+            [&] { return "flag --" + body + " expects a value"; });
     set_value(body, argv[++i]);
   }
   return true;
@@ -112,10 +116,12 @@ bool CliFlags::parse(int argc, const char* const* argv) {
 
 const CliFlags::Flag& CliFlags::find(const std::string& name, Kind kind) const {
   auto it = flags_.find(name);
-  require(it != flags_.end(), "flag --" + name + " was never declared");
-  require(it->second.kind == kind,
-          "flag --" + name + " accessed as " +
-              kind_name(static_cast<int>(kind)) + " but declared otherwise");
+  require(it != flags_.end(),
+          [&] { return "flag --" + name + " was never declared"; });
+  require(it->second.kind == kind, [&] {
+    return "flag --" + name + " accessed as " +
+           kind_name(static_cast<int>(kind)) + " but declared otherwise";
+  });
   return it->second;
 }
 

@@ -6,8 +6,10 @@
 // reported through metrics instead.
 #pragma once
 
+#include <concepts>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace vodrep {
 
@@ -35,9 +37,19 @@ namespace detail {
 }  // namespace detail
 
 /// Checks a precondition and throws InvalidArgumentError on failure.
-/// Used at public API boundaries; internal invariants use assert().
-inline void require(bool condition, const std::string& what) {
+/// Used at public API boundaries; internal invariants use the VODREP_DCHECK
+/// contracts of src/util/check.h.  The message is a C string so the hot
+/// success path constructs nothing.
+inline void require(bool condition, const char* what) {
   if (!condition) detail::throw_invalid(what);
+}
+
+/// Overload for messages that need formatting (e.g. a file name): pass a
+/// callable returning the message, invoked only on the failure path, so
+/// callers pay neither concatenation nor allocation when the condition holds.
+template <std::invocable MessageFn>
+inline void require(bool condition, MessageFn&& message) {
+  if (!condition) detail::throw_invalid(std::forward<MessageFn>(message)());
 }
 
 }  // namespace vodrep

@@ -66,7 +66,9 @@ TEST(ChannelsForBlocking, InverseIsConsistent) {
     for (double target : {0.1, 0.01, 0.001}) {
       const std::size_t c = channels_for_blocking(a, target);
       EXPECT_LE(erlang_b(a, c), target);
-      if (c > 0) EXPECT_GT(erlang_b(a, c - 1), target);
+      if (c > 0) {
+        EXPECT_GT(erlang_b(a, c - 1), target);
+      }
     }
   }
 }

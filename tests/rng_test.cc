@@ -31,7 +31,7 @@ TEST(Rng, ReseedRestoresStream) {
   std::vector<std::uint64_t> first;
   for (int i = 0; i < 16; ++i) first.push_back(rng.next_u64());
   rng.reseed(7);
-  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(rng.next_u64(), first[i]);
 }
 
 TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit under src/, using the compilation database of
+# an existing build directory.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory defaults to ./build and must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo's CMakeLists turns it on).
+# Exits non-zero when clang-tidy reports any finding (WarningsAsErrors: '*').
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found in PATH" >&2
+  exit 2
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json missing;" \
+       "configure the build first (cmake -B \"${build_dir}\" -S \"${repo_root}\")" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+echo "clang-tidy over ${#sources[@]} files (build dir: ${build_dir})"
+
+status=0
+for source in "${sources[@]}"; do
+  clang-tidy --quiet -p "${build_dir}" "${source}" || status=1
+done
+exit "${status}"

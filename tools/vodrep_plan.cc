@@ -35,11 +35,12 @@ using namespace vodrep;
 
 std::vector<double> read_weights(const std::string& path) {
   std::ifstream in(path);
-  require(static_cast<bool>(in), "cannot open popularity file: " + path);
+  require(static_cast<bool>(in),
+          [&] { return "cannot open popularity file: " + path; });
   std::vector<double> weights;
   double w = 0.0;
   while (in >> w) weights.push_back(w);
-  require(!weights.empty(), "popularity file is empty: " + path);
+  require(!weights.empty(), [&] { return "popularity file is empty: " + path; });
   return weights;
 }
 
@@ -88,12 +89,14 @@ int run(int argc, char** argv) {
     require(!flags.get_string("inspect").empty(),
             "--evaluate needs --inspect=<layout file>");
     std::ifstream layout_in(flags.get_string("inspect"));
-    require(static_cast<bool>(layout_in),
-            "cannot open layout file: " + flags.get_string("inspect"));
+    require(static_cast<bool>(layout_in), [&] {
+      return "cannot open layout file: " + flags.get_string("inspect");
+    });
     const PlacementFile placement = load_placement(layout_in);
     std::ifstream trace_in(flags.get_string("evaluate"));
-    require(static_cast<bool>(trace_in),
-            "cannot open trace file: " + flags.get_string("evaluate"));
+    require(static_cast<bool>(trace_in), [&] {
+      return "cannot open trace file: " + flags.get_string("evaluate");
+    });
     const RequestTrace trace = load_trace(trace_in);
 
     SimConfig config;
@@ -119,8 +122,9 @@ int run(int argc, char** argv) {
 
   if (!flags.get_string("inspect").empty()) {
     std::ifstream in(flags.get_string("inspect"));
-    require(static_cast<bool>(in),
-            "cannot open layout file: " + flags.get_string("inspect"));
+    require(static_cast<bool>(in), [&] {
+      return "cannot open layout file: " + flags.get_string("inspect");
+    });
     const PlacementFile placement = load_placement(in);
     std::cout << "== " << flags.get_string("inspect") << " ==\n";
     // Without the original popularity, summarize with a uniform one.
@@ -168,7 +172,8 @@ int run(int argc, char** argv) {
       save_placement(std::cout, placement);
     } else {
       std::ofstream out(output);
-      require(static_cast<bool>(out), "cannot write layout file: " + output);
+      require(static_cast<bool>(out),
+              [&] { return "cannot write layout file: " + output; });
       save_placement(out, placement);
       std::cout << "\nlayout written to " << output << "\n";
     }

@@ -41,8 +41,9 @@ int run(int argc, char** argv) {
 
   if (!flags.get_string("info").empty()) {
     std::ifstream in(flags.get_string("info"));
-    require(static_cast<bool>(in),
-            "cannot open trace file: " + flags.get_string("info"));
+    require(static_cast<bool>(in), [&] {
+      return "cannot open trace file: " + flags.get_string("info");
+    });
     const RequestTrace trace = load_trace(in);
     require(trace.is_well_formed(), "trace file is malformed");
     std::cout << "== " << flags.get_string("info") << " ==\n"
@@ -100,7 +101,8 @@ int run(int argc, char** argv) {
   const std::string output = flags.get_string("output");
   require(!output.empty(), "nothing to do: pass --output or --info");
   std::ofstream out(output);
-  require(static_cast<bool>(out), "cannot write trace file: " + output);
+  require(static_cast<bool>(out),
+          [&] { return "cannot write trace file: " + output; });
   save_trace(out, trace);
   std::cout << "trace written to " << output << "\n";
   return EXIT_SUCCESS;
