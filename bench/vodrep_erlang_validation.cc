@@ -84,7 +84,9 @@ int main(int argc, char** argv) {
         Rng rng(runner.base_seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
         const RequestTrace trace =
             generate_trace(rng, scenario.trace_spec(rate));
-        sim_wide.add(simulate_striped(wide, config, trace).rejection_rate());
+        SimEngine engine(config);
+        StripedPolicy policy(wide, config);
+        sim_wide.add(engine.run(policy, trace).rejection_rate());
       }
       const CellStats sim_replica =
           run_cell(replica_layout, config, scenario.trace_spec(rate), runner);

@@ -102,8 +102,13 @@ int main(int argc, char** argv) {
         spec.horizon = units::minutes(90);
         spec.popularity = popularity;
         const RequestTrace trace = generate_trace(rng, spec);
-        const SimResult rb = simulate(blind, config, trace);
-        const SimResult rw = simulate(weighted, config, trace);
+        auto replay = [&](const Layout& layout) {
+          SimEngine engine(config);
+          ReplicatedPolicy policy(layout, config);
+          return engine.run(policy, trace);
+        };
+        const SimResult rb = replay(blind);
+        const SimResult rw = replay(weighted);
         blind_reject.add(rb.rejection_rate());
         weighted_reject.add(rw.rejection_rate());
         blind_l.add(rb.mean_imbalance_eq2);

@@ -133,12 +133,15 @@ int main(int argc, char** argv) {
             videos, theta, units::per_minute(peak), units::per_minute(2.0),
             /*staggered=*/true);
         Rng rng2 = rng.split(1);
+        auto replay = [&](const RequestTrace& trace) {
+          SimEngine engine(config);
+          ReplicatedPolicy policy(layout, config);
+          return engine.run(policy, trace);
+        };
         aligned_reject.add(
-            simulate(layout, config, generate_multiclass_trace(rng, aligned))
-                .rejection_rate());
+            replay(generate_multiclass_trace(rng, aligned)).rejection_rate());
         staggered_reject.add(
-            simulate(layout, config,
-                     generate_multiclass_trace(rng2, staggered))
+            replay(generate_multiclass_trace(rng2, staggered))
                 .rejection_rate());
       }
       table.add_row({peak, 100.0 * aligned_reject.mean(),

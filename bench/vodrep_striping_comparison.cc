@@ -126,24 +126,37 @@ int main(int argc, char** argv) {
       Table table(std::move(headers));
       table.set_precision(2);
       for (double rate : arrival_rate_sweep(scenario, points, 0.2, 1.1)) {
+        // All five organizations replay through the same SimEngine; only
+        // the StoragePolicy differs.
         const SweepPoint k8 = run_config(
-            scenario, rate, runs, seed,
-            [&](const RequestTrace& t) { return simulate_striped(wide, base, t); });
+            scenario, rate, runs, seed, [&](const RequestTrace& t) {
+              SimEngine engine(base);
+              StripedPolicy policy(wide, base);
+              return engine.run(policy, t);
+            });
         const SweepPoint k4 = run_config(
             scenario, rate, runs, seed, [&](const RequestTrace& t) {
-              return simulate_striped(narrow4, base, t);
+              SimEngine engine(base);
+              StripedPolicy policy(narrow4, base);
+              return engine.run(policy, t);
             });
         const SweepPoint k2 = run_config(
             scenario, rate, runs, seed, [&](const RequestTrace& t) {
-              return simulate_striped(narrow2, base, t);
+              SimEngine engine(base);
+              StripedPolicy policy(narrow2, base);
+              return engine.run(policy, t);
             });
         const SweepPoint hyb = run_config(
             scenario, rate, runs, seed, [&](const RequestTrace& t) {
-              return simulate_hybrid(hybrid, base, t);
+              SimEngine engine(base);
+              HybridPolicy policy(hybrid, base);
+              return engine.run(policy, t);
             });
         const SweepPoint rep = run_config(
             scenario, rate, runs, seed, [&](const RequestTrace& t) {
-              return simulate(replica_layout, base, t);
+              SimEngine engine(base);
+              ReplicatedPolicy policy(replica_layout, base);
+              return engine.run(policy, t);
             });
         std::vector<Table::Cell> row{rate, 100.0 * k8.reject.mean(),
                                      100.0 * k4.reject.mean(),

@@ -57,7 +57,9 @@ int main() {
       const RequestTrace trace = generate_trace(rng, spec);
 
       // Serve today's peak on the currently deployed layout.
-      const SimResult result = simulate(controller.layout(), sim, trace);
+      SimEngine engine(sim);
+      ReplicatedPolicy policy(controller.layout(), sim);
+      const SimResult result = engine.run(policy, trace);
 
       // Close the loop: learn, decide, and (maybe) migrate overnight.
       controller.observe_epoch(trace.video_counts(kVideos));

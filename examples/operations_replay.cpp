@@ -66,8 +66,13 @@ int main(int argc, char** argv) {
     // backbone budget.  Identical workload -> differences are pure policy.
     Table table({"config", "backbone_Gbps", "reject%", "redirected%"});
     table.set_precision(2);
+    auto replay = [&](const SimConfig& config) {
+      SimEngine engine(config);
+      ReplicatedPolicy policy(layout, config);
+      return engine.run(policy, trace);
+    };
     {
-      const SimResult base = simulate(layout, scenario.sim_config(), trace);
+      const SimResult base = replay(scenario.sim_config());
       table.add_row({std::string("static round-robin"), 0.0,
                      100.0 * base.rejection_rate(), 0.0});
     }
@@ -75,7 +80,7 @@ int main(int argc, char** argv) {
       SimConfig config = scenario.sim_config();
       config.redirect = RedirectMode::kBackboneProxy;
       config.backbone_bps = units::gbps(backbone_gbps);
-      const SimResult result = simulate(layout, config, trace);
+      const SimResult result = replay(config);
       table.add_row({std::string("redirect"), backbone_gbps,
                      100.0 * result.rejection_rate(),
                      100.0 * static_cast<double>(result.redirected) /

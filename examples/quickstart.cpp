@@ -41,9 +41,12 @@ int main() {
     std::cout << "generated " << trace.size()
               << " requests over 90 minutes\n";
 
-    // 4. Replay and report.
-    const SimResult result =
-        simulate(provisioned.layout, scenario.sim_config(), trace);
+    // 4. Replay through the engine and report.  `ReplicatedPolicy` is the
+    //    paper's whole-replica organization; striped and hybrid policies
+    //    plug into the same engine.
+    SimEngine engine(scenario.sim_config());
+    ReplicatedPolicy policy(provisioned.layout, scenario.sim_config());
+    const SimResult result = engine.run(policy, trace);
     std::cout << "rejection rate: " << 100.0 * result.rejection_rate()
               << " %\n"
               << "time-averaged load imbalance (Eq. 2): "

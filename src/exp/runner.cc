@@ -18,7 +18,9 @@ CellStats run_cell(const Layout& layout, const SimConfig& config,
   auto one_run = [&](std::size_t run) {
     Rng rng(options.base_seed ^ (0x9e3779b97f4a7c15ULL * (run + 1)));
     const RequestTrace trace = generate_trace(rng, spec);
-    results[run] = simulate(layout, config, trace);
+    SimEngine engine(config);
+    ReplicatedPolicy policy(layout, config);
+    results[run] = engine.run(policy, trace);
   };
 
   if (pool != nullptr) {

@@ -69,9 +69,16 @@ Table run_adaptation_study(const AdaptationStudyConfig& config,
                         budget, capacity)
             .layout;
 
-    const SimResult static_result = simulate(static_layout, sim, trace);
-    const SimResult adaptive_result = simulate(controller.layout(), sim, trace);
-    const SimResult oracle_result = simulate(oracle_layout, sim, trace);
+    // One single-shot engine per replay; the three strategies share the
+    // trace so the comparison is paired.
+    auto replay = [&](const Layout& layout) {
+      SimEngine engine(sim);
+      ReplicatedPolicy policy(layout, sim);
+      return engine.run(policy, trace);
+    };
+    const SimResult static_result = replay(static_layout);
+    const SimResult adaptive_result = replay(controller.layout());
+    const SimResult oracle_result = replay(oracle_layout);
 
     // Close the adaptive loop: learn from what was observed, re-provision,
     // and account for the migration the new layout costs.

@@ -68,7 +68,7 @@ double Dispatcher::joinable_offset(std::size_t server, std::size_t video,
 
 std::optional<DispatchDecision> Dispatcher::dispatch(
     std::size_t video, double bitrate_bps,
-    std::vector<StreamingServer>& servers, double now) {
+    const std::vector<StreamingServer>& servers, double now) {
   require(video < layout_.num_videos(), "Dispatcher: video out of range");
   const auto& holders = layout_.assignment[video];
   require(!holders.empty(), "Dispatcher: video has no replica");
@@ -96,7 +96,6 @@ std::optional<DispatchDecision> Dispatcher::dispatch(
       decision.server = pick;
       decision.batched = true;
       decision.patch_duration_sec = offset;
-      if (offset > 0.0) servers[pick].admit(bitrate_bps);
       return decision;
     }
     // No room even for the patch: fall through to the normal path (which
@@ -104,7 +103,6 @@ std::optional<DispatchDecision> Dispatcher::dispatch(
   }
 
   if (servers[pick].can_admit(bitrate_bps)) {
-    servers[pick].admit(bitrate_bps);
     if (!last_stream_start_.empty()) {
       last_stream_start_[video][pick_index] = now;
     }
@@ -120,7 +118,6 @@ std::optional<DispatchDecision> Dispatcher::dispatch(
   const std::size_t holder =
       least_loaded_admitting(servers, bitrate_bps, is_other_holder);
   if (holder != servers.size()) {
-    servers[holder].admit(bitrate_bps);
     if (!last_stream_start_.empty()) {
       const auto k = static_cast<std::size_t>(
           std::find(holders.begin(), holders.end(), holder) - holders.begin());
@@ -146,7 +143,6 @@ std::optional<DispatchDecision> Dispatcher::dispatch(
   const std::size_t proxy =
       least_loaded_admitting(servers, bitrate_bps, is_non_holder);
   if (proxy == servers.size()) return std::nullopt;
-  servers[proxy].admit(bitrate_bps);
   backbone_busy_bps_ += bitrate_bps;
   return DispatchDecision{proxy, true, true, false};
 }

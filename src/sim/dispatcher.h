@@ -47,9 +47,16 @@ struct DispatchDecision {
   bool redirected = false;    ///< served by a server other than the RR pick
   bool via_backbone = false;  ///< stream proxied over the internal backbone
   bool batched = false;       ///< joined an existing stream of the video
-  /// kPatching joins: duration of the catch-up stream the join reserved on
+  /// kPatching joins: duration of the catch-up stream the join reserves on
   /// `server` (0 for piggyback joins and normal admissions).
   double patch_duration_sec = 0.0;
+
+  /// True when the decision obligates the caller to reserve the stream's
+  /// bandwidth on `server`: every non-batched admission, plus patching
+  /// joins that pay a catch-up stream.  Piggyback joins hold nothing.
+  [[nodiscard]] bool reserves_bandwidth() const {
+    return !batched || patch_duration_sec > 0.0;
+  }
 };
 
 class Dispatcher {
@@ -69,13 +76,17 @@ class Dispatcher {
              BatchingMode batching_mode = BatchingMode::kPiggyback);
 
   /// Chooses the serving server for a request for `video` arriving at time
-  /// `now`, or nullopt to reject.  On (non-batched) admission the caller
-  /// must stream through the returned server and later call
-  /// release_backbone() if `via_backbone` was set.  Batched decisions
-  /// reserve no bandwidth and need no teardown.
+  /// `now`, or nullopt to reject.  The dispatcher only *decides*: it reads
+  /// the server states but reserves nothing itself, so the caller that owns
+  /// the load accounting (normally the SimEngine) stays authoritative.  A
+  /// returned decision is binding — when reserves_bandwidth() is true the
+  /// caller must admit the stream on `server` (the dispatcher already
+  /// recorded the round-robin advance, the joinable-stream window, and the
+  /// backbone reservation), and must later call release_backbone() if
+  /// `via_backbone` was set.
   [[nodiscard]] std::optional<DispatchDecision> dispatch(
       std::size_t video, double bitrate_bps,
-      std::vector<StreamingServer>& servers, double now = 0.0);
+      const std::vector<StreamingServer>& servers, double now = 0.0);
 
   /// Frees the backbone reservation of one finished proxied stream.
   void release_backbone(double bitrate_bps);

@@ -1,0 +1,238 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+void SimConfig::validate() const {
+  require(num_servers >= 1, "SimConfig: need at least one server");
+  require(bandwidth_bps_per_server > 0.0, "SimConfig: bad server bandwidth");
+  if (!per_server_bandwidth_bps.empty()) {
+    require(per_server_bandwidth_bps.size() == num_servers,
+            "SimConfig: per-server bandwidth size mismatch");
+    for (double b : per_server_bandwidth_bps) {
+      require(b > 0.0, "SimConfig: bad per-server bandwidth");
+    }
+  }
+  require(stream_bitrate_bps > 0.0, "SimConfig: bad stream bit rate");
+  require(video_duration_sec > 0.0, "SimConfig: bad video duration");
+  if (redirect != RedirectMode::kNone) {
+    require(backbone_bps >= 0.0, "SimConfig: negative backbone bandwidth");
+  }
+  require(batching_window_sec >= 0.0, "SimConfig: negative batching window");
+  double prev_time = 0.0;
+  for (const ServerFailure& failure : failures) {
+    require(failure.server < num_servers,
+            "SimConfig: failure server out of range");
+    require(failure.time >= prev_time,
+            "SimConfig: failures must be sorted by time");
+    prev_time = failure.time;
+  }
+}
+
+void SimConfig::require_replication_extensions_unset(
+    const char* organization) const {
+  require(redirect == RedirectMode::kNone, [&] {
+    return std::string(organization) +
+           " simulation has no replica choice to redirect between; unset "
+           "SimConfig::redirect";
+  });
+  require(backbone_bps == 0.0, [&] {
+    return std::string(organization) +
+           " simulation cannot proxy streams; unset SimConfig::backbone_bps";
+  });
+  require(batching_window_sec == 0.0, [&] {
+    return std::string(organization) +
+           " simulation does not support stream sharing; unset "
+           "SimConfig::batching_window_sec";
+  });
+}
+
+double SimResult::rejection_rate() const {
+  return total_requests == 0
+             ? 0.0
+             : static_cast<double>(rejected) / static_cast<double>(total_requests);
+}
+
+double SimResult::mean_utilization() const {
+  if (utilization_per_server.empty()) return 0.0;
+  double sum = 0.0;
+  for (double u : utilization_per_server) sum += u;
+  return sum / static_cast<double>(utilization_per_server.size());
+}
+
+SimEngine::SimEngine(const SimConfig& config) : config_(config) {
+  config_.validate();
+  const std::size_t n = config_.num_servers;
+  servers_.reserve(n);
+  capacities_bps_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    capacities_bps_[s] = config_.bandwidth_of(s);
+    servers_.emplace_back(capacities_bps_[s]);
+  }
+  utilization_.assign(n, 0.0);
+  busy_integral_.assign(n, 0.0);
+  busy_since_.assign(n, 0.0);
+}
+
+SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
+  require(!ran_, "SimEngine::run: one engine instance replays one trace");
+  ran_ = true;
+  require(trace.is_well_formed(), "SimEngine::run: malformed trace");
+  policy.bind(*this);
+
+  result_.total_requests = trace.size();
+  for (const Request& request : trace.requests) {
+    advance_events(policy, request.arrival_time);
+    const PolicyDecision decision = policy.dispatch(request);
+    if (!decision.admitted) {
+      ++result_.rejected;
+      continue;
+    }
+    if (decision.batched) {
+      ++result_.batched;
+      continue;
+    }
+    if (decision.redirected) ++result_.redirected;
+    if (decision.via_backbone) ++result_.proxied;
+  }
+  // Close the books at the end of the peak period; streams outliving it keep
+  // their bandwidth (they are not torn down) but the metrics window ends.
+  advance_events(policy, trace.horizon);
+
+  result_.mean_imbalance_eq2 = imbalance_eq2_.mean();
+  result_.mean_imbalance_cv = imbalance_cv_.mean();
+  result_.mean_imbalance_capacity = imbalance_capacity_.mean();
+  result_.peak_imbalance_eq2 = peak_eq2_;
+  const std::size_t n = servers_.size();
+  result_.served_per_server.resize(n);
+  result_.utilization_per_server.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    result_.served_per_server[s] = servers_[s].served_total();
+    if (trace.horizon > 0.0) {
+      // Flush the per-server busy integral to the end of the window.
+      const double integral =
+          busy_integral_[s] +
+          servers_[s].busy_bps() * (trace.horizon - busy_since_[s]);
+      result_.utilization_per_server[s] =
+          integral / (trace.horizon * capacities_bps_[s]);
+    }
+  }
+  return result_;
+}
+
+void SimEngine::admit(std::size_t s, double bitrate_bps) {
+  pre_load_change(s);
+  servers_[s].admit(bitrate_bps);
+  post_load_change(s);
+}
+
+void SimEngine::release(std::size_t s, double bitrate_bps) {
+  pre_load_change(s);
+  servers_[s].release(bitrate_bps);
+  post_load_change(s);
+}
+
+std::size_t SimEngine::fail(std::size_t s) {
+  pre_load_change(s);
+  const std::size_t dropped = servers_[s].fail();
+  post_load_change(s);
+  return dropped;
+}
+
+EventHeap::Id SimEngine::schedule_departure(double time, std::size_t stream) {
+  return departures_.push(time, stream);
+}
+
+void SimEngine::cancel_departure(EventHeap::Id id) { departures_.cancel(id); }
+
+void SimEngine::advance_events(StoragePolicy& policy, double now) {
+  const auto& failures = config_.failures;
+  for (;;) {
+    const bool have_departure =
+        !departures_.empty() && departures_.min_time() <= now;
+    const bool have_failure = next_failure_ < failures.size() &&
+                              failures[next_failure_].time <= now;
+    if (have_failure &&
+        (!have_departure ||
+         failures[next_failure_].time <= departures_.min_time())) {
+      const ServerFailure& failure = failures[next_failure_++];
+      integrate_to(failure.time);
+      result_.disrupted += policy.on_crash(failure.server);
+      continue;
+    }
+    if (!have_departure) break;
+    const EventHeap::Event event = departures_.pop_min();
+    integrate_to(event.time);
+    policy.on_departure(event.payload);
+  }
+  integrate_to(now);
+}
+
+void SimEngine::integrate_to(double t) {
+  const double dt = t - now_;
+  if (dt <= 0.0) return;
+  const auto n = static_cast<double>(servers_.size());
+  const double max = current_max_utilization();
+  if (max <= 0.0) {
+    // Every per-server utilization is exactly zero (the entries are exact;
+    // only the running sums accumulate rounding residue).  Flush the
+    // residue so an idle cluster cannot masquerade as loaded — a ~1e-16
+    // leftover mean would turn the CV metric into residue/residue noise.
+    utilization_sum_ = 0.0;
+    utilization_sumsq_ = 0.0;
+  }
+  const double mean = utilization_sum_ / n;
+  double eq2 = 0.0;
+  double cv = 0.0;
+  if (mean > 0.0) {
+    // Clamp: with equal loads the summed mean can exceed the max by a few
+    // ulps (and the running sum of squares can dip below n*mean^2).
+    eq2 = std::max(0.0, (max - mean) / mean);
+    const double variance =
+        std::max(0.0, utilization_sumsq_ / n - mean * mean);
+    cv = std::sqrt(variance) / mean;
+  }
+  imbalance_eq2_.add(eq2, dt);
+  imbalance_cv_.add(cv, dt);
+  imbalance_capacity_.add(std::max(0.0, max - mean), dt);
+  peak_eq2_ = std::max(peak_eq2_, eq2);
+  now_ = t;
+}
+
+void SimEngine::pre_load_change(std::size_t s) {
+  busy_integral_[s] += servers_[s].busy_bps() * (now_ - busy_since_[s]);
+  busy_since_[s] = now_;
+}
+
+void SimEngine::post_load_change(std::size_t s) {
+  const double updated = servers_[s].busy_bps() / capacities_bps_[s];
+  const double previous = utilization_[s];
+  utilization_[s] = updated;
+  utilization_sum_ += updated - previous;
+  utilization_sumsq_ += updated * updated - previous * previous;
+  // Lazy max (the IncrementalState trick): track the argmax eagerly while
+  // loads grow; only a drop of the current max server's load forces an
+  // O(N) re-scan, deferred to the next query.
+  if (s == max_server_) {
+    if (updated < previous) max_dirty_ = true;
+  } else if (!max_dirty_ && updated > utilization_[max_server_]) {
+    max_server_ = s;
+  }
+}
+
+double SimEngine::current_max_utilization() const {
+  if (max_dirty_) {
+    max_server_ = static_cast<std::size_t>(
+        std::max_element(utilization_.begin(), utilization_.end()) -
+        utilization_.begin());
+    max_dirty_ = false;
+  }
+  return utilization_[max_server_];
+}
+
+}  // namespace vodrep

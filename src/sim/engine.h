@@ -1,0 +1,240 @@
+// The unified discrete-event simulation core for the Section 5 evaluation.
+//
+// One event loop serves every storage organization: the engine owns the
+// clock, the departure event heap, the per-server bandwidth state, failure
+// injection, and the time-weighted metrics accumulator (Eq. 2/3 and the
+// capacity-normalized imbalance, per-server utilization, and the
+// rejection/redirect/batch/disruption counters).  What differs between
+// organizations — how a request maps to bandwidth reservations, and what a
+// server crash takes down with it — is delegated to a small StoragePolicy:
+//
+//   * ReplicatedPolicy (src/sim/replicated_policy.h) — whole streams on
+//     one replica holder, with redirection/backbone-proxy/batching modes;
+//   * StripedPolicy (src/sim/striped_policy.h) — bitrate/k shares on every
+//     stripe-group member;
+//   * HybridPolicy (src/sim/hybrid_policy.h) — round-robin over replicated
+//     stripe groups.
+//
+// Between events the per-server busy bandwidths are piecewise constant, so
+// the load-imbalance degree L (Eqs. 2/3) is integrated exactly as a
+// time-weighted mean.  Unlike the pre-engine simulators, which rescanned all
+// N servers at every event, the engine maintains the utilization sum, sum of
+// squares, and max incrementally (the max lazily, re-scanned only after the
+// current max server's load drops — the same trick as the SA solver's
+// IncrementalState), so an event costs O(1) amortized metric work.
+//
+// Policies MUST route every bandwidth mutation through the engine's
+// admit/release/fail so the incremental state stays consistent; the engine
+// exposes servers() read-only.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/dispatcher.h"  // RedirectMode / BatchingMode
+#include "src/sim/event_heap.h"
+#include "src/sim/server.h"
+#include "src/util/stats.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+
+/// A scheduled server crash: at `time` the server drops every active stream
+/// and admits nothing afterward (fail-stop, no recovery within the peak).
+struct ServerFailure {
+  double time = 0.0;
+  std::size_t server = 0;
+};
+
+struct SimConfig {
+  std::size_t num_servers = 0;
+  double bandwidth_bps_per_server = 0.0;
+  /// Optional heterogeneous fleet: when non-empty (size == num_servers),
+  /// overrides bandwidth_bps_per_server per server.  The imbalance metrics
+  /// are computed on link *utilizations* l_j / B_j, which coincides with the
+  /// load-based definitions when the fleet is homogeneous (Eq. 2 is
+  /// scale-invariant) and is the meaningful notion when it is not.
+  std::vector<double> per_server_bandwidth_bps;
+  double stream_bitrate_bps = 0.0;   ///< fixed encoding bit rate
+  double video_duration_sec = 0.0;   ///< streams hold bandwidth this long
+  RedirectMode redirect = RedirectMode::kNone;
+  double backbone_bps = 0.0;         ///< proxy budget (kBackboneProxy only)
+  /// Stream-sharing window in seconds (0 disables batching): a request
+  /// whose scheduled replica started a stream of the same video within this
+  /// window joins it instead of consuming a full new stream.
+  double batching_window_sec = 0.0;
+  /// Piggyback (free joins, the optimistic bound) or patching (joins pay a
+  /// catch-up stream for the missed prefix).
+  BatchingMode batching_mode = BatchingMode::kPiggyback;
+  /// Fail-stop crashes to inject, sorted by time.  Used by the
+  /// striping-vs-replication availability experiments.
+  std::vector<ServerFailure> failures;
+
+  /// Effective outgoing bandwidth of server `s`.
+  [[nodiscard]] double bandwidth_of(std::size_t s) const {
+    return per_server_bandwidth_bps.empty() ? bandwidth_bps_per_server
+                                            : per_server_bandwidth_bps[s];
+  }
+
+  void validate() const;
+
+  /// The redirect/backbone/batching fields model a per-request replica
+  /// choice that only the replication organization has.  Policies for
+  /// organizations without that choice (striping, hybrid stripe groups)
+  /// call this to reject configurations that set them, instead of silently
+  /// ignoring the fields as the pre-engine simulators did.
+  void require_replication_extensions_unset(const char* organization) const;
+};
+
+struct SimResult {
+  std::size_t total_requests = 0;
+  std::size_t rejected = 0;
+  std::size_t redirected = 0;  ///< served by a server other than the RR pick
+  std::size_t proxied = 0;     ///< subset of redirected that crossed the backbone
+  std::size_t batched = 0;     ///< requests served by joining an existing stream
+  std::size_t disrupted = 0;   ///< admitted streams dropped by a server crash
+
+  /// Fraction of requests rejected, in [0, 1]; 0 when there were none.
+  [[nodiscard]] double rejection_rate() const;
+
+  /// Time-weighted mean of the Eq. 2 imbalance over the peak period.
+  double mean_imbalance_eq2 = 0.0;
+  /// Time-weighted mean of the Eq. 3 (coefficient-of-variation) imbalance.
+  double mean_imbalance_cv = 0.0;
+  /// Largest instantaneous Eq. 2 imbalance observed.
+  double peak_imbalance_eq2 = 0.0;
+  /// Time-weighted mean of the capacity-normalized excess
+  /// (max_j l_j - l_bar) / B.  Mean-normalized Eq. 2 is monotone decreasing
+  /// in the arrival rate (the denominator grows with load); normalizing by
+  /// the fixed link capacity instead reproduces the rise-peak-fall shape of
+  /// the paper's Figure 6 (peak just below saturation, collapse once every
+  /// server clips at capacity).
+  double mean_imbalance_capacity = 0.0;
+
+  /// Streams admitted per server (served counts).
+  std::vector<std::size_t> served_per_server;
+  /// Mean outgoing-bandwidth utilization per server, in [0, 1].
+  std::vector<double> utilization_per_server;
+  /// Mean utilization across servers.
+  [[nodiscard]] double mean_utilization() const;
+};
+
+/// What a StoragePolicy decided for one request.  The engine translates
+/// this into the SimResult counters; reservations and departure scheduling
+/// already happened inside dispatch().
+struct PolicyDecision {
+  bool admitted = false;      ///< false = the request was rejected
+  bool redirected = false;    ///< served by a server other than the RR pick
+  bool via_backbone = false;  ///< stream proxied over the internal backbone
+  bool batched = false;       ///< joined an existing stream of the video
+};
+
+class StoragePolicy;
+
+/// The shared event-driven core.  One engine instance replays one trace:
+/// construct, run(), read the result (run() is single-shot because the
+/// server and metric state is consumed by the replay).
+class SimEngine {
+ public:
+  explicit SimEngine(const SimConfig& config);
+
+  /// Replays `trace`, delegating per-request and per-crash decisions to
+  /// `policy`.  Deterministic (the trace already fixes all randomness).
+  [[nodiscard]] SimResult run(StoragePolicy& policy,
+                              const RequestTrace& trace);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
+  /// Read-only server state for dispatch decisions; all mutations must go
+  /// through admit/release/fail below.
+  [[nodiscard]] const std::vector<StreamingServer>& servers() const {
+    return servers_;
+  }
+  [[nodiscard]] const StreamingServer& server(std::size_t s) const {
+    return servers_[s];
+  }
+  /// Current simulation time (the time of the event being processed).
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool can_admit(std::size_t s, double bitrate_bps) const {
+    return servers_[s].can_admit(bitrate_bps);
+  }
+  /// Reserves bandwidth for one stream on `s` (callers check can_admit).
+  void admit(std::size_t s, double bitrate_bps);
+  /// Releases the bandwidth of one finished stream on `s`.
+  void release(std::size_t s, double bitrate_bps);
+  /// Crashes `s`: drops its active streams (count returned), empties the
+  /// link, and makes every future can_admit() false.
+  std::size_t fail(std::size_t s);
+
+  /// Schedules StoragePolicy::on_departure(stream) at `time`.  The returned
+  /// id can cancel the departure (a stream killed by a crash).
+  EventHeap::Id schedule_departure(double time, std::size_t stream);
+  void cancel_departure(EventHeap::Id id);
+
+ private:
+  /// Applies departures and injected failures up to `now` in time order
+  /// (failures win ties) and integrates the load signals.
+  void advance_events(StoragePolicy& policy, double now);
+  /// Accounts for the current utilization state holding over [now_, t).
+  void integrate_to(double t);
+  /// Bracket every busy-bandwidth mutation of server `s` (at time now_).
+  void pre_load_change(std::size_t s);
+  void post_load_change(std::size_t s);
+  [[nodiscard]] double current_max_utilization() const;
+
+  SimConfig config_;
+  std::vector<StreamingServer> servers_;
+  std::vector<double> capacities_bps_;
+  EventHeap departures_;
+  std::size_t next_failure_ = 0;
+  bool ran_ = false;
+
+  // --- incrementally maintained metric state ---
+  double now_ = 0.0;                      ///< last integration time
+  std::vector<double> utilization_;       ///< busy / capacity per server
+  double utilization_sum_ = 0.0;
+  double utilization_sumsq_ = 0.0;
+  mutable std::size_t max_server_ = 0;    ///< lazy argmax utilization
+  mutable bool max_dirty_ = false;
+  std::vector<double> busy_integral_;     ///< integral of busy_bps over time
+  std::vector<double> busy_since_;        ///< last busy change per server
+  TimeWeightedMean imbalance_eq2_;
+  TimeWeightedMean imbalance_cv_;
+  TimeWeightedMean imbalance_capacity_;
+  double peak_eq2_ = 0.0;
+  SimResult result_;
+};
+
+/// How one storage organization maps requests to bandwidth reservations.
+/// Implementations keep per-stream records, reserve and free bandwidth only
+/// through the engine, and schedule/cancel departures for the streams they
+/// open.  See DESIGN.md ("Simulation engine") for how to add a new
+/// organization.
+class StoragePolicy {
+ public:
+  StoragePolicy() = default;
+  StoragePolicy(const StoragePolicy&) = delete;
+  StoragePolicy& operator=(const StoragePolicy&) = delete;
+  virtual ~StoragePolicy() = default;
+
+  /// Called once by SimEngine::run before the replay; the policy keeps the
+  /// engine pointer for the duration of the run.
+  virtual void bind(SimEngine& engine) = 0;
+
+  /// Handles one arriving request: decide the serving server(s), reserve
+  /// bandwidth via engine admit(), and schedule the departure(s).  Returns
+  /// what happened so the engine can update the counters.
+  virtual PolicyDecision dispatch(const Request& request) = 0;
+
+  /// A departure scheduled via schedule_departure(time, stream) fired:
+  /// release the stream's reservations.
+  virtual void on_departure(std::size_t stream) = 0;
+
+  /// Server `server` crashed.  The policy fails it on the engine, tears
+  /// down every stream the crash kills, and returns how many admitted
+  /// streams were disrupted.
+  virtual std::size_t on_crash(std::size_t server) = 0;
+};
+
+}  // namespace vodrep

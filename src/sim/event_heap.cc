@@ -1,0 +1,103 @@
+#include "src/sim/event_heap.h"
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+double EventHeap::min_time() const {
+  require(!heap_.empty(), "EventHeap::min_time: empty heap");
+  return nodes_[heap_.front()].time;
+}
+
+EventHeap::Id EventHeap::push(double time, std::size_t payload) {
+  Id id;
+  if (free_ids_.empty()) {
+    id = nodes_.size();
+    nodes_.emplace_back();
+  } else {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  }
+  Node& node = nodes_[id];
+  node.time = time;
+  node.seq = next_seq_++;
+  node.payload = payload;
+  heap_.push_back(id);
+  node.pos = heap_.size() - 1;
+  sift_up(node.pos);
+  return id;
+}
+
+EventHeap::Event EventHeap::pop_min() {
+  require(!heap_.empty(), "EventHeap::pop_min: empty heap");
+  const std::size_t top = heap_.front();
+  const Event event{nodes_[top].time, nodes_[top].payload};
+  nodes_[top].pos = kUnplaced;
+  free_ids_.push_back(top);
+  const std::size_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    place(0, last);
+    sift_down(0);
+  }
+  return event;
+}
+
+void EventHeap::cancel(Id id) {
+  require(active(id), "EventHeap::cancel: event is not scheduled");
+  const std::size_t pos = nodes_[id].pos;
+  nodes_[id].pos = kUnplaced;
+  free_ids_.push_back(id);
+  const std::size_t last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    place(pos, last);
+    // The replacement may violate the heap property in either direction.
+    sift_up(pos);
+    sift_down(pos);
+  }
+}
+
+bool EventHeap::active(Id id) const {
+  return id < nodes_.size() && nodes_[id].pos != kUnplaced;
+}
+
+bool EventHeap::before(std::size_t node_a, std::size_t node_b) const {
+  const Node& a = nodes_[node_a];
+  const Node& b = nodes_[node_b];
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+void EventHeap::place(std::size_t pos, std::size_t node) {
+  heap_[pos] = node;
+  nodes_[node].pos = pos;
+}
+
+void EventHeap::sift_up(std::size_t pos) {
+  const std::size_t node = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!before(node, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, node);
+}
+
+void EventHeap::sift_down(std::size_t pos) {
+  const std::size_t node = heap_[pos];
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && before(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!before(heap_[child], node)) break;
+    place(pos, heap_[child]);
+    pos = child;
+  }
+  place(pos, node);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,71 @@
+// Indexed binary min-heap of timestamped events — the SimEngine's departure
+// queue.
+//
+// push() returns a stable id that can cancel the event later in O(log n)
+// (e.g. a stream killed by a server crash never fires its departure), which
+// keeps the engine's hot loop free of tombstone checks.  Events with equal
+// times pop in insertion order, so a replay is deterministic regardless of
+// how the heap happens to be balanced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vodrep {
+
+class EventHeap {
+ public:
+  using Id = std::size_t;
+
+  /// One scheduled event: the time it fires and an opaque payload (the
+  /// scheduler's stream index).
+  struct Event {
+    double time = 0.0;
+    std::size_t payload = 0;
+  };
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Fire time of the earliest pending event.  Requires a non-empty heap.
+  [[nodiscard]] double min_time() const;
+
+  /// Schedules an event; ids of cancelled/popped events are recycled.
+  Id push(double time, std::size_t payload);
+
+  /// Removes and returns the earliest event (FIFO among equal times).
+  Event pop_min();
+
+  /// Removes a pending event.  Throws InvalidArgumentError when `id` is not
+  /// currently scheduled (already popped or cancelled).
+  void cancel(Id id);
+
+  /// True while `id` is scheduled and has neither popped nor been cancelled.
+  [[nodiscard]] bool active(Id id) const;
+
+ private:
+  static constexpr std::size_t kUnplaced = static_cast<std::size_t>(-1);
+
+  struct Node {
+    double time = 0.0;
+    std::uint64_t seq = 0;       ///< insertion order, breaks time ties
+    std::size_t payload = 0;
+    std::size_t pos = kUnplaced; ///< index in heap_, kUnplaced when inactive
+  };
+
+  /// Strict ordering of two nodes by (time, insertion order).
+  [[nodiscard]] bool before(std::size_t node_a, std::size_t node_b) const;
+  /// Writes node index `node` at heap position `pos` and records the
+  /// back-pointer.
+  void place(std::size_t pos, std::size_t node);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> heap_;  ///< heap of indices into nodes_
+  std::vector<Id> free_ids_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vodrep

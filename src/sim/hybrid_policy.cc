@@ -1,0 +1,81 @@
+#include "src/sim/hybrid_policy.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+HybridPolicy::HybridPolicy(const HybridLayout& layout, const SimConfig& config)
+    : layout_(layout),
+      config_(config),
+      rr_counter_(layout.num_videos(), 0) {
+  config.require_replication_extensions_unset("hybrid");
+  layout.validate(config.num_servers);
+}
+
+void HybridPolicy::bind(SimEngine& engine) {
+  require(engine.num_servers() == config_.num_servers,
+          "HybridPolicy: engine/config server count mismatch");
+  engine_ = &engine;
+}
+
+PolicyDecision HybridPolicy::dispatch(const Request& request) {
+  require(request.video < layout_.num_videos(),
+          "HybridPolicy: video out of range");
+  const auto& copies = layout_.groups[request.video];
+  const std::size_t pick = rr_counter_[request.video] % copies.size();
+  ++rr_counter_[request.video];
+  const auto& group = copies[pick];
+  const double share =
+      config_.stream_bitrate_bps / static_cast<double>(group.size());
+  const bool admissible =
+      std::all_of(group.begin(), group.end(), [&](std::size_t s) {
+        return engine_->can_admit(s, share);
+      });
+  if (!admissible) return PolicyDecision{};
+  for (std::size_t s : group) engine_->admit(s, share);
+  streams_.push_back(Stream{request.video, pick, 0, true});
+  streams_.back().departure = engine_->schedule_departure(
+      request.arrival_time + request.watch_fraction * config_.video_duration_sec,
+      streams_.size() - 1);
+  PolicyDecision outcome;
+  outcome.admitted = true;
+  return outcome;
+}
+
+void HybridPolicy::on_departure(std::size_t stream) {
+  Stream& record = streams_[stream];
+  record.alive = false;
+  // An alive stream's group never contains a failed server: the crash that
+  // failed a member cancelled every affected departure.
+  const auto& group = group_of(record);
+  const double share =
+      config_.stream_bitrate_bps / static_cast<double>(group.size());
+  for (std::size_t s : group) engine_->release(s, share);
+}
+
+std::size_t HybridPolicy::on_crash(std::size_t server) {
+  (void)engine_->fail(server);
+  std::size_t disrupted = 0;
+  for (Stream& record : streams_) {
+    if (!record.alive) continue;
+    const auto& group = group_of(record);
+    if (std::find(group.begin(), group.end(), server) == group.end()) {
+      continue;
+    }
+    record.alive = false;
+    ++disrupted;
+    engine_->cancel_departure(record.departure);
+    const double share =
+        config_.stream_bitrate_bps / static_cast<double>(group.size());
+    for (std::size_t s : group) {
+      if (s != server && !engine_->server(s).failed()) {
+        engine_->release(s, share);
+      }
+    }
+  }
+  return disrupted;
+}
+
+}  // namespace vodrep

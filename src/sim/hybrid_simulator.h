@@ -1,24 +1,22 @@
 // Discrete-event simulation of the hybrid storage organization: replicated
 // stripe groups (r copies of k-wide groups per video).
 //
-// Dispatch follows the paper's static round-robin at the group level: each
-// request picks the video's next group in rotation and draws bitrate/k from
-// every member of that group; the request is rejected when any member of
-// the scheduled group lacks the share (no retry, mirroring the strict
-// static policy of the replication simulator).  A server crash kills the
-// streams of every group containing it, but the video stays available
-// through its surviving groups.
+// The event loop lives in SimEngine (src/sim/engine.h); the hybrid
+// semantics live in HybridPolicy (src/sim/hybrid_policy.h).  This header
+// keeps the original entry point.
 #pragma once
 
 #include "src/core/striping.h"
-#include "src/sim/simulator.h"
+#include "src/sim/engine.h"
+#include "src/sim/hybrid_policy.h"
 #include "src/workload/trace.h"
 
 namespace vodrep {
 
-/// Replays `trace` against the hybrid layout under `config` (redirect /
-/// backbone / batching fields are ignored).  Metrics match the other
-/// simulators so the three organizations compare head-to-head.
+/// Replays `trace` against the hybrid layout under `config`.  Throws
+/// InvalidArgumentError when `config` sets the replication-only extensions
+/// (`redirect`, `backbone_bps`, `batching_window_sec`).  Metrics match the
+/// other simulators so the three organizations compare head-to-head.
 [[nodiscard]] SimResult simulate_hybrid(const HybridLayout& layout,
                                         const SimConfig& config,
                                         const RequestTrace& trace);

@@ -1,0 +1,63 @@
+#include "src/sim/replicated_policy.h"
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+ReplicatedPolicy::ReplicatedPolicy(const Layout& layout,
+                                     const SimConfig& config)
+    : config_(config),
+      dispatcher_(layout, config.redirect, config.backbone_bps,
+                  config.batching_window_sec, config.video_duration_sec,
+                  config.batching_mode) {}
+
+void ReplicatedPolicy::bind(SimEngine& engine) {
+  require(engine.num_servers() == config_.num_servers,
+          "ReplicatedPolicy: engine/config server count mismatch");
+  engine_ = &engine;
+}
+
+PolicyDecision ReplicatedPolicy::dispatch(const Request& request) {
+  const double bitrate = config_.stream_bitrate_bps;
+  const auto decision = dispatcher_.dispatch(request.video, bitrate,
+                                             engine_->servers(),
+                                             request.arrival_time);
+  if (!decision.has_value()) return PolicyDecision{};
+  PolicyDecision outcome;
+  outcome.admitted = true;
+  outcome.redirected = decision->redirected;
+  outcome.via_backbone = decision->via_backbone;
+  outcome.batched = decision->batched;
+  if (decision->reserves_bandwidth()) {
+    engine_->admit(decision->server, bitrate);
+    streams_.push_back(Stream{decision->server, decision->via_backbone});
+    // A patching join holds its catch-up stream for the missed prefix only;
+    // a full stream holds its bandwidth for the watched fraction.
+    const double held_sec =
+        decision->batched ? decision->patch_duration_sec
+                          : request.watch_fraction * config_.video_duration_sec;
+    engine_->schedule_departure(request.arrival_time + held_sec,
+                                streams_.size() - 1);
+  }
+  return outcome;
+}
+
+void ReplicatedPolicy::on_departure(std::size_t stream) {
+  const Stream& record = streams_[stream];
+  // Streams on a crashed server were already dropped by the crash; their
+  // departures still fire but release nothing.
+  if (!engine_->server(record.server).failed()) {
+    engine_->release(record.server, config_.stream_bitrate_bps);
+  }
+  if (record.via_backbone) {
+    dispatcher_.release_backbone(config_.stream_bitrate_bps);
+  }
+}
+
+std::size_t ReplicatedPolicy::on_crash(std::size_t server) {
+  const std::size_t disrupted = engine_->fail(server);
+  dispatcher_.on_server_failed(server);
+  return disrupted;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,40 @@
+// StoragePolicy for the paper's replicated organization: whole streams
+// served by one replica holder, scheduled by the cluster dispatcher's
+// static round-robin with the optional redirection, backbone-proxy, and
+// batching extensions (src/sim/dispatcher.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/sim/dispatcher.h"
+#include "src/sim/engine.h"
+
+namespace vodrep {
+
+class ReplicatedPolicy final : public StoragePolicy {
+ public:
+  /// `layout` and `config` must outlive the policy.
+  ReplicatedPolicy(const Layout& layout, const SimConfig& config);
+
+  void bind(SimEngine& engine) override;
+  PolicyDecision dispatch(const Request& request) override;
+  void on_departure(std::size_t stream) override;
+  std::size_t on_crash(std::size_t server) override;
+
+ private:
+  /// One reservation with a scheduled departure: a full stream or a
+  /// patching join's catch-up stream.
+  struct Stream {
+    std::size_t server = 0;
+    bool via_backbone = false;
+  };
+
+  const SimConfig& config_;
+  Dispatcher dispatcher_;
+  SimEngine* engine_ = nullptr;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace vodrep

@@ -31,6 +31,9 @@ void StreamingServer::release(double bitrate_bps) {
   require(active_streams_ > 0, "StreamingServer::release: no active stream");
   busy_bps_ = std::max(0.0, busy_bps_ - bitrate_bps);
   --active_streams_;
+  // Snap to exactly zero when idle: float residue from millions of
+  // admit/release round trips must not accumulate into the can_admit slack.
+  if (active_streams_ == 0) busy_bps_ = 0.0;
 }
 
 std::size_t StreamingServer::fail() {

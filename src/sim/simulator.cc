@@ -1,222 +1,12 @@
 #include "src/sim/simulator.h"
 
-#include <algorithm>
-#include <queue>
-
-#include "src/core/objective.h"
-#include "src/util/error.h"
-#include "src/util/stats.h"
-
 namespace vodrep {
-namespace {
-
-/// A scheduled stream completion.
-struct Departure {
-  double time;
-  std::size_t server;
-  bool via_backbone;
-
-  bool operator>(const Departure& other) const { return time > other.time; }
-};
-
-/// Integrates the piecewise-constant imbalance and utilization signals.
-/// All imbalance metrics are computed on link utilizations u_j = l_j / B_j,
-/// which equals the load-based definitions on a homogeneous fleet (Eq. 2/3
-/// are scale-invariant) and is the meaningful notion on a mixed fleet.
-class LoadIntegrator {
- public:
-  explicit LoadIntegrator(std::vector<double> capacities_bps)
-      : capacities_bps_(std::move(capacities_bps)),
-        busy_integral_(capacities_bps_.size(), 0.0) {}
-
-  /// Accounts for the current server state holding over [last_time_, now).
-  void advance(const std::vector<StreamingServer>& servers, double now) {
-    const double dt = now - last_time_;
-    if (dt > 0.0) {
-      std::vector<double> utilization(servers.size());
-      double sum = 0.0;
-      double max = 0.0;
-      for (std::size_t s = 0; s < servers.size(); ++s) {
-        const double busy = servers[s].busy_bps();
-        busy_integral_[s] += busy * dt;
-        utilization[s] = busy / capacities_bps_[s];
-        sum += utilization[s];
-        max = std::max(max, utilization[s]);
-      }
-      const double mean = sum / static_cast<double>(servers.size());
-      const double eq2 = imbalance_max_relative(utilization);
-      imbalance_eq2_.add(eq2, dt);
-      imbalance_cv_.add(imbalance_cv(utilization), dt);
-      imbalance_capacity_.add(std::max(0.0, max - mean), dt);
-      peak_eq2_ = std::max(peak_eq2_, eq2);
-      last_time_ = now;
-    }
-  }
-
-  [[nodiscard]] double mean_eq2() const { return imbalance_eq2_.mean(); }
-  [[nodiscard]] double mean_cv() const { return imbalance_cv_.mean(); }
-  [[nodiscard]] double mean_capacity() const {
-    return imbalance_capacity_.mean();
-  }
-  [[nodiscard]] double peak_eq2() const { return peak_eq2_; }
-  [[nodiscard]] std::vector<double> mean_utilization(double horizon) const {
-    std::vector<double> util(busy_integral_.size(), 0.0);
-    if (horizon > 0.0) {
-      for (std::size_t s = 0; s < util.size(); ++s) {
-        util[s] = busy_integral_[s] / (horizon * capacities_bps_[s]);
-      }
-    }
-    return util;
-  }
-
- private:
-  std::vector<double> capacities_bps_;
-  double last_time_ = 0.0;
-  TimeWeightedMean imbalance_eq2_;
-  TimeWeightedMean imbalance_cv_;
-  TimeWeightedMean imbalance_capacity_;
-  double peak_eq2_ = 0.0;
-  std::vector<double> busy_integral_;
-};
-
-}  // namespace
-
-void SimConfig::validate() const {
-  require(num_servers >= 1, "SimConfig: need at least one server");
-  require(bandwidth_bps_per_server > 0.0, "SimConfig: bad server bandwidth");
-  if (!per_server_bandwidth_bps.empty()) {
-    require(per_server_bandwidth_bps.size() == num_servers,
-            "SimConfig: per-server bandwidth size mismatch");
-    for (double b : per_server_bandwidth_bps) {
-      require(b > 0.0, "SimConfig: bad per-server bandwidth");
-    }
-  }
-  require(stream_bitrate_bps > 0.0, "SimConfig: bad stream bit rate");
-  require(video_duration_sec > 0.0, "SimConfig: bad video duration");
-  if (redirect != RedirectMode::kNone) {
-    require(backbone_bps >= 0.0, "SimConfig: negative backbone bandwidth");
-  }
-  require(batching_window_sec >= 0.0, "SimConfig: negative batching window");
-  double prev_time = 0.0;
-  for (const ServerFailure& failure : failures) {
-    require(failure.server < num_servers,
-            "SimConfig: failure server out of range");
-    require(failure.time >= prev_time,
-            "SimConfig: failures must be sorted by time");
-    prev_time = failure.time;
-  }
-}
-
-double SimResult::rejection_rate() const {
-  return total_requests == 0
-             ? 0.0
-             : static_cast<double>(rejected) / static_cast<double>(total_requests);
-}
-
-double SimResult::mean_utilization() const {
-  if (utilization_per_server.empty()) return 0.0;
-  double sum = 0.0;
-  for (double u : utilization_per_server) sum += u;
-  return sum / static_cast<double>(utilization_per_server.size());
-}
 
 SimResult simulate(const Layout& layout, const SimConfig& config,
                    const RequestTrace& trace) {
-  config.validate();
-  require(trace.is_well_formed(), "simulate: malformed trace");
-
-  std::vector<StreamingServer> servers;
-  std::vector<double> capacities(config.num_servers);
-  servers.reserve(config.num_servers);
-  for (std::size_t s = 0; s < config.num_servers; ++s) {
-    capacities[s] = config.bandwidth_of(s);
-    servers.emplace_back(capacities[s]);
-  }
-  Dispatcher dispatcher(layout, config.redirect, config.backbone_bps,
-                        config.batching_window_sec, config.video_duration_sec,
-                        config.batching_mode);
-  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
-      departures;
-  LoadIntegrator integrator(capacities);
-
-  SimResult result;
-  result.total_requests = trace.size();
-
-  std::size_t next_failure = 0;
-  // Advances simulated time to `now`, applying departures and scheduled
-  // server crashes in time order and integrating the load signals.
-  auto drain_until = [&](double now) {
-    for (;;) {
-      const bool have_departure =
-          !departures.empty() && departures.top().time <= now;
-      const bool have_failure =
-          next_failure < config.failures.size() &&
-          config.failures[next_failure].time <= now;
-      if (have_failure &&
-          (!have_departure ||
-           config.failures[next_failure].time <= departures.top().time)) {
-        const ServerFailure& failure = config.failures[next_failure++];
-        integrator.advance(servers, failure.time);
-        result.disrupted += servers[failure.server].fail();
-        dispatcher.on_server_failed(failure.server);
-        continue;
-      }
-      if (!have_departure) break;
-      const Departure d = departures.top();
-      departures.pop();
-      integrator.advance(servers, d.time);
-      if (!servers[d.server].failed()) {
-        servers[d.server].release(config.stream_bitrate_bps);
-      }
-      if (d.via_backbone) {
-        dispatcher.release_backbone(config.stream_bitrate_bps);
-      }
-    }
-    integrator.advance(servers, now);
-  };
-
-  for (const Request& request : trace.requests) {
-    drain_until(request.arrival_time);
-    const auto decision =
-        dispatcher.dispatch(request.video, config.stream_bitrate_bps, servers,
-                            request.arrival_time);
-    if (!decision.has_value()) {
-      ++result.rejected;
-      continue;
-    }
-    if (decision->batched) {
-      ++result.batched;
-      // A patching join reserved a catch-up stream for the missed prefix;
-      // schedule its release.  Piggyback joins hold nothing.
-      if (decision->patch_duration_sec > 0.0) {
-        departures.push(
-            Departure{request.arrival_time + decision->patch_duration_sec,
-                      decision->server, false});
-      }
-      continue;
-    }
-    if (decision->redirected) ++result.redirected;
-    if (decision->via_backbone) ++result.proxied;
-    // Early abandoners release their bandwidth after the watched fraction.
-    departures.push(Departure{
-        request.arrival_time +
-            request.watch_fraction * config.video_duration_sec,
-        decision->server, decision->via_backbone});
-  }
-  // Close the books at the end of the peak period; streams outliving it keep
-  // their bandwidth (they are not torn down) but the metrics window ends.
-  drain_until(trace.horizon);
-
-  result.mean_imbalance_eq2 = integrator.mean_eq2();
-  result.mean_imbalance_cv = integrator.mean_cv();
-  result.mean_imbalance_capacity = integrator.mean_capacity();
-  result.peak_imbalance_eq2 = integrator.peak_eq2();
-  result.served_per_server.resize(config.num_servers);
-  for (std::size_t s = 0; s < config.num_servers; ++s) {
-    result.served_per_server[s] = servers[s].served_total();
-  }
-  result.utilization_per_server = integrator.mean_utilization(trace.horizon);
-  return result;
+  SimEngine engine(config);
+  ReplicatedPolicy policy(layout, config);
+  return engine.run(policy, trace);
 }
 
 }  // namespace vodrep

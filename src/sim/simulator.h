@@ -1,99 +1,23 @@
 // Discrete-event simulation of one peak period on the VoD cluster
 // (the paper's Section 5 evaluation substrate).
 //
-// Events are request arrivals (from a RequestTrace) and stream departures.
-// Each admitted request reserves its encoding bit rate on the serving
-// server's outgoing link for the video duration; admission control rejects a
-// request when the dispatched server has no bandwidth left (and, with
-// redirection disabled, no alternative is tried).  Between events the
-// per-server busy bandwidths are piecewise constant, so the load-imbalance
-// degree L (Eqs. 2/3) is integrated exactly as a time-weighted mean.
+// The event loop, metrics accumulator, and failure injection live in
+// SimEngine (src/sim/engine.h); this header keeps the original entry point
+// for the replication organization.  `ServerFailure`, `SimConfig`, and
+// `SimResult` now live in engine.h and are re-exported here for source
+// compatibility.
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
 #include "src/core/layout.h"
-#include "src/sim/dispatcher.h"
+#include "src/sim/engine.h"
+#include "src/sim/replicated_policy.h"
 #include "src/workload/trace.h"
 
 namespace vodrep {
 
-/// A scheduled server crash: at `time` the server drops every active stream
-/// and admits nothing afterward (fail-stop, no recovery within the peak).
-struct ServerFailure {
-  double time = 0.0;
-  std::size_t server = 0;
-};
-
-struct SimConfig {
-  std::size_t num_servers = 0;
-  double bandwidth_bps_per_server = 0.0;
-  /// Optional heterogeneous fleet: when non-empty (size == num_servers),
-  /// overrides bandwidth_bps_per_server per server.  The imbalance metrics
-  /// are computed on link *utilizations* l_j / B_j, which coincides with the
-  /// load-based definitions when the fleet is homogeneous (Eq. 2 is
-  /// scale-invariant) and is the meaningful notion when it is not.
-  std::vector<double> per_server_bandwidth_bps;
-  double stream_bitrate_bps = 0.0;   ///< fixed encoding bit rate
-  double video_duration_sec = 0.0;   ///< streams hold bandwidth this long
-  RedirectMode redirect = RedirectMode::kNone;
-  double backbone_bps = 0.0;         ///< proxy budget (kBackboneProxy only)
-  /// Stream-sharing window in seconds (0 disables batching): a request
-  /// whose scheduled replica started a stream of the same video within this
-  /// window joins it instead of consuming a full new stream.
-  double batching_window_sec = 0.0;
-  /// Piggyback (free joins, the optimistic bound) or patching (joins pay a
-  /// catch-up stream for the missed prefix).
-  BatchingMode batching_mode = BatchingMode::kPiggyback;
-  /// Fail-stop crashes to inject, sorted by time.  Used by the
-  /// striping-vs-replication availability experiments.
-  std::vector<ServerFailure> failures;
-
-  /// Effective outgoing bandwidth of server `s`.
-  [[nodiscard]] double bandwidth_of(std::size_t s) const {
-    return per_server_bandwidth_bps.empty() ? bandwidth_bps_per_server
-                                            : per_server_bandwidth_bps[s];
-  }
-
-  void validate() const;
-};
-
-struct SimResult {
-  std::size_t total_requests = 0;
-  std::size_t rejected = 0;
-  std::size_t redirected = 0;  ///< served by a server other than the RR pick
-  std::size_t proxied = 0;     ///< subset of redirected that crossed the backbone
-  std::size_t batched = 0;     ///< requests served by joining an existing stream
-  std::size_t disrupted = 0;   ///< admitted streams dropped by a server crash
-
-  /// Fraction of requests rejected, in [0, 1]; 0 when there were none.
-  [[nodiscard]] double rejection_rate() const;
-
-  /// Time-weighted mean of the Eq. 2 imbalance over the peak period.
-  double mean_imbalance_eq2 = 0.0;
-  /// Time-weighted mean of the Eq. 3 (coefficient-of-variation) imbalance.
-  double mean_imbalance_cv = 0.0;
-  /// Largest instantaneous Eq. 2 imbalance observed.
-  double peak_imbalance_eq2 = 0.0;
-  /// Time-weighted mean of the capacity-normalized excess
-  /// (max_j l_j - l_bar) / B.  Mean-normalized Eq. 2 is monotone decreasing
-  /// in the arrival rate (the denominator grows with load); normalizing by
-  /// the fixed link capacity instead reproduces the rise-peak-fall shape of
-  /// the paper's Figure 6 (peak just below saturation, collapse once every
-  /// server clips at capacity).
-  double mean_imbalance_capacity = 0.0;
-
-  /// Streams admitted per server (served counts).
-  std::vector<std::size_t> served_per_server;
-  /// Mean outgoing-bandwidth utilization per server, in [0, 1].
-  std::vector<double> utilization_per_server;
-  /// Mean utilization across servers.
-  [[nodiscard]] double mean_utilization() const;
-};
-
 /// Replays `trace` against `layout` under `config` and returns the metrics.
-/// Deterministic (the trace already fixes all randomness).
+/// Deterministic (the trace already fixes all randomness).  Equivalent to
+/// running a SimEngine with a ReplicatedPolicy.
 [[nodiscard]] SimResult simulate(const Layout& layout, const SimConfig& config,
                                  const RequestTrace& trace);
 

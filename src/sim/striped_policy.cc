@@ -1,0 +1,83 @@
+#include "src/sim/striped_policy.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace vodrep {
+
+StripedPolicy::StripedPolicy(const StripedLayout& layout,
+                             const SimConfig& config)
+    : layout_(layout), config_(config) {
+  config.require_replication_extensions_unset("striped");
+  layout.validate(config.num_servers);
+}
+
+void StripedPolicy::bind(SimEngine& engine) {
+  require(engine.num_servers() == config_.num_servers,
+          "StripedPolicy: engine/config server count mismatch");
+  engine_ = &engine;
+}
+
+double StripedPolicy::share_of(std::size_t video) const {
+  return config_.stream_bitrate_bps /
+         static_cast<double>(layout_.groups[video].size());
+}
+
+PolicyDecision StripedPolicy::dispatch(const Request& request) {
+  require(request.video < layout_.num_videos(),
+          "StripedPolicy: video out of range");
+  const auto& group = layout_.groups[request.video];
+  const double share = share_of(request.video);
+  const bool admissible =
+      std::all_of(group.begin(), group.end(), [&](std::size_t s) {
+        return engine_->can_admit(s, share);
+      });
+  if (!admissible) return PolicyDecision{};
+  for (std::size_t s : group) engine_->admit(s, share);
+  streams_.push_back(Stream{request.video, 0, true});
+  streams_.back().departure = engine_->schedule_departure(
+      request.arrival_time + request.watch_fraction * config_.video_duration_sec,
+      streams_.size() - 1);
+  PolicyDecision outcome;
+  outcome.admitted = true;
+  return outcome;
+}
+
+void StripedPolicy::on_departure(std::size_t stream) {
+  Stream& record = streams_[stream];
+  record.alive = false;
+  // An alive stream's group never contains a failed server: the crash that
+  // failed a member cancelled every affected departure.
+  const double share = share_of(record.video);
+  for (std::size_t s : layout_.groups[record.video]) {
+    engine_->release(s, share);
+  }
+}
+
+std::size_t StripedPolicy::on_crash(std::size_t server) {
+  (void)engine_->fail(server);
+  // Every stream whose stripe group contains the failed server dies; its
+  // shares on the surviving members free up immediately and its departure
+  // never fires.
+  std::size_t disrupted = 0;
+  for (Stream& record : streams_) {
+    if (!record.alive) continue;
+    const auto& group = layout_.groups[record.video];
+    if (std::find(group.begin(), group.end(), server) == group.end()) {
+      continue;
+    }
+    record.alive = false;
+    ++disrupted;
+    engine_->cancel_departure(record.departure);
+    const double share = share_of(record.video);
+    for (std::size_t s : group) {
+      if (s != server && !engine_->server(s).failed()) {
+        engine_->release(s, share);
+      }
+    }
+  }
+  return disrupted;
+}
+
+}  // namespace vodrep

@@ -1,0 +1,46 @@
+// StoragePolicy for the striped organization: every stream of a video
+// striped over k servers draws bitrate/k from each group member's outgoing
+// link for the whole video duration.  Admission requires all k members to
+// have the share available (and to be alive); a crash kills every active
+// stream whose stripe group contains the failed server and makes all its
+// videos unavailable for the rest of the peak — the coupling that limits
+// striping's reliability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/striping.h"
+#include "src/sim/engine.h"
+
+namespace vodrep {
+
+class StripedPolicy final : public StoragePolicy {
+ public:
+  /// `layout` and `config` must outlive the policy.  Throws when `config`
+  /// sets replication-only extensions (redirect / backbone / batching):
+  /// striping has no replica choice to honor them with.
+  StripedPolicy(const StripedLayout& layout, const SimConfig& config);
+
+  void bind(SimEngine& engine) override;
+  PolicyDecision dispatch(const Request& request) override;
+  void on_departure(std::size_t stream) override;
+  std::size_t on_crash(std::size_t server) override;
+
+ private:
+  /// One active striped stream and its cancellable departure.
+  struct Stream {
+    std::size_t video = 0;
+    EventHeap::Id departure = 0;
+    bool alive = false;
+  };
+
+  [[nodiscard]] double share_of(std::size_t video) const;
+
+  const StripedLayout& layout_;
+  const SimConfig& config_;
+  SimEngine* engine_ = nullptr;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace vodrep

@@ -1,176 +1,12 @@
 #include "src/sim/striped_simulator.h"
 
-#include <algorithm>
-#include <queue>
-
-#include "src/core/objective.h"
-#include "src/util/error.h"
-#include "src/util/stats.h"
-
 namespace vodrep {
-namespace {
 
-/// One active striped stream.
-struct StripedStream {
-  std::size_t video = 0;
-  bool alive = false;
-};
-
-struct StripedDeparture {
-  double time;
-  std::size_t stream_id;
-
-  bool operator>(const StripedDeparture& other) const {
-    return time > other.time;
-  }
-};
-
-}  // namespace
-
-SimResult simulate_striped(const StripedLayout& layout,
-                           const SimConfig& config,
+SimResult simulate_striped(const StripedLayout& layout, const SimConfig& config,
                            const RequestTrace& trace) {
-  config.validate();
-  layout.validate(config.num_servers);
-  require(trace.is_well_formed(), "simulate_striped: malformed trace");
-
-  std::vector<StreamingServer> servers;
-  servers.reserve(config.num_servers);
-  for (std::size_t s = 0; s < config.num_servers; ++s) {
-    servers.emplace_back(config.bandwidth_of(s));
-  }
-  std::priority_queue<StripedDeparture, std::vector<StripedDeparture>,
-                      std::greater<>>
-      departures;
-  std::vector<StripedStream> streams;
-
-  SimResult result;
-  result.total_requests = trace.size();
-
-  // Time-weighted integration of the imbalance/utilization signals, shared
-  // logic with the replication simulator kept inline for symmetric loads.
-  std::vector<double> busy_integral(config.num_servers, 0.0);
-  TimeWeightedMean imbalance_eq2;
-  TimeWeightedMean imbalance_cv_mean;
-  TimeWeightedMean imbalance_capacity;
-  double peak_eq2 = 0.0;
-  double last_time = 0.0;
-  auto integrate_to = [&](double now) {
-    const double dt = now - last_time;
-    if (dt <= 0.0) return;
-    std::vector<double> utilization(config.num_servers);
-    double sum = 0.0;
-    double max = 0.0;
-    for (std::size_t s = 0; s < config.num_servers; ++s) {
-      const double busy = servers[s].busy_bps();
-      busy_integral[s] += busy * dt;
-      utilization[s] = busy / config.bandwidth_of(s);
-      sum += utilization[s];
-      max = std::max(max, utilization[s]);
-    }
-    const double mean = sum / static_cast<double>(config.num_servers);
-    const double eq2 = imbalance_max_relative(utilization);
-    imbalance_eq2.add(eq2, dt);
-    imbalance_cv_mean.add(imbalance_cv(utilization), dt);
-    imbalance_capacity.add(std::max(0.0, max - mean), dt);
-    peak_eq2 = std::max(peak_eq2, eq2);
-    last_time = now;
-  };
-
-  auto share_of = [&](std::size_t video) {
-    return config.stream_bitrate_bps /
-           static_cast<double>(layout.groups[video].size());
-  };
-
-  auto fail_server = [&](std::size_t failed) {
-    (void)servers[failed].fail();
-    // Every stream whose stripe group contains the failed server dies; its
-    // shares on the surviving members free up immediately.
-    for (StripedStream& stream : streams) {
-      if (!stream.alive) continue;
-      const auto& group = layout.groups[stream.video];
-      if (std::find(group.begin(), group.end(), failed) == group.end()) {
-        continue;
-      }
-      stream.alive = false;
-      ++result.disrupted;
-      const double share = share_of(stream.video);
-      for (std::size_t s : group) {
-        if (s != failed && !servers[s].failed()) servers[s].release(share);
-      }
-    }
-  };
-
-  std::size_t next_failure = 0;
-  auto drain_until = [&](double now) {
-    for (;;) {
-      const bool have_departure =
-          !departures.empty() && departures.top().time <= now;
-      const bool have_failure =
-          next_failure < config.failures.size() &&
-          config.failures[next_failure].time <= now;
-      if (have_failure &&
-          (!have_departure ||
-           config.failures[next_failure].time <= departures.top().time)) {
-        const ServerFailure& failure = config.failures[next_failure++];
-        integrate_to(failure.time);
-        fail_server(failure.server);
-        continue;
-      }
-      if (!have_departure) break;
-      const StripedDeparture d = departures.top();
-      departures.pop();
-      integrate_to(d.time);
-      StripedStream& stream = streams[d.stream_id];
-      if (stream.alive) {
-        stream.alive = false;
-        const double share = share_of(stream.video);
-        for (std::size_t s : layout.groups[stream.video]) {
-          servers[s].release(share);
-        }
-      }
-    }
-    integrate_to(now);
-  };
-
-  for (const Request& request : trace.requests) {
-    drain_until(request.arrival_time);
-    require(request.video < layout.num_videos(),
-            "simulate_striped: video out of range");
-    const auto& group = layout.groups[request.video];
-    const double share = share_of(request.video);
-    const bool admissible = std::all_of(
-        group.begin(), group.end(),
-        [&](std::size_t s) { return servers[s].can_admit(share); });
-    if (!admissible) {
-      ++result.rejected;
-      continue;
-    }
-    for (std::size_t s : group) servers[s].admit(share);
-    streams.push_back(StripedStream{request.video, true});
-    departures.push(StripedDeparture{
-        request.arrival_time +
-            request.watch_fraction * config.video_duration_sec,
-        streams.size() - 1});
-  }
-  drain_until(trace.horizon);
-
-  result.mean_imbalance_eq2 = imbalance_eq2.mean();
-  result.mean_imbalance_cv = imbalance_cv_mean.mean();
-  result.mean_imbalance_capacity = imbalance_capacity.mean();
-  result.peak_imbalance_eq2 = peak_eq2;
-  result.served_per_server.assign(config.num_servers, 0);
-  result.utilization_per_server.resize(config.num_servers);
-  for (std::size_t s = 0; s < config.num_servers; ++s) {
-    // For striping, "served" counts stream-shares the server participated
-    // in; utilization is the busy-bandwidth integral over capacity.
-    result.served_per_server[s] = servers[s].served_total();
-    result.utilization_per_server[s] =
-        trace.horizon > 0.0
-            ? busy_integral[s] / (trace.horizon * config.bandwidth_of(s))
-            : 0.0;
-  }
-  return result;
+  SimEngine engine(config);
+  StripedPolicy policy(layout, config);
+  return engine.run(policy, trace);
 }
 
 }  // namespace vodrep

@@ -2,23 +2,23 @@
 // organization the paper argues replication should replace for distributed
 // storage clusters.
 //
-// Every stream of a video striped over k servers draws bitrate/k from each
-// group member's outgoing link for the whole video duration.  Admission
-// requires all k members to have the share available (and to be alive); a
-// server crash kills every active stream whose stripe group contains it and
-// makes all its videos unavailable for the rest of the peak — the coupling
-// that limits striping's reliability.
+// The event loop lives in SimEngine (src/sim/engine.h); the striping
+// semantics live in StripedPolicy (src/sim/striped_policy.h).  This header
+// keeps the original entry point.
 #pragma once
 
 #include "src/core/striping.h"
-#include "src/sim/simulator.h"
+#include "src/sim/engine.h"
+#include "src/sim/striped_policy.h"
 #include "src/workload/trace.h"
 
 namespace vodrep {
 
-/// Replays `trace` against the striped layout under `config` (the
-/// `redirect`/`backbone_bps` fields are ignored: striping has no replica
-/// choice to redirect between).  Returns the same metric set as the
+/// Replays `trace` against the striped layout under `config`.  Throws
+/// InvalidArgumentError when `config` sets the replication-only extensions
+/// (`redirect`, `backbone_bps`, `batching_window_sec`): striping has no
+/// replica choice to honor them with, and silently ignoring them would make
+/// cross-organization comparisons lie.  Returns the same metric set as the
 /// replication simulator, so the two organizations compare head-to-head.
 [[nodiscard]] SimResult simulate_striped(const StripedLayout& layout,
                                          const SimConfig& config,

@@ -20,6 +20,13 @@ std::vector<StreamingServer> make_servers(std::size_t n, double capacity) {
   return std::vector<StreamingServer>(n, StreamingServer(capacity));
 }
 
+/// Applies a decide-only dispatch decision to the fleet, as the simulation
+/// engine does in production (dispatch() itself never mutates servers).
+void apply(const std::optional<DispatchDecision>& d,
+           std::vector<StreamingServer>& servers, double bitrate_bps) {
+  if (d && d->reserves_bandwidth()) servers[d->server].admit(bitrate_bps);
+}
+
 TEST(Batching, JoinWithinWindowUsesNoBandwidth) {
   const Layout layout = single_video_layout();
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0,
@@ -27,10 +34,12 @@ TEST(Batching, JoinWithinWindowUsesNoBandwidth) {
   auto servers = make_servers(1, 2 * kRate);
   const auto first = dispatcher.dispatch(0, kRate, servers, 0.0);
   ASSERT_TRUE(first && !first->batched);
+  apply(first, servers, kRate);
   const auto second = dispatcher.dispatch(0, kRate, servers, 30.0);
   ASSERT_TRUE(second);
   EXPECT_TRUE(second->batched);
   EXPECT_EQ(second->server, 0u);
+  apply(second, servers, kRate);
   EXPECT_DOUBLE_EQ(servers[0].busy_bps(), kRate);  // only the first stream
 }
 
@@ -38,10 +47,11 @@ TEST(Batching, MissesWindowOpensNewStream) {
   const Layout layout = single_video_layout();
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0, 60.0, 1000.0);
   auto servers = make_servers(1, 2 * kRate);
-  (void)dispatcher.dispatch(0, kRate, servers, 0.0);
+  apply(dispatcher.dispatch(0, kRate, servers, 0.0), servers, kRate);
   const auto late = dispatcher.dispatch(0, kRate, servers, 61.0);
   ASSERT_TRUE(late);
   EXPECT_FALSE(late->batched);
+  apply(late, servers, kRate);
   EXPECT_DOUBLE_EQ(servers[0].busy_bps(), 2 * kRate);
 }
 
@@ -174,11 +184,12 @@ TEST(Patching, JoinPaysTheMissedPrefix) {
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0, 60.0, 1000.0,
                         BatchingMode::kPatching);
   auto servers = make_servers(1, 3 * kRate);
-  (void)dispatcher.dispatch(0, kRate, servers, 0.0);
+  apply(dispatcher.dispatch(0, kRate, servers, 0.0), servers, kRate);
   const auto join = dispatcher.dispatch(0, kRate, servers, 30.0);
   ASSERT_TRUE(join);
   EXPECT_TRUE(join->batched);
   EXPECT_DOUBLE_EQ(join->patch_duration_sec, 30.0);
+  apply(join, servers, kRate);
   // The patch stream holds bandwidth on top of the base stream.
   EXPECT_DOUBLE_EQ(servers[0].busy_bps(), 2 * kRate);
 }
@@ -188,11 +199,12 @@ TEST(Patching, SimultaneousJoinIsFree) {
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0, 60.0, 1000.0,
                         BatchingMode::kPatching);
   auto servers = make_servers(1, 2 * kRate);
-  (void)dispatcher.dispatch(0, kRate, servers, 5.0);
+  apply(dispatcher.dispatch(0, kRate, servers, 5.0), servers, kRate);
   const auto join = dispatcher.dispatch(0, kRate, servers, 5.0);
   ASSERT_TRUE(join);
   EXPECT_TRUE(join->batched);
   EXPECT_DOUBLE_EQ(join->patch_duration_sec, 0.0);
+  apply(join, servers, kRate);  // a zero-length patch reserves nothing
   EXPECT_DOUBLE_EQ(servers[0].busy_bps(), kRate);
 }
 
@@ -201,7 +213,7 @@ TEST(Patching, FullServerCannotPatch) {
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0, 60.0, 1000.0,
                         BatchingMode::kPatching);
   auto servers = make_servers(1, kRate);  // room for the base stream only
-  (void)dispatcher.dispatch(0, kRate, servers, 0.0);
+  apply(dispatcher.dispatch(0, kRate, servers, 0.0), servers, kRate);
   // The patch needs bandwidth the server does not have; with no redirect
   // mode the request is rejected outright.
   EXPECT_FALSE(dispatcher.dispatch(0, kRate, servers, 30.0).has_value());

@@ -22,6 +22,13 @@ std::vector<StreamingServer> make_servers(std::size_t n, double capacity) {
   return std::vector<StreamingServer>(n, StreamingServer(capacity));
 }
 
+/// Applies a decide-only dispatch decision to the fleet, as the simulation
+/// engine does in production (dispatch() itself never mutates servers).
+void apply(const std::optional<DispatchDecision>& d,
+           std::vector<StreamingServer>& servers, double bitrate_bps) {
+  if (d && d->reserves_bandwidth()) servers[d->server].admit(bitrate_bps);
+}
+
 TEST(Dispatcher, StaticRoundRobinAlternatesReplicas) {
   const Layout layout = two_replica_layout();
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0);
@@ -62,11 +69,15 @@ TEST(Dispatcher, RejectsWhenScheduledServerIsFull) {
   EXPECT_EQ(d2->server, 1u);
 }
 
-TEST(Dispatcher, AdmissionReservesBandwidthOnServer) {
+TEST(Dispatcher, DispatchDecidesAndApplyReserves) {
   const Layout layout = two_replica_layout();
   Dispatcher dispatcher(layout, RedirectMode::kNone, 0.0);
   auto servers = make_servers(3, 10 * kRate);
-  (void)dispatcher.dispatch(1, kRate, servers);
+  const auto d = dispatcher.dispatch(1, kRate, servers);
+  ASSERT_TRUE(d);
+  // dispatch() is decide-only: the binding reservation is the caller's.
+  EXPECT_DOUBLE_EQ(servers[2].busy_bps(), 0.0);
+  apply(d, servers, kRate);
   EXPECT_DOUBLE_EQ(servers[2].busy_bps(), kRate);
 }
 
@@ -151,6 +162,7 @@ TEST(Dispatcher, ReleaseBackboneFreesProxyBudget) {
   servers[1].admit(kRate);  // both holders of video 0 full; server 2 idle
   const auto d1 = dispatcher.dispatch(0, kRate, servers);
   ASSERT_TRUE(d1 && d1->via_backbone);
+  apply(d1, servers, kRate);
   EXPECT_DOUBLE_EQ(dispatcher.backbone_busy_bps(), kRate);
   // Backbone exhausted: the next proxy attempt fails despite idle capacity.
   EXPECT_FALSE(dispatcher.dispatch(0, kRate, servers).has_value());

@@ -1,0 +1,132 @@
+#include "src/sim/event_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace vodrep {
+namespace {
+
+TEST(EventHeap, PopsInTimeOrder) {
+  EventHeap heap;
+  (void)heap.push(3.0, 30);
+  (void)heap.push(1.0, 10);
+  (void)heap.push(2.0, 20);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_DOUBLE_EQ(heap.min_time(), 1.0);
+  EXPECT_EQ(heap.pop_min().payload, 10u);
+  EXPECT_EQ(heap.pop_min().payload, 20u);
+  EXPECT_EQ(heap.pop_min().payload, 30u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, EqualTimesPopInInsertionOrder) {
+  EventHeap heap;
+  for (std::size_t i = 0; i < 20; ++i) (void)heap.push(5.0, i);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(heap.pop_min().payload, i);
+  }
+}
+
+TEST(EventHeap, CancelRemovesPendingEvent) {
+  EventHeap heap;
+  const EventHeap::Id a = heap.push(1.0, 1);
+  const EventHeap::Id b = heap.push(2.0, 2);
+  (void)heap.push(3.0, 3);
+  EXPECT_TRUE(heap.active(b));
+  heap.cancel(b);
+  EXPECT_FALSE(heap.active(b));
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.pop_min().payload, 1u);
+  EXPECT_EQ(heap.pop_min().payload, 3u);
+  EXPECT_FALSE(heap.active(a));  // popped ids go inactive too
+}
+
+TEST(EventHeap, CancelMinRetargetsMinTime) {
+  EventHeap heap;
+  const EventHeap::Id a = heap.push(1.0, 1);
+  (void)heap.push(2.0, 2);
+  heap.cancel(a);
+  EXPECT_DOUBLE_EQ(heap.min_time(), 2.0);
+}
+
+TEST(EventHeap, CancelTwiceThrows) {
+  EventHeap heap;
+  const EventHeap::Id a = heap.push(1.0, 1);
+  heap.cancel(a);
+  EXPECT_THROW(heap.cancel(a), InvalidArgumentError);
+}
+
+TEST(EventHeap, CancelPoppedThrows) {
+  EventHeap heap;
+  const EventHeap::Id a = heap.push(1.0, 1);
+  (void)heap.pop_min();
+  EXPECT_THROW(heap.cancel(a), InvalidArgumentError);
+}
+
+TEST(EventHeap, IdsAreRecycledSafely) {
+  EventHeap heap;
+  const EventHeap::Id a = heap.push(1.0, 1);
+  heap.cancel(a);
+  const EventHeap::Id b = heap.push(2.0, 2);
+  // Whether or not the id value is reused, the new handle must refer to the
+  // new event only.
+  EXPECT_TRUE(heap.active(b));
+  EXPECT_EQ(heap.pop_min().payload, 2u);
+}
+
+// Differential check against a sorted-reference scheduler: random pushes,
+// cancels, and pops must pop the exact same (time, payload) sequence as a
+// stable-sorted vector.
+TEST(EventHeap, MatchesSortedReferenceUnderRandomOps) {
+  Rng rng(0xE4EA9);
+  for (int trial = 0; trial < 20; ++trial) {
+    EventHeap heap;
+    struct Ref {
+      double time;
+      std::uint64_t seq;
+      std::size_t payload;
+      EventHeap::Id id;
+      bool cancelled = false;
+    };
+    std::vector<Ref> reference;
+    std::uint64_t seq = 0;
+    const std::size_t ops = 200 + rng.uniform_index(400);
+    for (std::size_t op = 0; op < ops; ++op) {
+      // Coarse times force plenty of exact ties.
+      const double time = static_cast<double>(rng.uniform_index(50));
+      const EventHeap::Id id = heap.push(time, op);
+      reference.push_back(Ref{time, seq++, op, id});
+      if (rng.bernoulli(0.3) && !reference.empty()) {
+        const std::size_t pick = rng.uniform_index(reference.size());
+        if (!reference[pick].cancelled && heap.active(reference[pick].id)) {
+          heap.cancel(reference[pick].id);
+          reference[pick].cancelled = true;
+        }
+      }
+    }
+    std::vector<Ref> expected;
+    for (const Ref& r : reference) {
+      if (!r.cancelled) expected.push_back(r);
+    }
+    std::sort(expected.begin(), expected.end(), [](const Ref& a, const Ref& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    });
+    ASSERT_EQ(heap.size(), expected.size()) << "trial " << trial;
+    for (const Ref& r : expected) {
+      const EventHeap::Event event = heap.pop_min();
+      EXPECT_DOUBLE_EQ(event.time, r.time) << "trial " << trial;
+      EXPECT_EQ(event.payload, r.payload) << "trial " << trial;
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+}  // namespace
+}  // namespace vodrep

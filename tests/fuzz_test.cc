@@ -13,6 +13,7 @@
 #include "src/sim/hybrid_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/sim/striped_simulator.h"
+#include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 #include "src/workload/popularity.h"
@@ -28,6 +29,16 @@ struct FuzzWorld {
   SimConfig config;
   RequestTrace trace;
 };
+
+/// Strips the replication-only extensions from a fuzzed config: the striped
+/// and hybrid simulators reject configs that set them (they model a
+/// per-request replica choice those organizations do not have).
+SimConfig sanitized_for_striping(SimConfig config) {
+  config.redirect = RedirectMode::kNone;
+  config.backbone_bps = 0.0;
+  config.batching_window_sec = 0.0;
+  return config;
+}
 
 FuzzWorld random_world(Rng& rng) {
   FuzzWorld world;
@@ -150,7 +161,7 @@ TEST(Fuzz, StripedSimulatorSurvivesRandomWorlds) {
   Rng rng(0xF0222);
   for (int trial = 0; trial < 80; ++trial) {
     FuzzWorld world = random_world(rng);
-    // Striping ignores redirect/batching; exercise anyway (must be benign).
+    world.config = sanitized_for_striping(world.config);
     const std::size_t width =
         1 + rng.uniform_index(world.num_servers);
     const StripedLayout layout =
@@ -163,10 +174,48 @@ TEST(Fuzz, StripedSimulatorSurvivesRandomWorlds) {
   }
 }
 
+TEST(Fuzz, StripedAndHybridRejectReplicationOnlyConfig) {
+  SimConfig config;
+  config.num_servers = 4;
+  config.bandwidth_bps_per_server = units::mbps(100);
+  config.stream_bitrate_bps = units::mbps(4);
+  config.video_duration_sec = 100.0;
+  RequestTrace trace;
+  trace.horizon = 10.0;
+  const StripedLayout striped = make_striped_layout(3, 4, 2);
+  const HybridLayout hybrid = make_hybrid_layout(3, 4, 2, 2);
+
+  SimConfig redirecting = config;
+  redirecting.redirect = RedirectMode::kOtherHolders;
+  EXPECT_THROW((void)simulate_striped(striped, redirecting, trace),
+               InvalidArgumentError);
+  EXPECT_THROW((void)simulate_hybrid(hybrid, redirecting, trace),
+               InvalidArgumentError);
+
+  SimConfig proxying = config;
+  proxying.backbone_bps = units::mbps(10);
+  EXPECT_THROW((void)simulate_striped(striped, proxying, trace),
+               InvalidArgumentError);
+  EXPECT_THROW((void)simulate_hybrid(hybrid, proxying, trace),
+               InvalidArgumentError);
+
+  SimConfig batching = config;
+  batching.batching_window_sec = 60.0;
+  EXPECT_THROW((void)simulate_striped(striped, batching, trace),
+               InvalidArgumentError);
+  EXPECT_THROW((void)simulate_hybrid(hybrid, batching, trace),
+               InvalidArgumentError);
+
+  // The clean config is accepted by both.
+  EXPECT_NO_THROW((void)simulate_striped(striped, config, trace));
+  EXPECT_NO_THROW((void)simulate_hybrid(hybrid, config, trace));
+}
+
 TEST(Fuzz, HybridSimulatorSurvivesRandomWorlds) {
   Rng rng(0xF0223);
   for (int trial = 0; trial < 80; ++trial) {
     FuzzWorld world = random_world(rng);
+    world.config = sanitized_for_striping(world.config);
     const std::size_t width = 1 + rng.uniform_index(world.num_servers);
     const std::size_t replicas =
         1 + rng.uniform_index(world.num_servers / width);

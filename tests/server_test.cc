@@ -67,9 +67,34 @@ TEST(StreamingServer, ManyAdmitReleaseCyclesStayConsistent) {
     server.admit(units::mbps(4));
     server.release(units::mbps(4));
   }
-  EXPECT_NEAR(server.busy_bps(), 0.0, 1.0);
+  // An idle link snaps its float residue to exactly zero.
+  EXPECT_DOUBLE_EQ(server.busy_bps(), 0.0);
   EXPECT_EQ(server.active_streams(), 0u);
   EXPECT_EQ(server.served_total(), 10000u);
+}
+
+TEST(StreamingServer, FloatResidueNeverErodesTheAdmissionSlack) {
+  // Stripe shares like bitrate/7 do not sum back to the admitted total in
+  // floating point; millions of admit/release round trips must not leave
+  // residue that eats into the 1e-6 relative can_admit slack and turns a
+  // server that should fit k streams into one that fits k-1.
+  const double capacity = units::mbps(28);
+  const double share = units::mbps(4) / 7.0;
+  StreamingServer server(capacity);
+  for (int cycle = 0; cycle < 2'000'000; ++cycle) {
+    server.admit(share);
+    server.admit(share);
+    server.release(share);
+    server.release(share);
+  }
+  EXPECT_DOUBLE_EQ(server.busy_bps(), 0.0);
+  // The full complement of shares still fits exactly.
+  int admitted = 0;
+  while (server.can_admit(share)) {
+    server.admit(share);
+    ++admitted;
+  }
+  EXPECT_EQ(admitted, 49);
 }
 
 TEST(StreamingServer, FailDropsStreamsAndBlocksAdmission) {

@@ -106,7 +106,9 @@ int run(int argc, char** argv) {
     config.stream_bitrate_bps = units::mbps(flags.get_double("bitrate-mbps"));
     config.video_duration_sec =
         units::minutes(flags.get_double("duration-min"));
-    const SimResult result = simulate(placement.layout, config, trace);
+    SimEngine engine(config);
+    ReplicatedPolicy policy(placement.layout, config);
+    const SimResult result = engine.run(policy, trace);
 
     std::cout << "== " << flags.get_string("inspect") << " vs "
               << flags.get_string("evaluate") << " ==\n"
