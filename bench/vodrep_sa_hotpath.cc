@@ -9,15 +9,25 @@
 // temperature-step count, stall disabled) so the Metropolis loop iteration
 // count is the same; moves/sec = iterations / wall time.
 //
+// The bench also guards the observability layer (src/obs): a third section
+// re-times the library in-place path against `anneal_noobs` below — a
+// verbatim copy of the engine's in-place Metropolis loop with the
+// VODREP_TRACE_SCOPE lines deleted, i.e. what the loop compiles to without
+// the obs layer — and FAILS (exit 1) if running with obs compiled in but
+// runtime-disabled costs more than 3% moves/sec.
+//
 // The last stdout line is machine-readable JSON for tracking the perf
 // trajectory across PRs.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/core/sa_solver.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
 #include "src/util/units.h"
@@ -182,6 +192,84 @@ class BaselineSaProblem {
   SaSolverOptions options_;
 };
 
+/// The library's in-place Metropolis loop with the obs layer compiled out:
+/// a verbatim copy of anneal()'s InPlaceAnnealProblem path minus the two
+/// VODREP_TRACE_SCOPE lines.  (The metrics_enabled() branch inside
+/// ScalableSaProblem::delta_cost is shared by every pass, so the guard
+/// isolates exactly what VODREP_TRACE adds to the engine loop.)  Kept in
+/// sync with src/anneal/annealer.h by the same verbatim-copy policy as
+/// BaselineSaProblem above.
+AnnealResult<ScalableSolution> anneal_noobs(const ScalableSaProblem& problem,
+                                            Rng& rng,
+                                            const AnnealOptions& options) {
+  const auto schedule = geometric_cooling(0.95);
+  AnnealResult<ScalableSolution> result;
+  ScalableSolution initial_state = problem.initial(rng);
+  double current_cost = problem.cost(initial_state);
+  result.best_state = initial_state;
+  result.best_cost = current_cost;
+  auto chain = problem.make_scratch(std::move(initial_state));
+
+  auto metropolis_step = [&](double temperature) {
+    if (!problem.propose(chain, rng)) {
+      ++result.moves_noop;
+      return false;
+    }
+    ++result.moves_proposed;
+    const double delta = problem.delta_cost(chain);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      problem.commit(chain);
+      current_cost += delta;
+      if (current_cost < result.best_cost) {
+        result.best_cost = current_cost;
+        result.best_state = problem.extract(chain);
+      }
+      return true;
+    }
+    problem.revert(chain);
+    return false;
+  };
+
+  double temperature = options.initial_temperature;
+  std::size_t stall = 0;
+  std::size_t trajectory_stride = 1;
+  CoolingStepInfo info;
+  while (temperature > options.final_temperature &&
+         result.temperature_steps < options.max_temperature_steps) {
+    std::size_t accepted = 0;
+    const double best_before = result.best_cost;
+    for (std::size_t m = 0; m < options.moves_per_temperature; ++m) {
+      if (metropolis_step(temperature)) ++accepted;
+    }
+    result.moves_accepted += accepted;
+    const std::size_t step_index = result.temperature_steps++;
+    if (step_index % trajectory_stride == 0) {
+      if (options.trajectory_max_samples != 0 &&
+          result.trajectory.size() >= options.trajectory_max_samples) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < result.trajectory.size(); i += 2) {
+          result.trajectory[kept++] = result.trajectory[i];
+        }
+        result.trajectory.resize(kept);
+        trajectory_stride *= 2;
+      }
+      if (step_index % trajectory_stride == 0) {
+        result.trajectory.emplace_back(temperature, result.best_cost);
+      }
+    }
+    stall = result.best_cost < best_before ? 0 : stall + 1;
+    if (options.stall_steps != 0 && stall >= options.stall_steps) break;
+    info.step = result.temperature_steps;
+    info.moves = options.moves_per_temperature;
+    info.accepted = accepted;
+    info.best_cost = result.best_cost;
+    info.current_cost = current_cost;
+    temperature = schedule->next(temperature, info);
+  }
+  result.final_temperature = temperature;
+  return result;
+}
+
 struct RunStats {
   double seconds = 0.0;
   double moves_per_sec = 0.0;
@@ -189,6 +277,33 @@ struct RunStats {
   double objective = 0.0;
   std::size_t moves_noop = 0;
 };
+
+/// Best-of-N moves/sec for one annealing pass: repeats `run` (which returns
+/// the AnnealResult of one full deterministic anneal) until the cumulative
+/// wall time exceeds `min_total_sec` or `max_reps` runs, and rates the pass
+/// by its fastest repetition.  Max-of-reps approximates the noise-free
+/// speed, which the <3% overhead guard needs to stay deterministic on
+/// shared CI machines.
+template <typename RunFn>
+double best_moves_per_sec(RunFn&& run, const AnnealOptions& options,
+                          double min_total_sec, std::size_t max_reps) {
+  double best_seconds = 1e300;
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < max_reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    // Consume the result so the anneal cannot be optimized away.
+    if (result.temperature_steps == 0) std::abort();
+    best_seconds = std::min(best_seconds, seconds);
+    total += seconds;
+    if (total >= min_total_sec && rep >= 2) break;
+  }
+  const double iterations = static_cast<double>(
+      options.max_temperature_steps * options.moves_per_temperature);
+  return iterations / std::max(best_seconds, 1e-12);
+}
 
 template <typename Problem>
 RunStats run_annealer(const Problem& sa, const ScalableProblem& problem,
@@ -281,6 +396,44 @@ int main(int argc, char** argv) {
     std::cout << "\nspeedup: " << speedup << "x  (noop moves skipped by the "
               << "in-place path: " << inc_stats.moves_noop << ")\n\n";
 
+    // --- obs overhead guard: compiled-in-but-disabled must stay <3% ---
+    const double min_total_sec = quick ? 0.05 : 0.5;
+    const std::size_t max_reps = quick ? 15 : 5;
+    const auto time_pass = [&](auto&& run) {
+      return best_moves_per_sec(run, options.anneal, min_total_sec, max_reps);
+    };
+    obs::set_metrics_enabled(false);
+    obs::TraceRecorder::global().set_enabled(false);
+    const double noobs_mps = time_pass([&] {
+      Rng rng(seed);
+      return anneal_noobs(incremental, rng, options.anneal);
+    });
+    const double obs_off_mps = time_pass([&] {
+      Rng rng(seed);
+      return anneal(incremental, rng, options.anneal);
+    });
+    obs::set_metrics_enabled(true);
+    obs::TraceRecorder::global().set_enabled(true);
+    const double obs_on_mps = time_pass([&] {
+      Rng rng(seed);
+      return anneal(incremental, rng, options.anneal);
+    });
+    obs::set_metrics_enabled(false);
+    obs::TraceRecorder::global().set_enabled(false);
+    obs::TraceRecorder::global().clear();
+
+    const double off_overhead_pct = 100.0 * (1.0 - obs_off_mps / noobs_mps);
+    const double on_overhead_pct = 100.0 * (1.0 - obs_on_mps / noobs_mps);
+    const bool guard_pass = obs_off_mps >= 0.97 * noobs_mps;
+    std::cout << "obs overhead on the in-place path (best-of-reps):\n"
+              << "  compiled out:           " << noobs_mps << " moves/s\n"
+              << "  compiled in, disabled:  " << obs_off_mps << " moves/s  ("
+              << off_overhead_pct << " % overhead)\n"
+              << "  enabled:                " << obs_on_mps << " moves/s  ("
+              << on_overhead_pct << " % overhead)\n"
+              << "  guard (<3% disabled):   "
+              << (guard_pass ? "PASS" : "FAIL") << "\n\n";
+
     std::cout << "{\"bench\":\"sa_hotpath\",\"videos\":" << m
               << ",\"servers\":" << n
               << ",\"iterations\":" << inc_stats.iterations
@@ -292,7 +445,18 @@ int main(int argc, char** argv) {
               << ",\"copy_objective\":" << copy_stats.objective
               << ",\"incremental_objective\":" << inc_stats.objective
               << ",\"incremental_noop_moves\":" << inc_stats.moves_noop
+              << ",\"noobs_moves_per_sec\":" << noobs_mps
+              << ",\"obs_off_moves_per_sec\":" << obs_off_mps
+              << ",\"obs_on_moves_per_sec\":" << obs_on_mps
+              << ",\"obs_off_overhead_pct\":" << off_overhead_pct
+              << ",\"obs_on_overhead_pct\":" << on_overhead_pct
+              << ",\"obs_guard_pass\":" << (guard_pass ? "true" : "false")
               << "}\n";
+    if (!guard_pass) {
+      std::cerr << "error: obs layer costs " << off_overhead_pct
+                << " % moves/sec while disabled (budget: 3 %)\n";
+      return EXIT_FAILURE;
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return EXIT_FAILURE;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/anneal/schedule.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -150,6 +151,7 @@ template <AnnealProblem P>
           "anneal: final_temperature must be positive");
   require(options.moves_per_temperature > 0,
           "anneal: moves_per_temperature must be positive");
+  VODREP_TRACE_SCOPE("anneal.run");
 
   AnnealResult<typename P::State> result;
   typename P::State initial_state = problem.initial(rng);
@@ -217,6 +219,9 @@ template <AnnealProblem P>
   CoolingStepInfo info;
   while (temperature > options.final_temperature &&
          result.temperature_steps < options.max_temperature_steps) {
+    // Per-temperature-stage span (not per move): the disabled-path cost is
+    // one relaxed load per moves_per_temperature Metropolis steps.
+    VODREP_TRACE_SCOPE("anneal.temp_step");
     std::size_t accepted = 0;
     const double best_before = result.best_cost;
     for (std::size_t m = 0; m < options.moves_per_temperature; ++m) {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/audit/audit.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/error.h"
 
@@ -46,6 +48,9 @@ ScalableSolution ScalableSaProblem::initial(Rng& rng) const {
 }
 
 double ScalableSaProblem::cost(const State& state) const {
+  if (obs::metrics_enabled()) {
+    full_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  }
   const ServerUsage usage = compute_usage(problem_, state);
   double overflow = 0.0;
   const double capacity = problem_.cluster.bandwidth_bps_per_server;
@@ -66,6 +71,9 @@ double ScalableSaProblem::incremental_cost(const IncrementalState& inc) const {
 
 bool ScalableSaProblem::repair_incremental(
     IncrementalState& inc, std::vector<std::size_t>& hosted) const {
+  if (obs::metrics_enabled()) {
+    repairs_.fetch_add(1, std::memory_order_relaxed);
+  }
   const double storage_cap = problem_.cluster.storage_bytes_per_server;
   const double bandwidth_cap = problem_.cluster.bandwidth_bps_per_server;
   const std::size_t n = problem_.cluster.num_servers;
@@ -242,6 +250,9 @@ bool ScalableSaProblem::propose(Scratch& scratch, Rng& rng) const {
 }
 
 double ScalableSaProblem::delta_cost(const Scratch& scratch) const {
+  if (obs::metrics_enabled()) {
+    delta_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  }
   return incremental_cost(scratch.state) - scratch.cost_before;
 }
 
@@ -257,11 +268,18 @@ ScalableSolution ScalableSaProblem::extract(const Scratch& scratch) const {
   return scratch.state.solution();
 }
 
+ScalableSaProblem::EvalCounts ScalableSaProblem::eval_counts() const {
+  return EvalCounts{full_evaluations_.load(std::memory_order_relaxed),
+                    delta_evaluations_.load(std::memory_order_relaxed),
+                    repairs_.load(std::memory_order_relaxed)};
+}
+
 SaSolverResult solve_scalable(const ScalableProblem& problem,
                               std::uint64_t seed,
                               const SaSolverOptions& options,
                               ThreadPool* pool) {
   require(options.chains >= 1, "solve_scalable: need at least one chain");
+  VODREP_TRACE_SCOPE("sa.solve");
   const ScalableSaProblem sa_problem(problem, options);
   SaSolverResult result;
   if (options.chains == 1) {
@@ -275,6 +293,28 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
   result.solution = result.anneal.best_state;
   result.objective = solution_objective(problem, result.solution);
   result.feasible = is_feasible(problem, result.solution);
+
+  if (obs::metrics_enabled()) {
+    // End-of-solve fold into the metrics registry: bulk adds of the engine's
+    // own instrumentation, so the Metropolis hot loop itself never touches
+    // the registry and the exported counters reconcile bit-exactly with the
+    // returned AnnealResult (tests/obs_integration_test.cc).
+    obs::MetricsRegistry& registry = obs::metrics();
+    registry.counter("sa.solves").inc();
+    registry.counter("sa.chains").add(options.chains);
+    registry.counter("sa.moves_proposed").add(result.anneal.moves_proposed);
+    registry.counter("sa.moves_accepted").add(result.anneal.moves_accepted);
+    registry.counter("sa.moves_noop").add(result.anneal.moves_noop);
+    registry.counter("sa.temperature_steps")
+        .add(result.anneal.temperature_steps);
+    const ScalableSaProblem::EvalCounts evals = sa_problem.eval_counts();
+    registry.counter("sa.evaluations_full").add(evals.full_evaluations);
+    registry.counter("sa.evaluations_delta").add(evals.delta_evaluations);
+    registry.counter("sa.repairs").add(evals.repairs);
+    registry.gauge("sa.best_objective").set(result.objective);
+    registry.gauge("sa.final_temperature")
+        .set(result.anneal.final_temperature);
+  }
 #if VODREP_CONTRACTS_ENABLED
   {
     const AuditReport report =

@@ -15,7 +15,9 @@
 //     lowering the bit rate of (or evicting) its lowest-rate videos.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/anneal/annealer.h"
@@ -100,6 +102,17 @@ class ScalableSaProblem {
   void revert(Scratch& scratch) const;
   [[nodiscard]] State extract(const Scratch& scratch) const;
 
+  /// Evaluation-path instrumentation, summed across every chain driving this
+  /// problem: full cost() recomputes, delta_cost() incremental evaluations,
+  /// and repair invocations.  Counted only while obs::metrics_enabled(), so
+  /// the hot path pays one relaxed load when metrics are off.
+  struct EvalCounts {
+    std::uint64_t full_evaluations = 0;
+    std::uint64_t delta_evaluations = 0;
+    std::uint64_t repairs = 0;
+  };
+  [[nodiscard]] EvalCounts eval_counts() const;
+
  private:
   [[nodiscard]] double incremental_cost(const IncrementalState& inc) const;
   /// The neighborhood action (no repair); false when the server is saturated.
@@ -113,6 +126,12 @@ class ScalableSaProblem {
 
   const ScalableProblem& problem_;
   SaSolverOptions options_;
+  // Shared across chains; relaxed atomics (counts, no ordering needed).
+  // Note these make the problem non-copyable, which solve_scalable and the
+  // benches never need.
+  mutable std::atomic<std::uint64_t> full_evaluations_{0};
+  mutable std::atomic<std::uint64_t> delta_evaluations_{0};
+  mutable std::atomic<std::uint64_t> repairs_{0};
 };
 
 /// Runs the annealer with `seed` and returns the best configuration found.

@@ -1,8 +1,11 @@
 #include "src/exp/runner.h"
 
+#include <fstream>
 #include <mutex>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/workload/trace.h"
@@ -12,6 +15,7 @@ namespace vodrep {
 CellStats run_cell(const Layout& layout, const SimConfig& config,
                    const TraceSpec& spec, const RunnerOptions& options,
                    ThreadPool* pool) {
+  VODREP_TRACE_SCOPE("exp.run_cell");
   require(options.runs >= 1, "run_cell: need at least one run");
   std::vector<SimResult> results(options.runs);
 
@@ -47,6 +51,13 @@ CellStats run_cell(const Layout& layout, const SimConfig& config,
             : static_cast<double>(r.batched) /
                   static_cast<double>(r.total_requests));
     stats.mean_utilization.add(r.mean_utilization());
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    require(out.good(), [&] {
+      return "run_cell: cannot open metrics output file " + options.metrics_out;
+    });
+    obs::metrics().write_json(out);
   }
   return stats;
 }

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/core/layout.h"
 #include "src/exp/scenario.h"
@@ -33,6 +34,10 @@ struct CellStats {
 struct RunnerOptions {
   std::size_t runs = 20;
   std::uint64_t base_seed = 0x5eed5eed5eedULL;
+  /// When non-empty, the global metrics registry is dumped as JSON to this
+  /// path after the cell's runs complete (metrics must be enabled via
+  /// obs::set_metrics_enabled for the engines to fold anything into it).
+  std::string metrics_out;
 };
 
 /// Simulates `runs` independent traces of `spec` against `layout` and

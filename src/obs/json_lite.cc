@@ -1,0 +1,444 @@
+#include "src/obs/json_lite.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace vodrep::obs {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::integer_u64(std::uint64_t u) {
+  // Counters live in uint64; values beyond int64 range (never reached by
+  // real runs) degrade to the double representation.
+  if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    return integer(static_cast<std::int64_t>(u));
+  }
+  return number(static_cast<double>(u));
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  require(kind_ == Kind::kBool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  require(is_number(), "JsonValue: not a number");
+  return kind_ == Kind::kInt ? static_cast<double>(int_) : number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  require(kind_ == Kind::kInt, "JsonValue: not an integer");
+  return int_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  require(kind_ == Kind::kInt && int_ >= 0,
+          "JsonValue: not a non-negative integer");
+  return static_cast<std::uint64_t>(int_);
+}
+
+const std::string& JsonValue::as_string() const {
+  require(kind_ == Kind::kString, "JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  require(kind_ == Kind::kArray, "JsonValue: not an array");
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  require(kind_ == Kind::kObject, "JsonValue: not an object");
+  return object_;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  require(kind_ == Kind::kArray, "JsonValue: push_back on a non-array");
+  array_.push_back(std::move(value));
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  require(kind_ == Kind::kObject, "JsonValue: set on a non-object");
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  require(kind_ == Kind::kObject, "JsonValue: at() on a non-object");
+  for (const Member& member : object_) {
+    if (member.first == key) return member.second;
+  }
+  detail::throw_invalid("JsonValue: missing key '" + std::string(key) + "'");
+}
+
+bool JsonValue::has(std::string_view key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const Member& member : object_) {
+    if (member.first == key) return true;
+  }
+  return false;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  detail::throw_invalid("JsonValue: size() on a scalar");
+}
+
+void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+void write_double(std::ostream& os, double d) {
+  require(std::isfinite(d), "JsonValue: NaN/Inf is not representable in JSON");
+  // Round-trip exact: shortest representation that parses back to the same
+  // double.
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, d);
+  require(ec == std::errc(), "JsonValue: number formatting failed");
+  os.write(buffer, end - buffer);
+}
+
+}  // namespace
+
+void JsonValue::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; return;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); return;
+    case Kind::kInt: os << int_; return;
+    case Kind::kNumber: write_double(os, number_); return;
+    case Kind::kString: write_json_string(os, string_); return;
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) os << ',';
+        array_[i].write(os);
+      }
+      os << ']';
+      return;
+    }
+    case Kind::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) os << ',';
+        write_json_string(os, object_[i].first);
+        os << ':';
+        object_[i].second.write(os);
+      }
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.is_number() && b.is_number()) return a.as_number() == b.as_number();
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_ == b.bool_;
+    case JsonValue::Kind::kInt:
+    case JsonValue::Kind::kNumber: return true;  // handled above
+    case JsonValue::Kind::kString: return a.string_ == b.string_;
+    case JsonValue::Kind::kArray: return a.array_ == b.array_;
+    case JsonValue::Kind::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.  Depth-capped so a
+/// pathological input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    require(pos_ == text_.size(),
+            [&] { return error("trailing characters after JSON document"); });
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[nodiscard]] std::string error(const std::string& what) const {
+    return "json parse error at byte " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    require(pos_ < text_.size(),
+            [&] { return error("unexpected end of input"); });
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    require(peek() == c, [&] {
+      return error(std::string("expected '") + c + "', found '" + peek() + "'");
+    });
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    require(depth < kMaxDepth, [&] { return error("nesting too deep"); });
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        require(consume_literal("true"), [&] { return error("bad literal"); });
+        return JsonValue::boolean(true);
+      case 'f':
+        require(consume_literal("false"), [&] { return error("bad literal"); });
+        return JsonValue::boolean(false);
+      case 'n':
+        require(consume_literal("null"), [&] { return error("bad literal"); });
+        return JsonValue::null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      require(pos_ < text_.size(),
+              [&] { return error("unterminated string"); });
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), [&] { return error("dangling escape"); });
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default:
+          detail::throw_invalid(error("unknown escape sequence"));
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    require(pos_ + 4 <= text_.size(),
+            [&] { return error("truncated \\u escape"); });
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        detail::throw_invalid(error("bad \\u escape digit"));
+      }
+    }
+    // Encode the BMP code point as UTF-8 (surrogate pairs are not combined;
+    // our own writer never emits them).
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    require(!token.empty() && token != "-",
+            [&] { return error("malformed number"); });
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [end, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && end == token.data() + token.size()) {
+        return JsonValue::integer(value);
+      }
+      // Out of int64 range: fall through to the double path.
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    require(ec == std::errc() && end == token.data() + token.size(),
+            [&] { return error("malformed number"); });
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace vodrep::obs

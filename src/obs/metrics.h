@@ -1,0 +1,202 @@
+// Low-overhead metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design targets (DESIGN.md §7):
+//   * registration is thread-safe (registry mutex) and idempotent — asking
+//     for an existing name returns the same instrument;
+//   * the hot path (Counter::add, Histogram::observe) is lock-free: each
+//     instrument keeps a small array of cache-line-padded atomic shards,
+//     threads pick a shard by a per-thread slot, increments are relaxed
+//     fetch_adds, and value()/snapshot() folds the shards.  Concurrent
+//     increments are never lost (the fold of atomic adds is exact);
+//   * instrumented library code guards registry work behind the process-wide
+//     metrics_enabled() switch (one relaxed atomic load when off), and folds
+//     bulk counts at end-of-run epilogues rather than per event, so the cost
+//     with metrics compiled in but disabled is ~zero (see the
+//     vodrep_sa_hotpath obs guard);
+//   * write_json() emits a deterministic machine-readable snapshot.
+//
+// Instrument references returned by the registry stay valid until clear();
+// library epilogues therefore re-look instruments up by name per run instead
+// of caching them across runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vodrep::obs {
+
+/// Process-wide runtime switch consulted by all instrumented hot paths.
+/// Off by default; CLIs flip it when --metrics-out is given.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+namespace detail {
+
+/// Stable small integer for the calling thread, used to spread instrument
+/// updates over shards (and as the tid of trace events).  Assigned in
+/// first-use order, so single-threaded programs always map to slot 0.
+[[nodiscard]] std::uint32_t thread_slot() noexcept;
+
+constexpr std::size_t kShards = 16;
+
+/// One cache line per shard so concurrent increments do not false-share.
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Lock-free; concurrent adds from any number of threads fold exactly.
+  void add(std::uint64_t n) noexcept {
+    shards_[detail::thread_slot() % detail::kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Folds the shards.  Exact once concurrent writers have quiesced.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const detail::CounterShard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::CounterShard, detail::kShards> shards_;
+};
+
+/// Last-written (or accumulated) double value, e.g. a high-water mark.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Atomic add (CAS loop; gauges are not hot-path instruments).
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Raises the gauge to `value` if larger (high-water marks).
+  void set_max(double value) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram.  Bucket boundaries are *upper* bounds,
+/// lower-inclusive / upper-exclusive: a value v lands in the first bucket i
+/// with v < bounds[i] (so bucket i covers [bounds[i-1], bounds[i]), with an
+/// implicit -inf lower edge on bucket 0); v >= bounds.back() lands in the
+/// overflow bucket.  A boundary value itself therefore counts in the bucket
+/// *above* it: observe(bounds[i]) increments bucket i+1.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Lock-free sharded increment of the owning bucket plus the running
+  /// count/sum.
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts folded over shards; size bounds().size() + 1, the
+  /// last entry being the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  /// bucket-major: shard s of bucket b at index b * kShards + s.
+  std::vector<detail::CounterShard> buckets_;
+  std::array<detail::CounterShard, detail::kShards> count_shards_;
+  std::array<std::atomic<double>, detail::kShards> sum_shards_;
+};
+
+/// Deep-copied, quiescent view of a registry (for programmatic assertions;
+/// JSON export reads the live registry directly).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> bucket_counts;  ///< size bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Named-instrument registry.  The process-wide instance backs all library
+/// instrumentation; tests may construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use.  Re-registering returns the identical instrument; registering a
+  /// name that already exists as a different kind (or, for histograms, with
+  /// different bounds) throws InvalidArgumentError.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Deterministic JSON export: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":x}}}
+  /// with names sorted.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drops every instrument.  Invalidates previously returned references —
+  /// only for test isolation and CLI runs that own the whole process.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+[[nodiscard]] MetricsRegistry& metrics();
+
+}  // namespace vodrep::obs

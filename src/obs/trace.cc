@@ -1,0 +1,110 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+
+namespace vodrep::obs {
+
+namespace {
+
+/// Fixed epoch so timestamps are comparable across threads and recorders.
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t TraceRecorder::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - g_epoch)
+          .count());
+}
+
+void TraceRecorder::set_enabled(bool enabled, std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled) {
+      capacity_ = capacity;
+      if (events_.capacity() < capacity_) events_.reserve(capacity_);
+    }
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::record_complete(const char* name, std::uint64_t ts_ns,
+                                    std::uint64_t dur_ns) noexcept {
+  if (!enabled()) return;
+  const std::uint32_t tid = detail::thread_slot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (events_.size() == events_.capacity()) {
+    // Only reachable when set_enabled could not pre-reserve; counted so the
+    // zero-allocation contract stays observable.
+    buffer_grows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->events();
+  // Streamed rather than built as a JsonValue: trace buffers can hold ~1M
+  // events and the flat writer keeps export memory at O(1).
+  // chrome://tracing expects microseconds; the sub-microsecond residue is
+  // kept as a zero-padded fractional part.
+  const auto write_us = [&os](std::uint64_t ns) {
+    os << (ns / 1000) << '.';
+    const std::uint64_t frac = ns % 1000;
+    if (frac < 100) os << '0';
+    if (frac < 10) os << '0';
+    os << frac;
+  };
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, event.name);
+    os << ",\"cat\":\"vodrep\",\"ph\":\"X\",\"ts\":";
+    write_us(event.ts_ns);
+    os << ",\"dur\":";
+    write_us(event.dur_ns);
+    os << ",\"pid\":1,\"tid\":" << event.tid << "}";
+  }
+  os << "],\"otherData\":{\"recorded\":"
+     << recorded_.load(std::memory_order_relaxed)
+     << ",\"dropped\":" << dropped_.load(std::memory_order_relaxed) << "}}\n";
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  buffer_grows_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace vodrep::obs

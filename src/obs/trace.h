@@ -1,0 +1,142 @@
+// Scoped-timer trace recorder emitting chrome://tracing-compatible JSON.
+//
+// Every recorded span is a "complete" event ({"ph":"X"}) with microsecond
+// timestamps; the export loads directly in chrome://tracing or Perfetto
+// (ui.perfetto.dev).  Two independent switches keep instrumented hot paths
+// free when observability is off:
+//
+//   * compile time — VODREP_TRACE (CMake option, default ON) controls
+//     whether VODREP_TRACE_SCOPE expands to a ScopedTimer at all; with the
+//     option off the macro is a no-op statement and the instrumented code
+//     carries zero trace overhead by construction;
+//   * run time — TraceRecorder::set_enabled.  A disarmed ScopedTimer costs
+//     one relaxed atomic load and touches neither the clock nor the event
+//     buffer, so the recorder performs zero allocations on the hot path
+//     while disabled (asserted by tests/trace_event_test.cc via the
+//     events_recorded/buffer_grows instrument counters).
+//
+// The event buffer is bounded: set_enabled reserves `capacity` slots up
+// front and record() drops (and counts) events beyond it, so tracing a long
+// run degrades gracefully instead of exhausting memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vodrep::obs {
+
+/// One complete event; `name` must point at a string with static storage
+/// duration (instrumentation sites pass literals), so recording never
+/// copies or allocates per event.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   ///< span start, steady-clock ns since process start
+  std::uint64_t dur_ns = 0;  ///< span duration
+  std::uint32_t tid = 0;     ///< per-thread slot (obs::detail::thread_slot)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& global();
+
+  /// Enables recording; reserves space for `capacity` events so the record
+  /// hot path never reallocates.  Disabling stops recording but keeps the
+  /// buffered events for export.
+  void set_enabled(bool enabled, std::size_t capacity = kDefaultCapacity);
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic nanoseconds since process start (steady clock).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  /// Appends one complete event (no-op while disabled).  Thread-safe.
+  void record_complete(const char* name, std::uint64_t ts_ns,
+                       std::uint64_t dur_ns) noexcept;
+
+  /// Copy of the buffered events (for assertions; export uses write_json).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  // Instrument counters, for tests and for the export metadata.
+  [[nodiscard]] std::uint64_t events_recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t events_dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Times the event buffer's capacity grew during record() — stays 0 both
+  /// while disabled and while recording within the reserved capacity.
+  [[nodiscard]] std::uint64_t buffer_grows() const noexcept {
+    return buffer_grows_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}, ts/dur in fractional
+  /// microseconds).  Loads in chrome://tracing and Perfetto.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Discards buffered events and resets the instrument counters.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> buffer_grows_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;
+};
+
+/// RAII span: arms itself only when the recorder is enabled at construction,
+/// then records one complete event at destruction.  Cheap enough to leave in
+/// per-temperature-step and per-run scopes; per-event/per-move scopes should
+/// stay coarser than the work they measure.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept {
+    if (TraceRecorder::global().enabled()) {
+      name_ = name;
+      start_ns_ = TraceRecorder::now_ns();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (name_ != nullptr) {
+      const std::uint64_t end_ns = TraceRecorder::now_ns();
+      TraceRecorder::global().record_complete(name_, start_ns_,
+                                              end_ns - start_ns_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace vodrep::obs
+
+// VODREP_TRACE_SCOPE("name"): declares a ScopedTimer covering the rest of
+// the enclosing block.  Compiled out entirely when VODREP_TRACE is not
+// defined (CMake -DVODREP_TRACE=OFF).
+#define VODREP_OBS_CONCAT_IMPL_(a, b) a##b
+#define VODREP_OBS_CONCAT_(a, b) VODREP_OBS_CONCAT_IMPL_(a, b)
+
+#if defined(VODREP_TRACE)
+#define VODREP_TRACE_SCOPE(name) \
+  ::vodrep::obs::ScopedTimer VODREP_OBS_CONCAT_(vodrep_trace_scope_, \
+                                                __LINE__)(name)
+#else
+#define VODREP_TRACE_SCOPE(name) static_cast<void>(0)
+#endif

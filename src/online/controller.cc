@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "src/core/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/online/incremental_placement.h"
 #include "src/util/error.h"
 
@@ -46,6 +48,10 @@ void AdaptiveController::observe_epoch(
     const std::vector<std::size_t>& video_counts) {
   require(video_counts.size() == layout_.num_videos(),
           "AdaptiveController: count vector size mismatch");
+  VODREP_TRACE_SCOPE("online.observe_epoch");
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("online.epochs_observed").inc();
+  }
   for (std::size_t video = 0; video < video_counts.size(); ++video) {
     if (video_counts[video] > 0) {
       estimator_.observe(video, video_counts[video]);
@@ -55,10 +61,20 @@ void AdaptiveController::observe_epoch(
 }
 
 AdaptationStep AdaptiveController::adapt() {
+  VODREP_TRACE_SCOPE("online.adapt");
   AdaptationStep step;
   const std::vector<double> estimate = estimator_.estimate();
   step.estimate_shift_l1 = l1_distance(estimate, acted_estimate_);
-  if (step.estimate_shift_l1 < config_.replan_threshold) return step;
+  if (obs::metrics_enabled()) {
+    obs::metrics().gauge("online.estimate_shift_l1")
+        .set(step.estimate_shift_l1);
+  }
+  if (step.estimate_shift_l1 < config_.replan_threshold) {
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("online.replans_skipped").inc();
+    }
+    return step;
+  }
 
   IdProvisioningResult next;
   if (config_.incremental) {
@@ -77,6 +93,14 @@ AdaptationStep AdaptiveController::adapt() {
   layout_ = std::move(next.layout);
   plan_ = std::move(next.plan);
   acted_estimate_ = estimate;
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    registry.counter("online.replans").inc();
+    registry.counter("online.migration_copies")
+        .add(step.migration.copies.size());
+    registry.counter("online.migration_deletions")
+        .add(step.migration.deletions);
+  }
   return step;
 }
 

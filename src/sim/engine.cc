@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -83,12 +85,32 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
   require(!ran_, "SimEngine::run: one engine instance replays one trace");
   ran_ = true;
   require(trace.is_well_formed(), "SimEngine::run: malformed trace");
+  VODREP_TRACE_SCOPE("sim.run");
   policy.bind(*this);
+
+  // Per-request dispatch timing is the one per-event obs cost; it is paid
+  // only when metrics are enabled at run start (two steady-clock reads and
+  // a lock-free histogram increment per request).
+  obs::Histogram* dispatch_hist = nullptr;
+  if (obs::metrics_enabled()) {
+    dispatch_hist = &obs::metrics().histogram(
+        "sim.dispatch_us", {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                            250.0, 1000.0});
+  }
 
   result_.total_requests = trace.size();
   for (const Request& request : trace.requests) {
     advance_events(policy, request.arrival_time);
-    const PolicyDecision decision = policy.dispatch(request);
+    PolicyDecision decision;
+    if (dispatch_hist != nullptr) {
+      const std::uint64_t start_ns = obs::TraceRecorder::now_ns();
+      decision = policy.dispatch(request);
+      dispatch_hist->observe(
+          static_cast<double>(obs::TraceRecorder::now_ns() - start_ns) /
+          1000.0);
+    } else {
+      decision = policy.dispatch(request);
+    }
     if (!decision.admitted) {
       ++result_.rejected;
       continue;
@@ -122,7 +144,28 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
           integral / (trace.horizon * capacities_bps_[s]);
     }
   }
+  if (obs::metrics_enabled()) export_metrics();
   return result_;
+}
+
+void SimEngine::export_metrics() const {
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.counter("sim.runs").inc();
+  registry.counter("sim.requests").add(result_.total_requests);
+  registry.counter("sim.admitted")
+      .add(result_.total_requests - result_.rejected);
+  registry.counter("sim.rejected").add(result_.rejected);
+  registry.counter("sim.redirected").add(result_.redirected);
+  registry.counter("sim.proxied").add(result_.proxied);
+  registry.counter("sim.batched").add(result_.batched);
+  registry.counter("sim.disrupted").add(result_.disrupted);
+  registry.counter("sim.events.departure").add(departures_fired_);
+  registry.counter("sim.events.failure").add(failures_applied_);
+  registry.counter("sim.events.cancelled").add(departures_cancelled_);
+  registry.gauge("sim.heap_high_water")
+      .set_max(static_cast<double>(heap_high_water_));
+  registry.gauge("sim.mean_imbalance_eq2").set(result_.mean_imbalance_eq2);
+  registry.gauge("sim.mean_utilization").set(result_.mean_utilization());
 }
 
 void SimEngine::admit(std::size_t s, double bitrate_bps) {
@@ -145,10 +188,15 @@ std::size_t SimEngine::fail(std::size_t s) {
 }
 
 EventHeap::Id SimEngine::schedule_departure(double time, std::size_t stream) {
-  return departures_.push(time, stream);
+  const EventHeap::Id id = departures_.push(time, stream);
+  heap_high_water_ = std::max(heap_high_water_, departures_.size());
+  return id;
 }
 
-void SimEngine::cancel_departure(EventHeap::Id id) { departures_.cancel(id); }
+void SimEngine::cancel_departure(EventHeap::Id id) {
+  departures_.cancel(id);
+  ++departures_cancelled_;
+}
 
 void SimEngine::advance_events(StoragePolicy& policy, double now) {
   const auto& failures = config_.failures;
@@ -162,12 +210,14 @@ void SimEngine::advance_events(StoragePolicy& policy, double now) {
          failures[next_failure_].time <= departures_.min_time())) {
       const ServerFailure& failure = failures[next_failure_++];
       integrate_to(failure.time);
+      ++failures_applied_;
       result_.disrupted += policy.on_crash(failure.server);
       continue;
     }
     if (!have_departure) break;
     const EventHeap::Event event = departures_.pop_min();
     integrate_to(event.time);
+    ++departures_fired_;
     policy.on_departure(event.payload);
   }
   integrate_to(now);

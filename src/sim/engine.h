@@ -176,6 +176,9 @@ class SimEngine {
   /// Applies departures and injected failures up to `now` in time order
   /// (failures win ties) and integrates the load signals.
   void advance_events(StoragePolicy& policy, double now);
+  /// Folds the run's tallies into the global metrics registry (bit-exact
+  /// with the returned SimResult; see tests/obs_integration_test.cc).
+  void export_metrics() const;
   /// Accounts for the current utilization state holding over [now_, t).
   void integrate_to(double t);
   /// Bracket every busy-bandwidth mutation of server `s` (at time now_).
@@ -189,6 +192,14 @@ class SimEngine {
   EventHeap departures_;
   std::size_t next_failure_ = 0;
   bool ran_ = false;
+
+  // --- observability tallies (plain counters; the engine is single-threaded
+  // per run, and the fold into the global obs::MetricsRegistry happens once
+  // in the run() epilogue, only when obs::metrics_enabled()) ---
+  std::size_t heap_high_water_ = 0;      ///< max departure-heap size seen
+  std::size_t departures_fired_ = 0;     ///< departure events applied
+  std::size_t failures_applied_ = 0;     ///< injected crashes applied
+  std::size_t departures_cancelled_ = 0; ///< departures cancelled by crashes
 
   // --- incrementally maintained metric state ---
   double now_ = 0.0;                      ///< last integration time

@@ -19,8 +19,9 @@ namespace vodrep {
 
 class HybridPolicy final : public StoragePolicy {
  public:
-  /// `layout` and `config` must outlive the policy.  Throws when `config`
-  /// sets replication-only extensions (redirect / backbone / batching).
+  /// `layout` must outlive the policy; the config is copied, so a
+  /// temporary is safe to pass.  Throws when `config` sets
+  /// replication-only extensions (redirect / backbone / batching).
   HybridPolicy(const HybridLayout& layout, const SimConfig& config);
 
   void bind(SimEngine& engine) override;
@@ -43,7 +44,7 @@ class HybridPolicy final : public StoragePolicy {
   }
 
   const HybridLayout& layout_;
-  const SimConfig& config_;
+  const SimConfig config_;
   SimEngine* engine_ = nullptr;
   std::vector<Stream> streams_;
   std::vector<std::size_t> rr_counter_;  ///< per-video group rotation

@@ -15,7 +15,8 @@ namespace vodrep {
 
 class ReplicatedPolicy final : public StoragePolicy {
  public:
-  /// `layout` and `config` must outlive the policy.
+  /// `layout` must outlive the policy; the config is copied, so a
+  /// temporary (e.g. `scenario.sim_config()`) is safe to pass.
   ReplicatedPolicy(const Layout& layout, const SimConfig& config);
 
   void bind(SimEngine& engine) override;
@@ -31,7 +32,7 @@ class ReplicatedPolicy final : public StoragePolicy {
     bool via_backbone = false;
   };
 
-  const SimConfig& config_;
+  const SimConfig config_;
   Dispatcher dispatcher_;
   SimEngine* engine_ = nullptr;
   std::vector<Stream> streams_;

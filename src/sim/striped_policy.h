@@ -17,7 +17,8 @@ namespace vodrep {
 
 class StripedPolicy final : public StoragePolicy {
  public:
-  /// `layout` and `config` must outlive the policy.  Throws when `config`
+  /// `layout` must outlive the policy; the config is copied, so a
+  /// temporary is safe to pass.  Throws when `config`
   /// sets replication-only extensions (redirect / backbone / batching):
   /// striping has no replica choice to honor them with.
   StripedPolicy(const StripedLayout& layout, const SimConfig& config);
@@ -38,7 +39,7 @@ class StripedPolicy final : public StoragePolicy {
   [[nodiscard]] double share_of(std::size_t video) const;
 
   const StripedLayout& layout_;
-  const SimConfig& config_;
+  const SimConfig config_;
   SimEngine* engine_ = nullptr;
   std::vector<Stream> streams_;
 };

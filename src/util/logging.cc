@@ -28,7 +28,7 @@ void Logger::set_sink(std::ostream* sink) {
 }
 
 void Logger::emit(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
   os << "[" << level_tag(level) << "] " << message << "\n";

@@ -6,6 +6,7 @@
 // per-call, emission takes a mutex.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -20,9 +21,16 @@ class Logger {
  public:
   static Logger& instance();
 
-  /// Messages below `level` are dropped.
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  /// Messages below `level` are dropped.  Atomic: emit() reads the level
+  /// before taking the emission mutex (the cheap early-drop path), so a
+  /// concurrent set_level would otherwise race (tsan-visible; see
+  /// tests/logging_test.cc ConcurrentSetLevelIsRaceFree).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Redirects output (default stderr).  The stream must outlive all logging.
   void set_sink(std::ostream* sink);
@@ -32,7 +40,7 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
   std::ostream* sink_ = nullptr;
   std::mutex mutex_;
 };

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace vodrep {
 namespace {
@@ -55,6 +60,64 @@ TEST_F(LoggingTest, StreamsArbitraryTypes) {
 TEST_F(LoggingTest, LevelAccessorReflectsSetting) {
   Logger::instance().set_level(LogLevel::kError);
   EXPECT_EQ(Logger::instance().level(), LogLevel::kError);
+}
+
+// Regression test for the emit()/set_level data race: the early-drop check
+// in emit() reads the level before taking the emission mutex, so the level
+// must be atomic.  Run under the tsan preset this test reproduced the race
+// before level_ became std::atomic<LogLevel>.
+TEST_F(LoggingTest, ConcurrentSetLevelIsRaceFree) {
+  constexpr std::size_t kEmitters = 4;
+  constexpr std::size_t kEmitsPerThread = 500;
+  std::vector<std::thread> emitters;
+  emitters.reserve(kEmitters);
+  for (std::size_t t = 0; t < kEmitters; ++t) {
+    emitters.emplace_back([] {
+      for (std::size_t i = 0; i < kEmitsPerThread; ++i) {
+        log(LogLevel::kError) << "line";  // kError is never filtered here
+      }
+    });
+  }
+  // Toggle the threshold below kError while the emitters run.
+  for (std::size_t i = 0; i < 2000; ++i) {
+    Logger::instance().set_level(i % 2 == 0 ? LogLevel::kDebug
+                                            : LogLevel::kWarn);
+  }
+  for (std::thread& thread : emitters) thread.join();
+  // Every kError emit lands regardless of the toggling threshold: one line,
+  // one '\n', none torn or lost.
+  const std::string out = captured_.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(out.begin(), out.end(), '\n')),
+            kEmitters * kEmitsPerThread);
+}
+
+// The sink swap itself takes the emission mutex, so concurrent emits land
+// whole in exactly one of the two sinks.
+TEST_F(LoggingTest, ConcurrentSetSinkLosesNoLines) {
+  constexpr std::size_t kEmitters = 4;
+  constexpr std::size_t kEmitsPerThread = 500;
+  std::ostringstream other;
+  std::vector<std::thread> emitters;
+  emitters.reserve(kEmitters);
+  for (std::size_t t = 0; t < kEmitters; ++t) {
+    emitters.emplace_back([] {
+      for (std::size_t i = 0; i < kEmitsPerThread; ++i) {
+        log(LogLevel::kError) << "line";
+      }
+    });
+  }
+  for (std::size_t i = 0; i < 2000; ++i) {
+    Logger::instance().set_sink(i % 2 == 0 ? &other : &captured_);
+  }
+  for (std::thread& thread : emitters) thread.join();
+  Logger::instance().set_sink(&captured_);  // TearDown restores defaults
+  const std::string a = captured_.str();
+  const std::string b = other.str();
+  const auto lines = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), '\n') +
+      std::count(b.begin(), b.end(), '\n'));
+  EXPECT_EQ(lines, kEmitters * kEmitsPerThread);
 }
 
 }  // namespace

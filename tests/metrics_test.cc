@@ -1,0 +1,192 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+#include "src/util/error.h"
+
+namespace vodrep::obs {
+namespace {
+
+TEST(MetricsTest, CounterFoldsConcurrentIncrementsExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIncrementsPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrementsPerThread);
+}
+
+TEST(MetricsTest, CounterAddAccumulates) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("bytes");
+  counter.add(3);
+  counter.add(0);
+  counter.add(39);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetAddAndHighWater) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("depth");
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.set_max(1.0);  // below: no change
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.set_max(7.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+}
+
+TEST(MetricsTest, HistogramBoundaryIsLowerInclusiveUpperExclusive) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("lat", {1.0, 2.0, 4.0});
+  // Bucket layout: [-inf,1) [1,2) [2,4) [4,+inf).
+  hist.observe(0.0);   // bucket 0
+  hist.observe(0.999); // bucket 0
+  hist.observe(1.0);   // boundary: bucket 1, not bucket 0
+  hist.observe(1.5);   // bucket 1
+  hist.observe(2.0);   // boundary: bucket 2
+  hist.observe(3.999); // bucket 2
+  hist.observe(4.0);   // top boundary: overflow
+  hist.observe(100.0); // overflow
+  const std::vector<std::uint64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(hist.count(), 8u);
+  EXPECT_DOUBLE_EQ(hist.sum(),
+                   0.0 + 0.999 + 1.0 + 1.5 + 2.0 + 3.999 + 4.0 + 100.0);
+}
+
+TEST(MetricsTest, HistogramFoldsConcurrentObservesExactly) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("conc", {10.0});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kObservesPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      // Even threads land under the bound, odd threads overflow.
+      const double value = (t % 2 == 0) ? 1.0 : 20.0;
+      for (std::uint64_t i = 0; i < kObservesPerThread; ++i) {
+        hist.observe(value);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<std::uint64_t> counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], kThreads / 2 * kObservesPerThread);
+  EXPECT_EQ(counts[1], kThreads / 2 * kObservesPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kObservesPerThread);
+}
+
+TEST(MetricsTest, HistogramRejectsBadBounds) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), InvalidArgumentError);
+  EXPECT_THROW(registry.histogram("unsorted", {2.0, 1.0}),
+               InvalidArgumentError);
+  EXPECT_THROW(registry.histogram("dup", {1.0, 1.0}), InvalidArgumentError);
+}
+
+TEST(MetricsTest, ReRegisteringReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("same");
+  c1.add(5);
+  Counter& c2 = registry.counter("same");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 5u);
+  Gauge& g1 = registry.gauge("g");
+  EXPECT_EQ(&g1, &registry.gauge("g"));
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &registry.histogram("h", {1.0, 2.0}));
+}
+
+TEST(MetricsTest, NameKindClashesThrow) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), InvalidArgumentError);
+  EXPECT_THROW(registry.histogram("x", {1.0}), InvalidArgumentError);
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), InvalidArgumentError);
+  EXPECT_THROW(registry.counter("h"), InvalidArgumentError);
+}
+
+TEST(MetricsTest, SnapshotIsADeepQuiescentCopy) {
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(0.25);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  registry.counter("c").add(100);  // must not affect the snapshot
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.25);
+  const MetricsSnapshot::HistogramData& h = snap.histograms.at("h");
+  EXPECT_EQ(h.bounds, std::vector<double>({1.0}));
+  EXPECT_EQ(h.bucket_counts, std::vector<std::uint64_t>({1, 0}));
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.5);
+}
+
+TEST(MetricsTest, JsonExportParsesAndMatchesTheSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("requests").add(909);
+  registry.gauge("util").set(0.249512);
+  Histogram& hist = registry.histogram("lat", {1.0, 5.0});
+  hist.observe(0.5);
+  hist.observe(2.0);
+  hist.observe(9.0);
+
+  const JsonValue root = parse_json(registry.to_json());
+  EXPECT_EQ(root.at("counters").at("requests").as_uint(), 909u);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("util").as_number(), 0.249512);
+  const JsonValue& h = root.at("histograms").at("lat");
+  ASSERT_EQ(h.at("bounds").size(), 2u);
+  EXPECT_DOUBLE_EQ(h.at("bounds").items()[0].as_number(), 1.0);
+  ASSERT_EQ(h.at("counts").size(), 3u);
+  EXPECT_EQ(h.at("counts").items()[0].as_uint(), 1u);
+  EXPECT_EQ(h.at("counts").items()[1].as_uint(), 1u);
+  EXPECT_EQ(h.at("counts").items()[2].as_uint(), 1u);
+  EXPECT_EQ(h.at("count").as_uint(), 3u);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 11.5);
+}
+
+TEST(MetricsTest, ClearDropsAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  registry.clear();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  // Re-registration after clear starts a fresh instrument.
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+}
+
+TEST(MetricsTest, GlobalEnableSwitchDefaultsOffAndToggles) {
+  // The suite may run after another fixture flipped it; restore either way.
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace vodrep::obs

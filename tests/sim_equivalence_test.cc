@@ -148,5 +148,35 @@ TEST(SimEquivalence, HybridWidthOneEqualsReplicationWithSameHolders) {
   }
 }
 
+// Regression: the policies copy their SimConfig, so the common pattern of
+// constructing one from a temporary (`ReplicatedPolicy(layout,
+// scenario.sim_config())`) must not leave a dangling reference.  Under
+// asan the old reference member turned this into stack-use-after-scope.
+TEST(SimEquivalence, PoliciesCopyTheirConfigSoTemporariesAreSafe) {
+  Rng rng(0xE9003);
+  const World world = random_world(rng);
+  const StripedLayout striped =
+      make_striped_layout(world.num_videos, world.num_servers, 1);
+  Layout replicated;
+  replicated.assignment.resize(world.num_videos);
+  for (std::size_t v = 0; v < world.num_videos; ++v) {
+    replicated.assignment[v] = striped.groups[v];
+  }
+
+  // Builds a policy whose config argument is dead by the time it is used.
+  const auto make_config = [&world] { return SimConfig(world.config); };
+  SimEngine engine_r(world.config);
+  ReplicatedPolicy policy_r(replicated, make_config());
+  const SimResult via_temporary = engine_r.run(policy_r, world.trace);
+
+  SimEngine engine_s(world.config);
+  StripedPolicy policy_s(striped, make_config());
+  const SimResult via_striped = engine_s.run(policy_s, world.trace);
+
+  const SimResult reference = simulate(replicated, world.config, world.trace);
+  expect_equivalent(via_temporary, reference);
+  expect_equivalent(via_striped, reference);
+}
+
 }  // namespace
 }  // namespace vodrep

@@ -1,0 +1,162 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+
+namespace vodrep::obs {
+namespace {
+
+/// Busy-waits so a span's duration strictly exceeds the clock resolution.
+void spin_ns(std::uint64_t ns) {
+  const std::uint64_t until = TraceRecorder::now_ns() + ns;
+  while (TraceRecorder::now_ns() < until) {
+  }
+}
+
+/// The recorder under test is the global one (ScopedTimer hard-wires it),
+/// so every test starts from a cleared, enabled recorder and leaves it
+/// disabled and empty.
+class TraceEventTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    recorder().set_enabled(false);
+    recorder().clear();
+  }
+  void TearDown() override {
+    recorder().set_enabled(false);
+    recorder().clear();
+  }
+  static TraceRecorder& recorder() { return TraceRecorder::global(); }
+};
+
+TEST_F(TraceEventTest, SpansNestWithMonotonicTimestamps) {
+  recorder().set_enabled(true);
+  {
+    VODREP_TRACE_SCOPE("outer");
+    spin_ns(2'000);
+    {
+      VODREP_TRACE_SCOPE("inner_a");
+      spin_ns(2'000);
+    }
+    {
+      VODREP_TRACE_SCOPE("inner_b");
+      spin_ns(2'000);
+    }
+    spin_ns(2'000);
+  }
+  const std::vector<TraceEvent> events = recorder().events();
+  ASSERT_EQ(events.size(), 3u);  // children destruct (record) before outer
+  const TraceEvent& inner_a = events[0];
+  const TraceEvent& inner_b = events[1];
+  const TraceEvent& outer = events[2];
+  EXPECT_STREQ(inner_a.name, "inner_a");
+  EXPECT_STREQ(inner_b.name, "inner_b");
+  EXPECT_STREQ(outer.name, "outer");
+
+  // Monotonic starts: outer opened first, inner_a before inner_b.
+  EXPECT_LE(outer.ts_ns, inner_a.ts_ns);
+  EXPECT_LE(inner_a.ts_ns + inner_a.dur_ns, inner_b.ts_ns);
+
+  // Nesting: both children lie inside the outer span, and the outer
+  // duration covers at least the sum of its children.
+  EXPECT_GE(inner_a.ts_ns, outer.ts_ns);
+  EXPECT_LE(inner_b.ts_ns + inner_b.dur_ns, outer.ts_ns + outer.dur_ns);
+  EXPECT_GE(outer.dur_ns, inner_a.dur_ns + inner_b.dur_ns);
+}
+
+TEST_F(TraceEventTest, JsonParsesAndRoundTrips) {
+  recorder().set_enabled(true);
+  {
+    VODREP_TRACE_SCOPE("span_one");
+    spin_ns(1'500);
+  }
+  {
+    VODREP_TRACE_SCOPE("span_two");
+    spin_ns(1'500);
+  }
+  const std::string json = recorder().to_json();
+  const JsonValue root = parse_json(json);
+  const JsonValue& trace_events = root.at("traceEvents");
+  ASSERT_EQ(trace_events.size(), 2u);
+  for (const JsonValue& event : trace_events.items()) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_EQ(event.at("pid").as_int(), 1);
+    EXPECT_GE(event.at("tid").as_int(), 0);
+    EXPECT_GT(event.at("dur").as_number(), 0.0);  // spun >= 1.5 us
+    EXPECT_GE(event.at("ts").as_number(), 0.0);
+  }
+  EXPECT_EQ(trace_events.items()[0].at("name").as_string(), "span_one");
+  EXPECT_EQ(trace_events.items()[1].at("name").as_string(), "span_two");
+  EXPECT_EQ(root.at("otherData").at("recorded").as_uint(), 2u);
+
+  // Round trip: parse(dump(parse(json))) is structurally identical.
+  const JsonValue reparsed = parse_json(root.dump());
+  EXPECT_EQ(root, reparsed);
+}
+
+TEST_F(TraceEventTest, DisabledRecorderDoesNoWorkAndNeverAllocates) {
+  ASSERT_FALSE(recorder().enabled());
+  for (int i = 0; i < 10'000; ++i) {
+    VODREP_TRACE_SCOPE("dead");
+  }
+  EXPECT_EQ(recorder().events_recorded(), 0u);
+  EXPECT_EQ(recorder().events_dropped(), 0u);
+  EXPECT_EQ(recorder().buffer_grows(), 0u);
+  EXPECT_TRUE(recorder().events().empty());
+}
+
+TEST_F(TraceEventTest, EnabledRecorderStaysWithinItsReservedCapacity) {
+  recorder().set_enabled(true, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    VODREP_TRACE_SCOPE("bounded");
+  }
+  EXPECT_EQ(recorder().events_recorded(), 4u);
+  EXPECT_EQ(recorder().events_dropped(), 6u);
+  // The whole point of the up-front reserve: recording never re-allocates
+  // the buffer, even at capacity.
+  EXPECT_EQ(recorder().buffer_grows(), 0u);
+  EXPECT_EQ(recorder().events().size(), 4u);
+}
+
+TEST_F(TraceEventTest, DisablingMidSpanDropsTheInFlightSpan) {
+  recorder().set_enabled(true);
+  {
+    ScopedTimer timer("armed_then_disabled");
+    recorder().set_enabled(false);
+    // Disabling stops recording immediately: the armed span's closing
+    // record is refused, so a consumer that disables before export never
+    // sees half-open activity from threads still inside spans.
+  }
+  EXPECT_EQ(recorder().events_recorded(), 0u);
+
+  // Events buffered *before* the disable do survive for export.
+  recorder().set_enabled(true);
+  {
+    VODREP_TRACE_SCOPE("kept");
+  }
+  recorder().set_enabled(false);
+  EXPECT_EQ(recorder().events_recorded(), 1u);
+  EXPECT_EQ(recorder().events().size(), 1u);
+}
+
+TEST_F(TraceEventTest, ClearResetsEventsAndInstrumentCounters) {
+  recorder().set_enabled(true);
+  {
+    VODREP_TRACE_SCOPE("gone");
+  }
+  ASSERT_EQ(recorder().events_recorded(), 1u);
+  recorder().clear();
+  EXPECT_EQ(recorder().events_recorded(), 0u);
+  EXPECT_EQ(recorder().events_dropped(), 0u);
+  EXPECT_TRUE(recorder().events().empty());
+  const JsonValue root = parse_json(recorder().to_json());
+  EXPECT_EQ(root.at("traceEvents").size(), 0u);
+}
+
+}  // namespace
+}  // namespace vodrep::obs

@@ -21,6 +21,8 @@
 #include "src/core/layout_io.h"
 #include "src/core/objective.h"
 #include "src/core/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
 #include "src/util/error.h"
@@ -63,6 +65,42 @@ void print_summary(const Layout& layout, const std::vector<double>& popularity,
   table.print(std::cout);
 }
 
+// Enables the obs layer when either export flag is set, and writes the
+// requested JSON files on the way out of every code path (plan / inspect /
+// evaluate).  The metrics file reconciles bit-exactly with the printed
+// summary because both read the same result structs.
+class ObsExports {
+ public:
+  ObsExports(std::string metrics_path, std::string trace_path)
+      : metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {
+    if (!metrics_path_.empty()) obs::set_metrics_enabled(true);
+    if (!trace_path_.empty()) obs::TraceRecorder::global().set_enabled(true);
+  }
+
+  void write() const {
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      require(out.good(),
+              [&] { return "cannot write metrics file: " + metrics_path_; });
+      obs::metrics().write_json(out);
+      std::cout << "metrics written to " << metrics_path_ << "\n";
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      require(out.good(),
+              [&] { return "cannot write trace file: " + trace_path_; });
+      obs::TraceRecorder::global().write_json(out);
+      std::cout << "trace written to " << trace_path_
+                << " (load in Perfetto / chrome://tracing)\n";
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 int run(int argc, char** argv) {
   CliFlags flags("vodrep_plan", "Compute or inspect a cluster placement");
   flags.add_int("videos", 300, "catalogue size (ignored with --popularity-file)");
@@ -81,8 +119,14 @@ int run(int argc, char** argv) {
   flags.add_double("bandwidth-gbps", 1.8, "per-server bandwidth for --evaluate");
   flags.add_double("bitrate-mbps", 4.0, "stream bit rate for --evaluate");
   flags.add_double("duration-min", 90.0, "video duration for --evaluate");
+  flags.add_string("metrics-out", "",
+                   "enable metrics and write the registry JSON here");
+  flags.add_string("trace-out", "",
+                   "enable tracing and write chrome://tracing JSON here");
   if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
 
+  const ObsExports exports(flags.get_string("metrics-out"),
+                           flags.get_string("trace-out"));
   const auto servers = static_cast<std::size_t>(flags.get_int("servers"));
 
   if (!flags.get_string("evaluate").empty()) {
@@ -119,6 +163,7 @@ int run(int argc, char** argv) {
               << 100.0 * result.mean_imbalance_eq2 << " %\n"
               << "mean link utilization: "
               << 100.0 * result.mean_utilization() << " %\n";
+    exports.write();
     return EXIT_SUCCESS;
   }
 
@@ -136,6 +181,7 @@ int run(int argc, char** argv) {
     std::cout << "\n(expected loads shown under uniform popularity; re-run "
                  "with the original\n popularity file for the provisioning "
                  "view)\n";
+    exports.write();
     return EXIT_SUCCESS;
   }
 
@@ -156,10 +202,22 @@ int run(int argc, char** argv) {
       make_replication_policy(flags.get_string("replication"));
   const auto placement_policy =
       make_placement_policy(flags.get_string("placement"));
-  const ReplicationPlan plan =
-      replication->replicate(popularity, servers, budget);
-  const Layout layout =
-      placement_policy->place(plan, popularity, servers, capacity);
+  ReplicationPlan plan;
+  Layout layout;
+  {
+    VODREP_TRACE_SCOPE("plan.provision");
+    plan = replication->replicate(popularity, servers, budget);
+    layout = placement_policy->place(plan, popularity, servers, capacity);
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    registry.counter("plan.videos").add(layout.num_videos());
+    registry.counter("plan.replicas").add(plan.total_replicas());
+    registry.gauge("plan.degree").set(plan.degree());
+    registry.gauge("plan.expected_imbalance_eq2")
+        .set(imbalance_max_relative(
+            layout.expected_loads(popularity, servers)));
+  }
 
   std::cout << "== plan: " << flags.get_string("replication") << " + "
             << flags.get_string("placement") << " ==\n";
@@ -180,6 +238,7 @@ int run(int argc, char** argv) {
       std::cout << "\nlayout written to " << output << "\n";
     }
   }
+  exports.write();
   return EXIT_SUCCESS;
 }
 
