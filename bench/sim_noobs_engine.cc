@@ -1,0 +1,168 @@
+// NoObsSimEngine: src/sim/engine.cc with the observability hooks removed,
+// compiled as its own TU to mirror the library's compilation boundaries
+// (see sim_noobs_baseline.h for why the guard needs that symmetry).
+#include <algorithm>
+#include <cmath>
+
+#include "bench/sim_noobs_baseline.h"
+#include "src/util/error.h"
+
+namespace vodrep::noobs {
+
+NoObsSimEngine::NoObsSimEngine(const SimConfig& config) : config_(config) {
+  config_.validate();
+  const std::size_t n = config_.num_servers;
+  servers_.reserve(n);
+  capacities_bps_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    capacities_bps_[s] = config_.bandwidth_of(s);
+    servers_.emplace_back(capacities_bps_[s]);
+  }
+  utilization_.assign(n, 0.0);
+  busy_integral_.assign(n, 0.0);
+  busy_since_.assign(n, 0.0);
+}
+
+SimResult NoObsSimEngine::run(NoObsPolicy& policy, const RequestTrace& trace) {
+  require(trace.is_well_formed(), "NoObsSimEngine::run: malformed trace");
+  policy.bind(*this);
+  result_.total_requests = trace.size();
+  for (const Request& request : trace.requests) {
+    advance_events(policy, request.arrival_time);
+    const PolicyDecision decision = policy.dispatch(request);
+    if (!decision.admitted) {
+      ++result_.rejected;
+    } else if (decision.batched) {
+      ++result_.batched;
+    } else {
+      if (decision.redirected) ++result_.redirected;
+      if (decision.via_backbone) ++result_.proxied;
+    }
+  }
+  advance_events(policy, trace.horizon);
+
+  result_.mean_imbalance_eq2 = imbalance_eq2_.mean();
+  result_.mean_imbalance_cv = imbalance_cv_.mean();
+  result_.mean_imbalance_capacity = imbalance_capacity_.mean();
+  result_.peak_imbalance_eq2 = peak_eq2_;
+  const std::size_t n = servers_.size();
+  result_.served_per_server.resize(n);
+  result_.utilization_per_server.assign(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    result_.served_per_server[s] = servers_[s].served_total();
+    if (trace.horizon > 0.0) {
+      const double integral =
+          busy_integral_[s] +
+          servers_[s].busy_bps() * (trace.horizon - busy_since_[s]);
+      result_.utilization_per_server[s] =
+          integral / (trace.horizon * capacities_bps_[s]);
+    }
+  }
+  return result_;
+}
+
+void NoObsSimEngine::admit(std::size_t s, double bitrate_bps) {
+  pre_load_change(s);
+  servers_[s].admit(bitrate_bps);
+  post_load_change(s);
+}
+
+void NoObsSimEngine::release(std::size_t s, double bitrate_bps) {
+  pre_load_change(s);
+  servers_[s].release(bitrate_bps);
+  post_load_change(s);
+}
+
+std::size_t NoObsSimEngine::fail(std::size_t s) {
+  pre_load_change(s);
+  const std::size_t dropped = servers_[s].fail();
+  post_load_change(s);
+  return dropped;
+}
+
+EventHeap::Id NoObsSimEngine::schedule_departure(double time,
+                                                 std::size_t stream) {
+  return departures_.push(time, stream);
+}
+
+void NoObsSimEngine::cancel_departure(EventHeap::Id id) {
+  departures_.cancel(id);
+}
+
+void NoObsSimEngine::advance_events(NoObsPolicy& policy, double now) {
+  const auto& failures = config_.failures;
+  for (;;) {
+    const bool have_departure =
+        !departures_.empty() && departures_.min_time() <= now;
+    const bool have_failure = next_failure_ < failures.size() &&
+                              failures[next_failure_].time <= now;
+    if (have_failure &&
+        (!have_departure ||
+         failures[next_failure_].time <= departures_.min_time())) {
+      const ServerFailure& failure = failures[next_failure_++];
+      integrate_to(failure.time);
+      result_.disrupted += policy.on_crash(failure.server);
+      continue;
+    }
+    if (!have_departure) break;
+    const EventHeap::Event event = departures_.pop_min();
+    integrate_to(event.time);
+    policy.on_departure(event.payload);
+  }
+  integrate_to(now);
+}
+
+void NoObsSimEngine::integrate_to(double t) {
+  const double dt = t - now_;
+  if (dt <= 0.0) return;
+  const auto n = static_cast<double>(servers_.size());
+  const double max = current_max_utilization();
+  if (max <= 0.0) {
+    utilization_sum_ = 0.0;
+    utilization_sumsq_ = 0.0;
+  }
+  const double mean = utilization_sum_ / n;
+  double eq2 = 0.0;
+  double cv = 0.0;
+  if (mean > 0.0) {
+    eq2 = std::max(0.0, (max - mean) / mean);
+    const double variance =
+        std::max(0.0, utilization_sumsq_ / n - mean * mean);
+    cv = std::sqrt(variance) / mean;
+  }
+  imbalance_eq2_.add(eq2, dt);
+  imbalance_cv_.add(cv, dt);
+  imbalance_capacity_.add(std::max(0.0, max - mean), dt);
+  peak_eq2_ = std::max(peak_eq2_, eq2);
+  now_ = t;
+}
+
+void NoObsSimEngine::pre_load_change(std::size_t s) {
+  busy_integral_[s] += servers_[s].busy_bps() * (now_ - busy_since_[s]);
+  busy_since_[s] = now_;
+}
+
+void NoObsSimEngine::post_load_change(std::size_t s) {
+  const double updated = servers_[s].busy_bps() / capacities_bps_[s];
+  const double previous = utilization_[s];
+  utilization_[s] = updated;
+  utilization_sum_ += updated - previous;
+  utilization_sumsq_ += updated * updated - previous * previous;
+  if (s == max_server_) {
+    if (updated < previous) max_dirty_ = true;
+  } else if (!max_dirty_ && updated > utilization_[max_server_]) {
+    max_server_ = s;
+  }
+}
+
+double NoObsSimEngine::current_max_utilization() const {
+  if (max_dirty_) {
+    max_server_ = static_cast<std::size_t>(
+        std::max_element(utilization_.begin(), utilization_.end()) -
+        utilization_.begin());
+    max_dirty_ = false;
+  }
+  return utilization_[max_server_];
+}
+
+}  // namespace vodrep::noobs

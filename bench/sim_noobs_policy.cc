@@ -1,55 +1,38 @@
-#include "src/sim/replicated_policy.h"
-
+// NoObsReplicatedPolicy: src/sim/replicated_policy.cc against the no-obs
+// engine, minus the rejection-reason attribution, in its own TU to mirror
+// the library's engine/policy compilation split (see sim_noobs_baseline.h).
+#include "bench/sim_noobs_baseline.h"
 #include "src/util/error.h"
 
-namespace vodrep {
+namespace vodrep::noobs {
 
-ReplicatedPolicy::ReplicatedPolicy(const Layout& layout,
-                                     const SimConfig& config)
-    : layout_(layout),
-      config_(config),
+NoObsReplicatedPolicy::NoObsReplicatedPolicy(const Layout& layout,
+                                             const SimConfig& config)
+    : config_(config),
       dispatcher_(layout, config.redirect, config.backbone_bps,
                   config.batching_window_sec, config.video_duration_sec,
                   config.batching_mode) {}
 
-void ReplicatedPolicy::bind(SimEngine& engine) {
+void NoObsReplicatedPolicy::bind(NoObsSimEngine& engine) {
   require(engine.num_servers() == config_.num_servers,
-          "ReplicatedPolicy: engine/config server count mismatch");
+          "NoObsReplicatedPolicy: engine/config server count mismatch");
   engine_ = &engine;
 }
 
-PolicyDecision ReplicatedPolicy::dispatch(const Request& request) {
+PolicyDecision NoObsReplicatedPolicy::dispatch(const Request& request) {
   const double bitrate = config_.stream_bitrate_bps;
   const auto decision = dispatcher_.dispatch(request.video, bitrate,
                                              engine_->servers(),
                                              request.arrival_time);
-  if (!decision.has_value()) {
-    // Attribution: if every holder of the video is down the request could
-    // not have been served by any replica; otherwise at least one live
-    // holder exists and the binding constraint was outgoing bandwidth.
-    PolicyDecision rejected;
-    rejected.reject_reason = obs::RejectReason::kNoBandwidth;
-    bool any_alive = false;
-    for (const std::size_t holder : layout_.assignment[request.video]) {
-      if (!engine_->server(holder).failed()) {
-        any_alive = true;
-        break;
-      }
-    }
-    if (!any_alive) rejected.reject_reason = obs::RejectReason::kNoReplicaAlive;
-    return rejected;
-  }
+  if (!decision.has_value()) return PolicyDecision{};
   PolicyDecision outcome;
   outcome.admitted = true;
-  outcome.server = static_cast<std::int32_t>(decision->server);
   outcome.redirected = decision->redirected;
   outcome.via_backbone = decision->via_backbone;
   outcome.batched = decision->batched;
   if (decision->reserves_bandwidth()) {
     engine_->admit(decision->server, bitrate);
     streams_.push_back(Stream{decision->server, decision->via_backbone});
-    // A patching join holds its catch-up stream for the missed prefix only;
-    // a full stream holds its bandwidth for the watched fraction.
     const double held_sec =
         decision->batched ? decision->patch_duration_sec
                           : request.watch_fraction * config_.video_duration_sec;
@@ -59,10 +42,8 @@ PolicyDecision ReplicatedPolicy::dispatch(const Request& request) {
   return outcome;
 }
 
-void ReplicatedPolicy::on_departure(std::size_t stream) {
+void NoObsReplicatedPolicy::on_departure(std::size_t stream) {
   const Stream& record = streams_[stream];
-  // Streams on a crashed server were already dropped by the crash; their
-  // departures still fire but release nothing.
   if (!engine_->server(record.server).failed()) {
     engine_->release(record.server, config_.stream_bitrate_bps);
   }
@@ -71,10 +52,10 @@ void ReplicatedPolicy::on_departure(std::size_t stream) {
   }
 }
 
-std::size_t ReplicatedPolicy::on_crash(std::size_t server) {
+std::size_t NoObsReplicatedPolicy::on_crash(std::size_t server) {
   const std::size_t disrupted = engine_->fail(server);
   dispatcher_.on_server_failed(server);
   return disrupted;
 }
 
-}  // namespace vodrep
+}  // namespace vodrep::noobs

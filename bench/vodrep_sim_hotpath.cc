@@ -9,18 +9,31 @@
 // (batching disabled, so events = arrivals + admitted departures) and the
 // benchmark asserts that they produce the same SimResult before reporting.
 //
+// The benchmark also carries the engine's observability-overhead guard
+// (the vodrep_sa_hotpath precedent): NoObsSimEngine/NoObsReplicatedPolicy
+// (bench/sim_noobs_baseline.h) are the engine's event loop and policy
+// copied verbatim with every obs hook removed, compiled in separate TUs
+// that mirror the library's own engine/policy split so both sides pay
+// identical virtual dispatch.  The engine with obs compiled in but
+// disabled must stay within 3% of the copy or the benchmark exits
+// non-zero.
+//
 // The last stdout line is machine-readable JSON for tracking the perf
 // trajectory across PRs.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "bench/sim_noobs_baseline.h"
 #include "src/core/objective.h"
 #include "src/core/pipeline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
 #include "src/util/error.h"
@@ -241,6 +254,31 @@ void require_same(const SimResult& seed, const SimResult& engine) {
           "sim_hotpath: engine diverged from the seed simulator");
 }
 
+/// Best-of-N events/sec for one replay path: repeats until the cumulative
+/// wall time exceeds `min_total_sec` or `max_reps` runs, rating the path by
+/// its fastest repetition (max-of-reps approximates the noise-free speed
+/// the <3% overhead guard needs on shared CI machines).
+template <typename Fn>
+double best_events_per_sec(Fn&& replay, double min_total_sec,
+                           std::size_t max_reps) {
+  double best_seconds = 1e300;
+  double total = 0.0;
+  std::size_t events = 0;
+  for (std::size_t rep = 0; rep < max_reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const SimResult result = replay();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (result.total_requests == 0) std::abort();  // keep the replay live
+    events = result.total_requests +
+             (result.total_requests - result.rejected);
+    best_seconds = std::min(best_seconds, seconds);
+    total += seconds;
+    if (total >= min_total_sec && rep >= 2) break;
+  }
+  return static_cast<double>(events) / std::max(best_seconds, 1e-12);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +356,42 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\nspeedup: " << speedup << "x  (results verified equal)\n\n";
 
+    // --- obs overhead guard: compiled-in-but-disabled must stay <3% ---
+    // NoObsSimEngine is the hook-free baseline; the engine runs with obs
+    // compiled in, globally disabled, and no timeline/event-log attached
+    // (the default), so the guard prices exactly the dormant hooks.
+    // Quick mode's replays finish in well under a millisecond, so the guard
+    // needs many repetitions before best-of-reps converges; the full
+    // configuration amortizes scheduler noise over ~30 ms replays instead.
+    const double min_total_sec = quick ? 0.5 : 1.0;
+    const std::size_t max_reps = quick ? 400 : 8;
+    obs::set_metrics_enabled(false);
+    obs::TraceRecorder::global().set_enabled(false);
+    const double noobs_eps = best_events_per_sec(
+        [&] {
+          noobs::NoObsSimEngine engine(config);
+          noobs::NoObsReplicatedPolicy policy(layout, config);
+          return engine.run(policy, trace);
+        },
+        min_total_sec, max_reps);
+    const double obs_off_eps = best_events_per_sec(
+        [&] { return simulate(layout, config, trace); }, min_total_sec,
+        max_reps);
+    {
+      // Sanity: the no-obs copy must replay to the identical result.
+      noobs::NoObsSimEngine engine(config);
+      noobs::NoObsReplicatedPolicy policy(layout, config);
+      require_same(engine.run(policy, trace), engine_stats.result);
+    }
+    const double off_overhead_pct = 100.0 * (1.0 - obs_off_eps / noobs_eps);
+    const bool guard_pass = obs_off_eps >= 0.97 * noobs_eps;
+    std::cout << "obs overhead on the engine event loop (best-of-reps):\n"
+              << "  hooks compiled out:     " << noobs_eps << " events/s\n"
+              << "  compiled in, disabled:  " << obs_off_eps << " events/s  ("
+              << off_overhead_pct << " % overhead)\n"
+              << "  guard (<3% disabled):   "
+              << (guard_pass ? "PASS" : "FAIL") << "\n\n";
+
     std::cout << "{\"bench\":\"sim_hotpath\",\"videos\":" << m
               << ",\"servers\":" << n << ",\"requests\":" << trace.size()
               << ",\"events\":" << engine_stats.events / reps
@@ -327,7 +401,16 @@ int main(int argc, char** argv) {
               << ",\"engine_events_per_sec\":" << engine_stats.events_per_sec
               << ",\"speedup\":" << speedup
               << ",\"rejection_rate\":" << engine_stats.result.rejection_rate()
+              << ",\"noobs_events_per_sec\":" << noobs_eps
+              << ",\"obs_off_events_per_sec\":" << obs_off_eps
+              << ",\"obs_off_overhead_pct\":" << off_overhead_pct
+              << ",\"obs_guard_pass\":" << (guard_pass ? "true" : "false")
               << "}\n";
+    if (!guard_pass) {
+      std::cerr << "error: obs layer costs " << off_overhead_pct
+                << " % events/sec while disabled (budget: 3 %)\n";
+      return EXIT_FAILURE;
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return EXIT_FAILURE;

@@ -1,0 +1,70 @@
+#include "src/obs/event_log.h"
+
+#include "src/util/error.h"
+
+namespace vodrep::obs {
+
+std::string_view reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kNoBandwidth:
+      return "no_bandwidth";
+    case RejectReason::kNoReplicaAlive:
+      return "no_replica_alive";
+    case RejectReason::kStripeUnavailable:
+      return "stripe_unavailable";
+  }
+  return "unknown";
+}
+
+std::string_view request_outcome_name(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kServed:
+      return "served";
+    case RequestOutcome::kRedirected:
+      return "redirected";
+    case RequestOutcome::kProxied:
+      return "proxied";
+    case RequestOutcome::kBatched:
+      return "batched";
+    case RequestOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "EventLog: capacity must be at least 1");
+  records_.reserve(capacity);
+}
+
+JsonValue EventLog::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("capacity", JsonValue::integer_u64(capacity_));
+  root.set("seen", JsonValue::integer_u64(seen_));
+  root.set("dropped", JsonValue::integer_u64(dropped_));
+  JsonValue records = JsonValue::array();
+  for (const RequestRecord& record : records_) {
+    JsonValue entry = JsonValue::object();
+    entry.set("t", JsonValue::number(record.arrival_time));
+    entry.set("video", JsonValue::integer_u64(record.video));
+    entry.set("server", JsonValue::integer(record.server));
+    entry.set("outcome",
+              JsonValue::string(std::string(request_outcome_name(record.outcome))));
+    entry.set("reason",
+              JsonValue::string(std::string(reject_reason_name(record.reason))));
+    records.push_back(std::move(entry));
+  }
+  root.set("records", std::move(records));
+  return root;
+}
+
+void EventLog::clear() {
+  offset_ = 0.0;
+  seen_ = 0;
+  dropped_ = 0;
+  records_.clear();
+}
+
+}  // namespace vodrep::obs

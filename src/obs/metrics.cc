@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/obs/json_lite.h"
+#include "src/obs/trace.h"
 #include "src/util/error.h"
 
 namespace vodrep::obs {
@@ -148,6 +149,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     data.count = histogram->count();
     data.sum = histogram->sum();
     snap.histograms[name] = std::move(data);
+  }
+  // The global snapshot also surfaces the trace recorder's health counters
+  // (how much of the trace survived its bounded buffer), so one metrics
+  // export answers "did observability itself drop anything".  Private
+  // registries (tests) stay self-contained, and a disabled registry stays
+  // empty — the same contract as every folded instrument.
+  if (metrics_enabled() && this == &MetricsRegistry::global()) {
+    const TraceRecorder& recorder = TraceRecorder::global();
+    snap.counters["trace.events_recorded"] = recorder.events_recorded();
+    snap.counters["trace.events_dropped"] = recorder.events_dropped();
+    snap.counters["trace.buffer_grows"] = recorder.buffer_grows();
   }
   return snap;
 }

@@ -1,0 +1,133 @@
+#include "src/obs/report.h"
+
+#include <cstddef>
+
+namespace vodrep::obs {
+
+namespace {
+
+void check_array_sizes(const JsonValue& timeline, const char* key,
+                       std::size_t expected, std::vector<std::string>* out) {
+  if (!timeline.has(key)) {
+    out->push_back(std::string("timeline is missing key '") + key + "'");
+    return;
+  }
+  const JsonValue& value = timeline.at(key);
+  if (!value.is_array()) {
+    out->push_back(std::string("timeline.") + key + " is not an array");
+    return;
+  }
+  if (value.size() != expected) {
+    out->push_back(std::string("timeline.") + key + " has " +
+                   std::to_string(value.size()) + " entries, expected " +
+                   std::to_string(expected));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& run_report_required_keys() {
+  static const std::vector<std::string> keys = {
+      "schema_version", "kind",        "generated_by", "config",
+      "final",          "rejections",  "timeline",     "annotations",
+      "events",
+  };
+  return keys;
+}
+
+std::vector<std::string> validate_run_report(const JsonValue& report) {
+  std::vector<std::string> problems;
+  if (!report.is_object()) {
+    problems.push_back("report is not a JSON object");
+    return problems;
+  }
+  for (const std::string& key : run_report_required_keys()) {
+    if (!report.has(key)) {
+      problems.push_back("missing required key '" + key + "'");
+    }
+  }
+  if (!problems.empty()) return problems;
+
+  if (!report.at("schema_version").is_number() ||
+      report.at("schema_version").as_int() != kRunReportSchemaVersion) {
+    problems.push_back("schema_version is not " +
+                       std::to_string(kRunReportSchemaVersion));
+  }
+  if (!report.at("kind").is_string() ||
+      report.at("kind").as_string() != kRunReportKind) {
+    problems.push_back(std::string("kind is not '") + kRunReportKind + "'");
+  }
+  if (!report.at("config").is_object()) {
+    problems.push_back("config is not an object");
+  }
+  if (!report.at("annotations").is_array()) {
+    problems.push_back("annotations is not an array");
+  }
+
+  const JsonValue& final_section = report.at("final");
+  if (!final_section.is_object()) {
+    problems.push_back("final is not an object");
+  } else {
+    for (const char* key :
+         {"total_requests", "rejected", "rejection_rate", "mean_imbalance_eq2",
+          "mean_imbalance_cv", "mean_imbalance_capacity", "peak_imbalance_eq2",
+          "mean_utilization", "utilization_per_server"}) {
+      if (!final_section.has(key)) {
+        problems.push_back(std::string("final is missing key '") + key + "'");
+      }
+    }
+  }
+
+  const JsonValue& rejections = report.at("rejections");
+  if (!rejections.is_object() || !rejections.has("total") ||
+      !rejections.has("by_reason") || !rejections.at("by_reason").is_object()) {
+    problems.push_back("rejections must carry 'total' and object 'by_reason'");
+  } else {
+    std::uint64_t sum = 0;
+    for (const auto& [name, count] : rejections.at("by_reason").members()) {
+      (void)name;
+      sum += count.as_uint();
+    }
+    if (sum != rejections.at("total").as_uint()) {
+      problems.push_back(
+          "rejections.by_reason does not sum to rejections.total");
+    }
+  }
+
+  const JsonValue& timeline = report.at("timeline");
+  if (!timeline.is_object() || !timeline.has("num_samples")) {
+    problems.push_back("timeline must be an object with 'num_samples'");
+  } else {
+    const auto samples = static_cast<std::size_t>(
+        timeline.at("num_samples").as_uint());
+    for (const char* key : {"time", "imbalance_eq2", "mean_utilization",
+                            "max_utilization", "requests", "rejected"}) {
+      check_array_sizes(timeline, key, samples, &problems);
+    }
+    if (!timeline.has("utilization_per_server") ||
+        !timeline.at("utilization_per_server").is_array()) {
+      problems.push_back("timeline.utilization_per_server is not an array");
+    } else {
+      for (const JsonValue& series :
+           timeline.at("utilization_per_server").items()) {
+        if (!series.is_array() || series.size() != samples) {
+          problems.push_back(
+              "timeline.utilization_per_server series length mismatch");
+          break;
+        }
+      }
+    }
+  }
+
+  const JsonValue& events = report.at("events");
+  if (!events.is_object() || !events.has("capacity") || !events.has("seen") ||
+      !events.has("dropped") || !events.has("records") ||
+      !events.at("records").is_array()) {
+    problems.push_back(
+        "events must carry 'capacity', 'seen', 'dropped', and array "
+        "'records'");
+  }
+  return problems;
+}
+
+}  // namespace vodrep::obs

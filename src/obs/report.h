@@ -1,0 +1,39 @@
+// The self-describing run-report schema (DESIGN.md §7b).
+//
+// A run report is one JSON document capturing everything needed to explain
+// a simulation run after the fact: the configuration that produced it, the
+// end-of-run metrics, the L(t) / l_j(t) / rejection time series, the
+// per-reason rejection breakdown, controller replan annotations, and the
+// bounded per-request event log.  The schema is versioned
+// (`schema_version`) so downstream tooling (vodrep_report, CI validators)
+// can evolve without guessing.
+//
+// This header owns only the schema constants and the validator — both are
+// pure json_lite consumers, so they live in src/obs below the simulation
+// layer.  Assembling a report from live SimResult/collector state is the
+// job of src/sim/run_report.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+
+namespace vodrep::obs {
+
+inline constexpr std::int64_t kRunReportSchemaVersion = 1;
+inline constexpr const char* kRunReportKind = "vodrep_run_report";
+
+/// Top-level keys every run report must carry.
+[[nodiscard]] const std::vector<std::string>& run_report_required_keys();
+
+/// Structural validation: every required top-level key present with the
+/// right JSON shape, schema_version/kind correct, the timeline's columnar
+/// arrays equally sized, and the per-reason rejection counts summing to the
+/// rejection total.  Returns a human-readable problem per violation; empty
+/// means the report is valid.
+[[nodiscard]] std::vector<std::string> validate_run_report(
+    const JsonValue& report);
+
+}  // namespace vodrep::obs

@@ -14,7 +14,8 @@
 namespace vodrep {
 
 Table run_adaptation_study(const AdaptationStudyConfig& config,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           obs::TimeseriesCollector* timeline) {
   Rng rng(seed);
   const std::size_t m = config.num_videos;
   const auto budget = static_cast<std::size_t>(
@@ -52,6 +53,7 @@ Table run_adaptation_study(const AdaptationStudyConfig& config,
   controller_config.replan_threshold = config.replan_threshold;
   controller_config.incremental = config.incremental_placement;
   AdaptiveController controller(controller_config, initial_truth);
+  controller.set_timeline(timeline);
 
   Table table({"epoch", "churn_vs_day0", "reject%_static", "reject%_adaptive",
                "reject%_oracle", "migrated_GB", "copy_minutes"});
@@ -73,20 +75,28 @@ Table run_adaptation_study(const AdaptationStudyConfig& config,
             .layout;
 
     // One single-shot engine per replay; the three strategies share the
-    // trace so the comparison is paired.
-    auto replay = [&](const Layout& layout) {
+    // trace so the comparison is paired.  Only the adaptive replay records
+    // into the study timeline: epoch e lands at global times
+    // [e*duration, (e+1)*duration) via the collector's time offset.
+    auto replay = [&](const Layout& layout, bool on_timeline) {
       SimEngine engine(sim);
       ReplicatedPolicy policy(layout, sim);
+      if (on_timeline && timeline != nullptr) {
+        timeline->set_time_offset(static_cast<double>(epoch) *
+                                  config.duration_sec);
+        engine.attach_timeline(timeline);
+      }
       return engine.run(policy, trace);
     };
-    const SimResult static_result = replay(static_layout);
-    const SimResult adaptive_result = replay(controller.layout());
-    const SimResult oracle_result = replay(oracle_layout);
+    const SimResult static_result = replay(static_layout, false);
+    const SimResult adaptive_result = replay(controller.layout(), true);
+    const SimResult oracle_result = replay(oracle_layout, false);
 
     // Close the adaptive loop: learn from what was observed, re-provision,
     // and account for the migration the new layout costs.
     controller.observe_epoch(trace.video_counts(m));
-    const AdaptationStep step = controller.adapt();
+    const AdaptationStep step =
+        controller.adapt(static_cast<double>(epoch + 1) * config.duration_sec);
     const double migrated_gb =
         units::to_gigabytes(step.migration.bytes_moved(replica_bytes));
     const double copy_minutes = units::to_minutes(

@@ -41,7 +41,13 @@ struct AdaptationStudyConfig {
 /// Runs the study and returns one row per epoch:
 /// epoch, ranking churn vs epoch 0, rejection % (static / adaptive /
 /// oracle), migration GB and copy minutes paid by the adaptive strategy.
-[[nodiscard]] Table run_adaptation_study(const AdaptationStudyConfig& config,
-                                         std::uint64_t seed);
+///
+/// When `timeline` is non-null, the adaptive strategy's replays record into
+/// it on a global clock (epoch e spans [e*duration, (e+1)*duration)) and
+/// each controller adapt() leaves a "replan"/"replan_skipped" annotation at
+/// its epoch boundary.
+[[nodiscard]] Table run_adaptation_study(
+    const AdaptationStudyConfig& config, std::uint64_t seed,
+    obs::TimeseriesCollector* timeline = nullptr);
 
 }  // namespace vodrep

@@ -60,7 +60,7 @@ void AdaptiveController::observe_epoch(
   estimator_.end_epoch();
 }
 
-AdaptationStep AdaptiveController::adapt() {
+AdaptationStep AdaptiveController::adapt(double now) {
   VODREP_TRACE_SCOPE("online.adapt");
   AdaptationStep step;
   const std::vector<double> estimate = estimator_.estimate();
@@ -73,6 +73,7 @@ AdaptationStep AdaptiveController::adapt() {
     if (obs::metrics_enabled()) {
       obs::metrics().counter("online.replans_skipped").inc();
     }
+    if (timeline_ != nullptr) timeline_->annotate(now, "replan_skipped");
     return step;
   }
 
@@ -90,6 +91,7 @@ AdaptationStep AdaptiveController::adapt() {
   }
   step.migration = plan_migration(layout_, next.layout);
   step.replanned = true;
+  if (timeline_ != nullptr) timeline_->annotate(now, "replan");
   layout_ = std::move(next.layout);
   plan_ = std::move(next.plan);
   acted_estimate_ = estimate;

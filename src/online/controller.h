@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/core/layout.h"
+#include "src/obs/timeseries.h"
 #include "src/online/estimator.h"
 #include "src/online/migration.h"
 #include "src/online/provisioner.h"
@@ -65,7 +66,15 @@ class AdaptiveController {
 
   /// Re-provisions from the current estimate if it moved beyond the
   /// threshold; returns what happened and the migration plan to apply.
-  [[nodiscard]] AdaptationStep adapt();
+  /// `now` is the *global* simulation time of the epoch boundary, used only
+  /// to annotate an attached timeline ("replan" / "replan_skipped").
+  [[nodiscard]] AdaptationStep adapt(double now = 0.0);
+
+  /// Attaches a timeline collector (borrowed, may be null) so each adapt()
+  /// call leaves a replan annotation at its epoch boundary.
+  void set_timeline(obs::TimeseriesCollector* timeline) {
+    timeline_ = timeline;
+  }
 
   /// Current popularity estimate by video id (for reporting).
   [[nodiscard]] std::vector<double> estimate() const {
@@ -80,6 +89,7 @@ class AdaptiveController {
   Layout layout_;
   ReplicationPlan plan_;
   std::vector<double> acted_estimate_;  ///< estimate behind the live layout
+  obs::TimeseriesCollector* timeline_ = nullptr;  ///< borrowed, may be null
 };
 
 }  // namespace vodrep

@@ -6,6 +6,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/check.h"
 #include "src/util/error.h"
 
 namespace vodrep {
@@ -111,16 +112,40 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
     } else {
       decision = policy.dispatch(request);
     }
+    ++requests_dispatched_;
     if (!decision.admitted) {
       ++result_.rejected;
-      continue;
-    }
-    if (decision.batched) {
+      // Attribution is part of the result, not optional observability: the
+      // per-reason entries always sum exactly to `rejected`.
+      VODREP_DCHECK(decision.reject_reason != obs::RejectReason::kNone,
+                    "StoragePolicy rejected a request without a reason");
+      ++result_.rejected_by_reason[static_cast<std::size_t>(
+          decision.reject_reason)];
+    } else if (decision.batched) {
       ++result_.batched;
-      continue;
+    } else {
+      if (decision.redirected) ++result_.redirected;
+      if (decision.via_backbone) ++result_.proxied;
     }
-    if (decision.redirected) ++result_.redirected;
-    if (decision.via_backbone) ++result_.proxied;
+    if (event_log_ != nullptr) {
+      obs::RequestRecord record;
+      record.arrival_time = request.arrival_time;
+      record.video = static_cast<std::uint32_t>(request.video);
+      record.server = decision.server;
+      if (!decision.admitted) {
+        record.outcome = obs::RequestOutcome::kRejected;
+        record.reason = decision.reject_reason;
+      } else if (decision.batched) {
+        record.outcome = obs::RequestOutcome::kBatched;
+      } else if (decision.via_backbone) {
+        record.outcome = obs::RequestOutcome::kProxied;
+      } else if (decision.redirected) {
+        record.outcome = obs::RequestOutcome::kRedirected;
+      } else {
+        record.outcome = obs::RequestOutcome::kServed;
+      }
+      event_log_->record(record);
+    }
   }
   // Close the books at the end of the peak period; streams outliving it keep
   // their bandwidth (they are not torn down) but the metrics window ends.
@@ -155,6 +180,13 @@ void SimEngine::export_metrics() const {
   registry.counter("sim.admitted")
       .add(result_.total_requests - result_.rejected);
   registry.counter("sim.rejected").add(result_.rejected);
+  for (std::size_t r = 0; r < obs::kNumRejectReasons; ++r) {
+    registry
+        .counter("sim.rejected." +
+                 std::string(obs::reject_reason_name(
+                     static_cast<obs::RejectReason>(r))))
+        .add(result_.rejected_by_reason[r]);
+  }
   registry.counter("sim.redirected").add(result_.redirected);
   registry.counter("sim.proxied").add(result_.proxied);
   registry.counter("sim.batched").add(result_.batched);
@@ -226,6 +258,13 @@ void SimEngine::advance_events(StoragePolicy& policy, double now) {
 void SimEngine::integrate_to(double t) {
   const double dt = t - now_;
   if (dt <= 0.0) return;
+  // Samples due in [now_, t] read the state that holds over that span, so
+  // they must fire before the accumulators advance.  Deferring the check
+  // past the dt<=0 early return keeps the guard-priced fast path free of
+  // the timeline test and loses no samples: a zero-dt call leaves now_
+  // unchanged, so a due sample simply fires on the next advancing call,
+  // reading the state that actually holds over the sampled interval.
+  if (timeline_ != nullptr) sample_timeline_to(t);
   const auto n = static_cast<double>(servers_.size());
   const double max = current_max_utilization();
   if (max <= 0.0) {
@@ -252,6 +291,24 @@ void SimEngine::integrate_to(double t) {
   imbalance_capacity_.add(std::max(0.0, max - mean), dt);
   peak_eq2_ = std::max(peak_eq2_, eq2);
   now_ = t;
+}
+
+void SimEngine::sample_timeline_to(double t) {
+  // The utilization state is constant over [now_, t], so every sample due
+  // in that span reads the live incremental accumulators directly; the
+  // eq2 computation mirrors integrate_to (including the idle special case)
+  // without mutating the running sums.
+  while (timeline_->next_due() <= t) {
+    const double max = current_max_utilization();
+    double mean = 0.0;
+    double eq2 = 0.0;
+    if (max > 0.0) {
+      mean = utilization_sum_ / static_cast<double>(servers_.size());
+      if (mean > 0.0) eq2 = std::max(0.0, (max - mean) / mean);
+    }
+    timeline_->record(eq2, mean, max, requests_dispatched_, result_.rejected,
+                      utilization_);
+  }
 }
 
 void SimEngine::pre_load_change(std::size_t s) {

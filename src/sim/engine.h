@@ -28,9 +28,13 @@
 // exposes servers() read-only.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/dispatcher.h"  // RedirectMode / BatchingMode
 #include "src/sim/event_heap.h"
 #include "src/sim/server.h"
@@ -89,6 +93,11 @@ struct SimConfig {
 struct SimResult {
   std::size_t total_requests = 0;
   std::size_t rejected = 0;
+  /// Rejections attributed to a typed reason (indexed by obs::RejectReason);
+  /// the entries always sum exactly to `rejected` — the engine tallies the
+  /// reason the policy reported for every rejection, kNone included, so the
+  /// breakdown never silently loses a request.
+  std::array<std::size_t, obs::kNumRejectReasons> rejected_by_reason{};
   std::size_t redirected = 0;  ///< served by a server other than the RR pick
   std::size_t proxied = 0;     ///< subset of redirected that crossed the backbone
   std::size_t batched = 0;     ///< requests served by joining an existing stream
@@ -127,6 +136,11 @@ struct PolicyDecision {
   bool redirected = false;    ///< served by a server other than the RR pick
   bool via_backbone = false;  ///< stream proxied over the internal backbone
   bool batched = false;       ///< joined an existing stream of the video
+  /// Primary serving server for the per-request event log (the stripe-group
+  /// lead for striped/hybrid organizations); -1 when rejected.
+  std::int32_t server = -1;
+  /// Required on every rejection: which of the typed reasons applies.
+  obs::RejectReason reject_reason = obs::RejectReason::kNone;
 };
 
 class StoragePolicy;
@@ -172,6 +186,15 @@ class SimEngine {
   EventHeap::Id schedule_departure(double time, std::size_t stream);
   void cancel_departure(EventHeap::Id id);
 
+  /// Attaches a fixed-interval load-timeline collector / per-request event
+  /// log for the run.  Both are optional and borrowed (must outlive run());
+  /// when absent the hot path pays one pointer test per event.  Attach
+  /// before run().
+  void attach_timeline(obs::TimeseriesCollector* timeline) {
+    timeline_ = timeline;
+  }
+  void attach_event_log(obs::EventLog* event_log) { event_log_ = event_log; }
+
  private:
   /// Applies departures and injected failures up to `now` in time order
   /// (failures win ties) and integrates the load signals.
@@ -181,6 +204,9 @@ class SimEngine {
   void export_metrics() const;
   /// Accounts for the current utilization state holding over [now_, t).
   void integrate_to(double t);
+  /// Emits every timeline sample due in (now_, t]; the signals are
+  /// piecewise constant over that span, so boundary samples are exact.
+  void sample_timeline_to(double t);
   /// Bracket every busy-bandwidth mutation of server `s` (at time now_).
   void pre_load_change(std::size_t s);
   void post_load_change(std::size_t s);
@@ -192,6 +218,9 @@ class SimEngine {
   EventHeap departures_;
   std::size_t next_failure_ = 0;
   bool ran_ = false;
+  std::size_t requests_dispatched_ = 0;  ///< arrivals processed so far
+  obs::TimeseriesCollector* timeline_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
 
   // --- observability tallies (plain counters; the engine is single-threaded
   // per run, and the fold into the global obs::MetricsRegistry happens once

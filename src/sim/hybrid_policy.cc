@@ -33,7 +33,20 @@ PolicyDecision HybridPolicy::dispatch(const Request& request) {
       std::all_of(group.begin(), group.end(), [&](std::size_t s) {
         return engine_->can_admit(s, share);
       });
-  if (!admissible) return PolicyDecision{};
+  if (!admissible) {
+    // A down member of the scheduled copy's stripe group makes that copy
+    // unavailable (the RR schedule is static, so no other copy is tried);
+    // with the whole group alive the binding constraint was bandwidth.
+    PolicyDecision rejected;
+    const bool member_down =
+        std::any_of(group.begin(), group.end(), [&](std::size_t s) {
+          return engine_->server(s).failed();
+        });
+    rejected.reject_reason = member_down
+                                 ? obs::RejectReason::kStripeUnavailable
+                                 : obs::RejectReason::kNoBandwidth;
+    return rejected;
+  }
   for (std::size_t s : group) engine_->admit(s, share);
   streams_.push_back(Stream{request.video, pick, 0, true});
   streams_.back().departure = engine_->schedule_departure(
@@ -41,6 +54,7 @@ PolicyDecision HybridPolicy::dispatch(const Request& request) {
       streams_.size() - 1);
   PolicyDecision outcome;
   outcome.admitted = true;
+  outcome.server = static_cast<std::int32_t>(group.front());
   return outcome;
 }
 

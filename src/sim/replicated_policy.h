@@ -32,6 +32,7 @@ class ReplicatedPolicy final : public StoragePolicy {
     bool via_backbone = false;
   };
 
+  const Layout& layout_;
   const SimConfig config_;
   Dispatcher dispatcher_;
   SimEngine* engine_ = nullptr;

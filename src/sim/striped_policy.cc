@@ -33,7 +33,20 @@ PolicyDecision StripedPolicy::dispatch(const Request& request) {
       std::all_of(group.begin(), group.end(), [&](std::size_t s) {
         return engine_->can_admit(s, share);
       });
-  if (!admissible) return PolicyDecision{};
+  if (!admissible) {
+    // A failed group member makes the whole stripe unavailable for the rest
+    // of the peak; otherwise every member is alive and some member's
+    // outgoing link lacked the share.
+    PolicyDecision rejected;
+    const bool member_down =
+        std::any_of(group.begin(), group.end(), [&](std::size_t s) {
+          return engine_->server(s).failed();
+        });
+    rejected.reject_reason = member_down
+                                 ? obs::RejectReason::kStripeUnavailable
+                                 : obs::RejectReason::kNoBandwidth;
+    return rejected;
+  }
   for (std::size_t s : group) engine_->admit(s, share);
   streams_.push_back(Stream{request.video, 0, true});
   streams_.back().departure = engine_->schedule_departure(
@@ -41,6 +54,7 @@ PolicyDecision StripedPolicy::dispatch(const Request& request) {
       streams_.size() - 1);
   PolicyDecision outcome;
   outcome.admitted = true;
+  outcome.server = static_cast<std::int32_t>(group.front());
   return outcome;
 }
 

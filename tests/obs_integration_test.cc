@@ -210,6 +210,27 @@ TEST_F(ObsIntegrationTest, DisabledMetricsFoldNothing) {
   EXPECT_TRUE(snap.gauges.empty());
 }
 
+TEST_F(ObsIntegrationTest, GlobalSnapshotSurfacesTraceHealthCounters) {
+  // The metrics export must answer "did the trace itself drop anything":
+  // overflow a capacity-2 recorder and check the global snapshot carries
+  // the recorder's own counters exactly.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  recorder.set_enabled(true, /*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    recorder.record_complete("span", /*ts_ns=*/0, /*dur_ns=*/1);
+  }
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  ASSERT_TRUE(snap.counters.contains("trace.events_recorded"));
+  EXPECT_EQ(snap.counters.at("trace.events_recorded"),
+            recorder.events_recorded());
+  EXPECT_EQ(snap.counters.at("trace.events_dropped"),
+            recorder.events_dropped());
+  EXPECT_EQ(snap.counters.at("trace.buffer_grows"), recorder.buffer_grows());
+  EXPECT_EQ(recorder.events_recorded(), 2u);
+  EXPECT_EQ(recorder.events_dropped(), 3u);
+  EXPECT_EQ(recorder.buffer_grows(), 0u);
+}
+
 TEST_F(ObsIntegrationTest, TraceCapturesSolveAndSimSpans) {
   obs::TraceRecorder::global().set_enabled(true, /*capacity=*/1024);
   SaSolverOptions options;

@@ -1,0 +1,263 @@
+// Run-report schema: build_run_report output must validate by
+// construction, survive a serialize/parse round trip value-exact (the
+// acceptance bar: the report's final Eq. 2 imbalance matches the SimResult
+// to 1e-9 — here exactly), and the validator must name each structural
+// violation.  Also covers aggregate_results, the epoch-folding arithmetic
+// behind the online-adaptation reports.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/obs/event_log.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/report.h"
+#include "src/obs/timeseries.h"
+#include "src/sim/engine.h"
+#include "src/sim/replicated_policy.h"
+#include "src/sim/run_report.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+namespace {
+
+using obs::JsonValue;
+
+struct RunFixture {
+  SimConfig config;
+  SimResult result;
+  obs::JsonValue report;
+};
+
+/// Runs a small replicated-organization world with a timeline and event log
+/// attached and assembles its report.
+RunFixture run_small_world() {
+  RunFixture fixture;
+  constexpr std::size_t kServers = 4;
+  constexpr std::size_t kVideos = 12;
+  fixture.config.num_servers = kServers;
+  fixture.config.bandwidth_bps_per_server = units::mbps(4) * 6.0;
+  fixture.config.stream_bitrate_bps = units::mbps(4);
+  fixture.config.video_duration_sec = 300.0;
+
+  Layout layout;
+  layout.assignment.resize(kVideos);
+  for (std::size_t v = 0; v < kVideos; ++v) {
+    layout.assignment[v] = {v % kServers, (v + 1) % kServers};
+  }
+
+  Rng rng(0x8E7);
+  TraceSpec spec;
+  spec.arrival_rate = 0.5;
+  spec.horizon = 1200.0;
+  spec.popularity = zipf_popularity(kVideos, 0.75);
+  const RequestTrace trace = generate_trace(rng, spec);
+
+  obs::TimeseriesConfig ts_config;
+  ts_config.interval_sec = spec.horizon / 32.0;
+  obs::TimeseriesCollector timeline(ts_config, kServers);
+  timeline.annotate(600.0, "replan");
+  obs::EventLog events(256);
+
+  SimEngine engine(fixture.config);
+  engine.attach_timeline(&timeline);
+  engine.attach_event_log(&events);
+  ReplicatedPolicy policy(layout, fixture.config);
+  fixture.result = engine.run(policy, trace);
+
+  JsonValue extra = JsonValue::object();
+  extra.set("num_videos", JsonValue::integer_u64(kVideos));
+  fixture.report = build_run_report(fixture.config, fixture.result, &timeline,
+                                    &events, std::move(extra));
+  return fixture;
+}
+
+/// Copy of `object` with `key` removed (JsonValue::set appends, so
+/// mutations rebuild the object instead).
+JsonValue without(const JsonValue& object, const std::string& key) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [name, value] : object.members()) {
+    if (name != key) out.set(name, value);
+  }
+  return out;
+}
+
+/// Copy of `object` with `key` replaced by `value`.
+JsonValue replaced(const JsonValue& object, const std::string& key,
+                   JsonValue value) {
+  JsonValue out = JsonValue::object();
+  for (const auto& [name, member] : object.members()) {
+    out.set(name, name == key ? value : member);
+  }
+  return out;
+}
+
+bool any_problem_contains(const std::vector<std::string>& problems,
+                          const std::string& needle) {
+  for (const std::string& problem : problems) {
+    if (problem.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(RunReportTest, BuiltReportValidatesCleanly) {
+  const RunFixture fixture = run_small_world();
+  const std::vector<std::string> problems =
+      obs::validate_run_report(fixture.report);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(fixture.report.at("schema_version").as_int(),
+            obs::kRunReportSchemaVersion);
+  EXPECT_EQ(fixture.report.at("kind").as_string(), obs::kRunReportKind);
+  EXPECT_EQ(fixture.report.at("config").at("num_videos").as_uint(), 12u);
+  // The timeline captured real samples and the controller annotation.
+  EXPECT_GE(fixture.report.at("timeline").at("num_samples").as_uint(), 2u);
+  EXPECT_EQ(fixture.report.at("annotations").size(), 1u);
+}
+
+TEST(RunReportTest, RoundTripIsValueExact) {
+  const RunFixture fixture = run_small_world();
+  const JsonValue reparsed = obs::parse_json(fixture.report.dump());
+  EXPECT_TRUE(obs::validate_run_report(reparsed).empty());
+  // json_lite serializes with max_digits10, so the end-of-run Eq. 2
+  // imbalance survives the round trip exactly — not just to 1e-9.
+  EXPECT_EQ(reparsed.at("final").at("mean_imbalance_eq2").as_number(),
+            fixture.result.mean_imbalance_eq2);
+  EXPECT_EQ(reparsed.at("final").at("rejected").as_uint(),
+            fixture.result.rejected);
+  EXPECT_EQ(reparsed, fixture.report);
+}
+
+TEST(RunReportTest, PerReasonCountsSumToRejectedTotal) {
+  const RunFixture fixture = run_small_world();
+  const JsonValue& rejections = fixture.report.at("rejections");
+  std::uint64_t sum = 0;
+  for (const auto& [name, count] : rejections.at("by_reason").members()) {
+    (void)name;
+    sum += count.as_uint();
+  }
+  EXPECT_EQ(sum, rejections.at("total").as_uint());
+  EXPECT_EQ(sum, fixture.result.rejected);
+}
+
+TEST(RunReportTest, NullCollectorsYieldEmptyButValidSections) {
+  const RunFixture fixture = run_small_world();
+  const JsonValue report = build_run_report(fixture.config, fixture.result,
+                                            /*timeline=*/nullptr,
+                                            /*events=*/nullptr);
+  EXPECT_TRUE(obs::validate_run_report(report).empty());
+  EXPECT_EQ(report.at("timeline").at("num_samples").as_uint(), 0u);
+  EXPECT_EQ(report.at("annotations").size(), 0u);
+  EXPECT_EQ(report.at("events").at("records").size(), 0u);
+}
+
+TEST(RunReportValidatorTest, FlagsMissingTopLevelKey) {
+  const RunFixture fixture = run_small_world();
+  const auto problems =
+      obs::validate_run_report(without(fixture.report, "final"));
+  EXPECT_TRUE(any_problem_contains(problems, "missing required key 'final'"));
+}
+
+TEST(RunReportValidatorTest, FlagsWrongSchemaVersionAndKind) {
+  const RunFixture fixture = run_small_world();
+  const auto version_problems = obs::validate_run_report(
+      replaced(fixture.report, "schema_version", JsonValue::integer(99)));
+  EXPECT_TRUE(any_problem_contains(version_problems, "schema_version"));
+  const auto kind_problems = obs::validate_run_report(
+      replaced(fixture.report, "kind", JsonValue::string("other")));
+  EXPECT_TRUE(any_problem_contains(kind_problems, "kind"));
+}
+
+TEST(RunReportValidatorTest, FlagsReasonSumMismatch) {
+  const RunFixture fixture = run_small_world();
+  JsonValue rejections = fixture.report.at("rejections");
+  rejections = replaced(
+      rejections, "total",
+      JsonValue::integer_u64(rejections.at("total").as_uint() + 1));
+  const auto problems = obs::validate_run_report(
+      replaced(fixture.report, "rejections", std::move(rejections)));
+  EXPECT_TRUE(any_problem_contains(problems, "does not sum"));
+}
+
+TEST(RunReportValidatorTest, FlagsColumnarSizeMismatch) {
+  const RunFixture fixture = run_small_world();
+  JsonValue timeline = fixture.report.at("timeline");
+  timeline = replaced(timeline, "time", JsonValue::array());
+  const auto problems = obs::validate_run_report(
+      replaced(fixture.report, "timeline", std::move(timeline)));
+  EXPECT_TRUE(any_problem_contains(problems, "timeline.time"));
+}
+
+TEST(RunReportValidatorTest, FlagsNonObjectInput) {
+  const auto problems = obs::validate_run_report(JsonValue::array());
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_TRUE(any_problem_contains(problems, "not a JSON object"));
+}
+
+TEST(AggregateResultsTest, SumsCountersAveragesMeansAndTakesPeaks) {
+  SimResult a;
+  a.total_requests = 100;
+  a.rejected = 10;
+  a.rejected_by_reason[static_cast<std::size_t>(
+      obs::RejectReason::kNoBandwidth)] = 8;
+  a.rejected_by_reason[static_cast<std::size_t>(
+      obs::RejectReason::kNoReplicaAlive)] = 2;
+  a.redirected = 5;
+  a.batched = 3;
+  a.mean_imbalance_eq2 = 0.2;
+  a.mean_imbalance_cv = 0.1;
+  a.mean_imbalance_capacity = 0.05;
+  a.peak_imbalance_eq2 = 0.8;
+  a.served_per_server = {40, 50};
+  a.utilization_per_server = {0.4, 0.6};
+
+  SimResult b = a;
+  b.total_requests = 50;
+  b.rejected = 4;
+  b.rejected_by_reason[static_cast<std::size_t>(
+      obs::RejectReason::kNoBandwidth)] = 4;
+  b.rejected_by_reason[static_cast<std::size_t>(
+      obs::RejectReason::kNoReplicaAlive)] = 0;
+  b.mean_imbalance_eq2 = 0.4;
+  b.peak_imbalance_eq2 = 0.6;
+  b.served_per_server = {20, 26};
+  b.utilization_per_server = {0.2, 0.4};
+
+  const SimResult total = aggregate_results({a, b});
+  EXPECT_EQ(total.total_requests, 150u);
+  EXPECT_EQ(total.rejected, 14u);
+  EXPECT_EQ(total.rejected_by_reason[static_cast<std::size_t>(
+                obs::RejectReason::kNoBandwidth)],
+            12u);
+  std::size_t reason_sum = 0;
+  for (std::size_t count : total.rejected_by_reason) reason_sum += count;
+  EXPECT_EQ(reason_sum, total.rejected);
+  EXPECT_EQ(total.redirected, 10u);
+  EXPECT_EQ(total.batched, 6u);
+  EXPECT_DOUBLE_EQ(total.mean_imbalance_eq2, 0.3);
+  EXPECT_DOUBLE_EQ(total.peak_imbalance_eq2, 0.8);
+  EXPECT_EQ(total.served_per_server, (std::vector<std::size_t>{60, 76}));
+  ASSERT_EQ(total.utilization_per_server.size(), 2u);
+  EXPECT_DOUBLE_EQ(total.utilization_per_server[0], 0.3);
+  EXPECT_DOUBLE_EQ(total.utilization_per_server[1], 0.5);
+}
+
+TEST(AggregateResultsTest, RejectsEmptyAndMismatchedInputs) {
+  const std::vector<SimResult> empty;
+  EXPECT_THROW(aggregate_results(empty), InvalidArgumentError);
+  SimResult a;
+  a.utilization_per_server = {0.1};
+  SimResult b;
+  b.utilization_per_server = {0.1, 0.2};
+  const std::vector<SimResult> mismatched = {a, b};
+  EXPECT_THROW(aggregate_results(mismatched), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vodrep

@@ -1,0 +1,187 @@
+// TimeseriesCollector: the bounded fixed-interval sampler behind the run
+// reports.  The load-bearing properties are determinism (the same record
+// sequence yields a bit-identical series, compactions included), the
+// uniform-grid invariant across compactions (keep every second sample,
+// double the interval — survivors stay on a uniform grid starting at 0),
+// and bounded annotation storage with drop accounting.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/timeseries.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace vodrep::obs {
+namespace {
+
+TimeseriesConfig small_config(double interval, std::size_t max_samples) {
+  TimeseriesConfig config;
+  config.interval_sec = interval;
+  config.max_samples = max_samples;
+  return config;
+}
+
+/// Feeds `n` synthetic samples whose payloads encode the record index, so a
+/// surviving sample identifies which record it came from.
+void feed(TimeseriesCollector& collector, std::size_t n,
+          std::size_t num_servers) {
+  std::vector<double> util(num_servers);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(i);
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      util[s] = x + static_cast<double>(s) / 100.0;
+    }
+    collector.record(/*eq2=*/x, /*mean_util=*/x / 2.0, /*max_util=*/x, i,
+                     i / 3, util);
+  }
+}
+
+TEST(TimeseriesConfigTest, RejectsInvalidConfigs) {
+  EXPECT_THROW(small_config(0.0, 4).validate(), InvalidArgumentError);
+  EXPECT_THROW(small_config(-1.0, 4).validate(), InvalidArgumentError);
+  EXPECT_THROW(small_config(1.0, 0).validate(), InvalidArgumentError);
+  EXPECT_THROW(small_config(1.0, 3).validate(), InvalidArgumentError);
+  EXPECT_NO_THROW(small_config(1.0, 2).validate());
+}
+
+TEST(TimeseriesTest, RecordsOnAUniformGridStartingAtZero) {
+  TimeseriesCollector collector(small_config(2.5, 8), 2);
+  EXPECT_DOUBLE_EQ(collector.next_due(), 0.0);
+  feed(collector, 4, 2);
+  ASSERT_EQ(collector.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(collector.sample(i).time, 2.5 * static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(collector.next_due(), 10.0);
+  EXPECT_EQ(collector.downsample_factor(), 1u);
+  EXPECT_DOUBLE_EQ(collector.interval_sec(), 2.5);
+}
+
+TEST(TimeseriesTest, CompactionKeepsEvenIndicesAndDoublesInterval) {
+  // interval 1, capacity 4: records 0..7 compact twice.  Trace by hand:
+  //   0,1,2,3 fill the buffer; record 4 compacts to [0,2] (interval 2) and
+  //   appends at t=4; record 5 appends at t=6; record 6 compacts to [0,4]
+  //   (interval 4) and appends at t=8; record 7 appends at t=12.
+  TimeseriesCollector collector(small_config(1.0, 4), 1);
+  feed(collector, 8, 1);
+  ASSERT_EQ(collector.size(), 4u);
+  EXPECT_EQ(collector.downsample_factor(), 4u);
+  EXPECT_DOUBLE_EQ(collector.interval_sec(), 4.0);
+  const std::vector<double> expected_times = {0.0, 4.0, 8.0, 12.0};
+  const std::vector<double> expected_payloads = {0.0, 4.0, 6.0, 7.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(collector.sample(i).time, expected_times[i]) << i;
+    EXPECT_DOUBLE_EQ(collector.sample(i).imbalance_eq2, expected_payloads[i])
+        << i;
+  }
+  // The grid stays uniform after compaction: consecutive surviving times
+  // differ by exactly the (doubled) interval.
+  for (std::size_t i = 1; i < collector.size(); ++i) {
+    EXPECT_DOUBLE_EQ(collector.sample(i).time - collector.sample(i - 1).time,
+                     collector.interval_sec())
+        << i;
+  }
+}
+
+TEST(TimeseriesTest, DownsamplingIsDeterministic) {
+  // Two collectors driven the way the engine drives them — record only when
+  // the next sample is due — must hold bit-identical samples through every
+  // compaction.  After compaction the interval doubles, so the driver
+  // records half as often; the final factor is the smallest power of two
+  // that fits the horizon in the buffer.
+  constexpr std::size_t kServers = 3;
+  constexpr double kHorizon = 1000.0;
+  TimeseriesCollector a(small_config(0.5, 16), kServers);
+  TimeseriesCollector b(small_config(0.5, 16), kServers);
+  Rng rng_a(0x75AA);
+  Rng rng_b(0x75AA);
+  std::vector<double> util(kServers);
+  auto drive = [&](TimeseriesCollector& collector, Rng& rng) {
+    std::uint64_t requests = 0;
+    while (collector.next_due() <= kHorizon) {
+      for (double& u : util) u = rng.uniform(0.0, 1.0);
+      collector.record(rng.uniform(0.0, 5.0), rng.uniform(0.0, 1.0),
+                       rng.uniform(0.0, 1.0), requests, requests / 7, util);
+      ++requests;
+    }
+  };
+  drive(a, rng_a);
+  drive(b, rng_b);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.downsample_factor(), b.downsample_factor());
+  EXPECT_DOUBLE_EQ(a.interval_sec(), b.interval_sec());
+  EXPECT_EQ(a.samples(), b.samples());
+  // 2000 fine-grid points into 16 slots: the interval doubles 0.5 -> 64
+  // (factor 128), leaving a full buffer on the 64 s grid.
+  EXPECT_EQ(a.downsample_factor(), 128u);
+  EXPECT_DOUBLE_EQ(a.interval_sec(), 64.0);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(i).time,
+                     64.0 * static_cast<double>(i));
+  }
+}
+
+TEST(TimeseriesTest, TimeOffsetConcatenatesEpochs) {
+  TimeseriesCollector collector(small_config(10.0, 8), 1);
+  feed(collector, 2, 1);  // epoch 0: samples at global 0, 10
+  EXPECT_DOUBLE_EQ(collector.next_due(), 20.0);
+  collector.set_time_offset(100.0);
+  // The schedule is global: with the offset applied the next sample is due
+  // at engine-local 20 - 100... except next_due_global_ stays at 20, so the
+  // engine-local due time is negative and any epoch-1 event triggers it.
+  // The stored time remains the global one.
+  EXPECT_DOUBLE_EQ(collector.next_due(), 20.0 - 100.0);
+  EXPECT_DOUBLE_EQ(collector.time_offset(), 100.0);
+  std::vector<double> util = {0.25};
+  collector.record(1.0, 0.25, 0.25, 5, 0, util);
+  ASSERT_EQ(collector.size(), 3u);
+  EXPECT_DOUBLE_EQ(collector.sample(2).time, 20.0);
+}
+
+TEST(TimeseriesTest, AnnotationsAreBoundedWithDropAccounting) {
+  TimeseriesConfig config = small_config(1.0, 4);
+  config.max_annotations = 2;
+  TimeseriesCollector collector(config, 1);
+  collector.annotate(10.0, "replan");
+  collector.annotate(20.0, "replan_skipped");
+  collector.annotate(30.0, "replan");
+  collector.annotate(40.0, "replan");
+  ASSERT_EQ(collector.annotations().size(), 2u);
+  EXPECT_EQ(collector.annotations_dropped(), 2u);
+  EXPECT_DOUBLE_EQ(collector.annotations()[0].time, 10.0);
+  EXPECT_EQ(collector.annotations()[0].label, "replan");
+  EXPECT_EQ(collector.annotations()[1].label, "replan_skipped");
+}
+
+TEST(TimeseriesTest, JsonExportIsColumnarAndSized) {
+  TimeseriesCollector collector(small_config(1.0, 8), 2);
+  feed(collector, 5, 2);
+  collector.annotate(3.0, "replan");
+  const JsonValue json = collector.to_json();
+  EXPECT_EQ(json.at("num_samples").as_uint(), 5u);
+  EXPECT_EQ(json.at("downsample_factor").as_uint(), 1u);
+  for (const char* key : {"time", "imbalance_eq2", "mean_utilization",
+                          "max_utilization", "requests", "rejected"}) {
+    EXPECT_EQ(json.at(key).size(), 5u) << key;
+  }
+  ASSERT_EQ(json.at("utilization_per_server").size(), 2u);
+  for (const JsonValue& series : json.at("utilization_per_server").items()) {
+    EXPECT_EQ(series.size(), 5u);
+  }
+  // Column values line up with the recorded samples.
+  EXPECT_DOUBLE_EQ(json.at("time").items()[3].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(json.at("imbalance_eq2").items()[3].as_number(), 3.0);
+  EXPECT_EQ(json.at("requests").items()[4].as_uint(), 4u);
+
+  const JsonValue annotations = collector.annotations_json();
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_DOUBLE_EQ(annotations.items()[0].at("t").as_number(), 3.0);
+  EXPECT_EQ(annotations.items()[0].at("label").as_string(), "replan");
+}
+
+}  // namespace
+}  // namespace vodrep::obs

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs the two hot-path benchmarks and writes their trajectory records as
+# BENCH_sa.json / BENCH_sim.json at the repo root, so every PR leaves a
+# machine-readable perf datapoint next to the code that produced it.
+#
+#   tools/run_benches.sh [--quick] [<build-dir>]
+#
+# <build-dir> defaults to ./build.  --quick runs the benchmarks in their CI
+# smoke configuration.  Each BENCH file has the schema
+#   {"name": ..., "moves_per_sec" | "events_per_sec": ...,
+#    "config": <the benchmark's full JSON record>, "git_sha": ...}
+set -euo pipefail
+
+quick_flag=""
+build_dir="build"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick_flag="--quick" ;;
+    --help|-h)
+      sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+for bench in vodrep_sa_hotpath vodrep_sim_hotpath; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+run_bench() {
+  local bench="$1" out="$2" rate_key="$3"
+  echo "== $bench $quick_flag =="
+  # The benchmark's last stdout line is its machine-readable JSON record.
+  local raw
+  raw="$("$build_dir/bench/$bench" $quick_flag | tee /dev/stderr | tail -1)"
+  RAW_JSON="$raw" RATE_KEY="$rate_key" BENCH_NAME="$bench" GIT_SHA="$git_sha" \
+  python3 - "$out" <<'PY'
+import json
+import os
+import sys
+
+raw = json.loads(os.environ["RAW_JSON"])
+rate_source = {
+    "moves_per_sec": "incremental_moves_per_sec",
+    "events_per_sec": "engine_events_per_sec",
+}[os.environ["RATE_KEY"]]
+record = {
+    "name": os.environ["BENCH_NAME"],
+    os.environ["RATE_KEY"]: raw[rate_source],
+    "config": raw,
+    "git_sha": os.environ["GIT_SHA"],
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(record, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[1]}")
+PY
+}
+
+run_bench vodrep_sa_hotpath BENCH_sa.json moves_per_sec
+run_bench vodrep_sim_hotpath BENCH_sim.json events_per_sec

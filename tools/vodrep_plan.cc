@@ -13,19 +13,27 @@
 //
 //   # inspect an existing layout
 //   vodrep_plan --inspect=layout.txt
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "src/core/layout_io.h"
 #include "src/core/objective.h"
 #include "src/core/pipeline.h"
+#include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
+#include "src/online/controller.h"
+#include "src/sim/run_report.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
 #include "src/util/error.h"
+#include "src/util/rng.h"
 #include "src/util/units.h"
 #include "src/workload/trace.h"
 #include "src/util/table.h"
@@ -65,6 +73,18 @@ void print_summary(const Layout& layout, const std::vector<double>& popularity,
   table.print(std::cout);
 }
 
+// Fail-fast diagnostic for every --*-out flag: probe that the path is
+// writable before doing any expensive work, so a typoed directory fails in
+// milliseconds with a clear message instead of after a full simulation.
+// Probes in append mode so an existing file is not truncated by the probe.
+void require_writable(const std::string& path, const char* what) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  require(probe.good(), [&] {
+    return std::string("cannot write ") + what + " file: " + path;
+  });
+}
+
 // Enables the obs layer when either export flag is set, and writes the
 // requested JSON files on the way out of every code path (plan / inspect /
 // evaluate).  The metrics file reconciles bit-exactly with the printed
@@ -84,6 +104,9 @@ class ObsExports {
       require(out.good(),
               [&] { return "cannot write metrics file: " + metrics_path_; });
       obs::metrics().write_json(out);
+      out.flush();
+      require(out.good(),
+              [&] { return "cannot write metrics file: " + metrics_path_; });
       std::cout << "metrics written to " << metrics_path_ << "\n";
     }
     if (!trace_path_.empty()) {
@@ -91,6 +114,9 @@ class ObsExports {
       require(out.good(),
               [&] { return "cannot write trace file: " + trace_path_; });
       obs::TraceRecorder::global().write_json(out);
+      out.flush();
+      require(out.good(),
+              [&] { return "cannot write trace file: " + trace_path_; });
       std::cout << "trace written to " << trace_path_
                 << " (load in Perfetto / chrome://tracing)\n";
     }
@@ -100,6 +126,17 @@ class ObsExports {
   std::string metrics_path_;
   std::string trace_path_;
 };
+
+void write_report(const obs::JsonValue& report, const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), [&] { return "cannot write report file: " + path; });
+  report.write(out);
+  out << "\n";
+  out.flush();
+  require(out.good(), [&] { return "cannot write report file: " + path; });
+  std::cout << "run report written to " << path
+            << " (render with vodrep_report)\n";
+}
 
 int run(int argc, char** argv) {
   CliFlags flags("vodrep_plan", "Compute or inspect a cluster placement");
@@ -123,11 +160,31 @@ int run(int argc, char** argv) {
                    "enable metrics and write the registry JSON here");
   flags.add_string("trace-out", "",
                    "enable tracing and write chrome://tracing JSON here");
+  flags.add_string("report-out", "",
+                   "simulate the plan and write a self-describing JSON run "
+                   "report here (render with vodrep_report)");
+  flags.add_int("online-epochs", 0,
+                "with --report-out: replay this many epochs through the "
+                "adaptive controller (replans annotated on the timeline)");
+  flags.add_double("sim-lambda", 0.0,
+                   "report simulation arrival rate in requests/sec "
+                   "(0 = auto-size to ~90% cluster stream capacity)");
+  flags.add_int("sim-seed", 2002, "report simulation trace seed");
+  flags.add_double("timeline-interval", 0.0,
+                   "report timeline sampling interval in seconds "
+                   "(0 = horizon / 64)");
+  flags.add_int("event-log-cap", 10000,
+                "report per-request event-log capacity (older requests "
+                "beyond it are dropped and counted)");
   if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
 
   const ObsExports exports(flags.get_string("metrics-out"),
                            flags.get_string("trace-out"));
+  require_writable(flags.get_string("metrics-out"), "metrics");
+  require_writable(flags.get_string("trace-out"), "trace");
+  require_writable(flags.get_string("report-out"), "report");
   const auto servers = static_cast<std::size_t>(flags.get_int("servers"));
+  const std::string report_path = flags.get_string("report-out");
 
   if (!flags.get_string("evaluate").empty()) {
     require(!flags.get_string("inspect").empty(),
@@ -152,7 +209,33 @@ int run(int argc, char** argv) {
         units::minutes(flags.get_double("duration-min"));
     SimEngine engine(config);
     ReplicatedPolicy policy(placement.layout, config);
+
+    std::unique_ptr<obs::TimeseriesCollector> timeline;
+    std::unique_ptr<obs::EventLog> event_log;
+    if (!report_path.empty()) {
+      double interval = flags.get_double("timeline-interval");
+      if (interval <= 0.0) interval = trace.horizon / 64.0;
+      obs::TimeseriesConfig ts;
+      ts.interval_sec = interval;
+      timeline = std::make_unique<obs::TimeseriesCollector>(
+          ts, config.num_servers);
+      event_log = std::make_unique<obs::EventLog>(
+          static_cast<std::size_t>(flags.get_int("event-log-cap")));
+      engine.attach_timeline(timeline.get());
+      engine.attach_event_log(event_log.get());
+    }
     const SimResult result = engine.run(policy, trace);
+    if (!report_path.empty()) {
+      obs::JsonValue extra = obs::JsonValue::object();
+      extra.set("layout_file",
+                obs::JsonValue::string(flags.get_string("inspect")));
+      extra.set("trace_file",
+                obs::JsonValue::string(flags.get_string("evaluate")));
+      extra.set("sim_horizon_sec", obs::JsonValue::number(trace.horizon));
+      write_report(build_run_report(config, result, timeline.get(),
+                                    event_log.get(), std::move(extra)),
+                   report_path);
+    }
 
     std::cout << "== " << flags.get_string("inspect") << " vs "
               << flags.get_string("evaluate") << " ==\n"
@@ -168,6 +251,9 @@ int run(int argc, char** argv) {
   }
 
   if (!flags.get_string("inspect").empty()) {
+    require(report_path.empty(),
+            "--report-out needs a simulation: pair --inspect with --evaluate, "
+            "or drop --inspect to simulate a fresh plan");
     std::ifstream in(flags.get_string("inspect"));
     require(static_cast<bool>(in), [&] {
       return "cannot open layout file: " + flags.get_string("inspect");
@@ -237,6 +323,97 @@ int run(int argc, char** argv) {
       save_placement(out, placement);
       std::cout << "\nlayout written to " << output << "\n";
     }
+  }
+
+  if (!report_path.empty()) {
+    // Simulate the freshly planned layout on a synthetic Poisson/Zipf trace
+    // and capture the full observability record: load timeline, per-request
+    // event log, and the typed rejection breakdown.
+    SimConfig sim;
+    sim.num_servers = servers;
+    sim.bandwidth_bps_per_server =
+        units::gbps(flags.get_double("bandwidth-gbps"));
+    sim.stream_bitrate_bps = units::mbps(flags.get_double("bitrate-mbps"));
+    sim.video_duration_sec = units::minutes(flags.get_double("duration-min"));
+    const double horizon = sim.video_duration_sec;
+
+    double lambda = flags.get_double("sim-lambda");
+    if (lambda <= 0.0) {
+      // Auto-size to ~90% of the cluster's steady-state stream capacity:
+      // concurrency lambda * duration = 0.9 * N * (B / bitrate).
+      lambda = 0.9 * static_cast<double>(servers) *
+               (sim.bandwidth_bps_per_server / sim.stream_bitrate_bps) /
+               sim.video_duration_sec;
+    }
+    double interval = flags.get_double("timeline-interval");
+    if (interval <= 0.0) interval = horizon / 64.0;
+
+    obs::TimeseriesConfig ts;
+    ts.interval_sec = interval;
+    obs::TimeseriesCollector timeline(ts, servers);
+    obs::EventLog event_log(
+        static_cast<std::size_t>(flags.get_int("event-log-cap")));
+    Rng rng(static_cast<std::uint64_t>(flags.get_int("sim-seed")));
+    TraceSpec spec;
+    spec.arrival_rate = lambda;
+    spec.horizon = horizon;
+    spec.popularity = popularity;
+
+    const auto epochs =
+        static_cast<std::size_t>(flags.get_int("online-epochs"));
+    std::vector<SimResult> results;
+    if (epochs == 0) {
+      SimEngine engine(sim);
+      ReplicatedPolicy policy(layout, sim);
+      engine.attach_timeline(&timeline);
+      engine.attach_event_log(&event_log);
+      results.push_back(engine.run(policy, generate_trace(rng, spec)));
+    } else {
+      // Multi-epoch online path: the adaptive controller re-provisions
+      // between epochs; each replan lands on the timeline as an annotation
+      // at its (global-time) epoch boundary.
+      ControllerConfig controller_config;
+      controller_config.replication = flags.get_string("replication");
+      controller_config.placement = flags.get_string("placement");
+      controller_config.num_servers = servers;
+      controller_config.budget = budget;
+      controller_config.capacity_per_server = capacity;
+      AdaptiveController controller(controller_config, popularity);
+      controller.set_timeline(&timeline);
+      for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        const RequestTrace trace = generate_trace(rng, spec);
+        SimEngine engine(sim);
+        ReplicatedPolicy policy(controller.layout(), sim);
+        const double offset = static_cast<double>(epoch) * horizon;
+        timeline.set_time_offset(offset);
+        event_log.set_time_offset(offset);
+        engine.attach_timeline(&timeline);
+        engine.attach_event_log(&event_log);
+        results.push_back(engine.run(policy, trace));
+        controller.observe_epoch(trace.video_counts(popularity.size()));
+        (void)controller.adapt(static_cast<double>(epoch + 1) * horizon);
+      }
+    }
+    const SimResult result = aggregate_results(results);
+
+    obs::JsonValue extra = obs::JsonValue::object();
+    extra.set("num_videos", obs::JsonValue::integer_u64(popularity.size()));
+    extra.set("replication",
+              obs::JsonValue::string(flags.get_string("replication")));
+    extra.set("placement",
+              obs::JsonValue::string(flags.get_string("placement")));
+    extra.set("replica_budget", obs::JsonValue::integer_u64(budget));
+    extra.set("sim_lambda_per_sec", obs::JsonValue::number(lambda));
+    extra.set("sim_seed", obs::JsonValue::integer(flags.get_int("sim-seed")));
+    extra.set("sim_horizon_sec", obs::JsonValue::number(horizon));
+    extra.set("online_epochs", obs::JsonValue::integer_u64(epochs));
+    write_report(build_run_report(sim, result, &timeline, &event_log,
+                                  std::move(extra)),
+                 report_path);
+    std::cout << "report simulation: " << result.total_requests
+              << " requests, " << result.rejected << " rejected ("
+              << 100.0 * result.rejection_rate() << " %), "
+              << timeline.size() << " timeline samples\n";
   }
   exports.write();
   return EXIT_SUCCESS;
