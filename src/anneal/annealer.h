@@ -18,11 +18,18 @@
 // Problems may additionally implement the in-place move API (see
 // InPlaceAnnealProblem below); the engine then evaluates moves as O(delta)
 // incremental updates instead of copying and re-costing the whole State.
+//
+// The Metropolis loop itself lives in AnnealChain, a resumable single chain
+// that advances one temperature step per step() call.  anneal() drives one
+// chain to completion; anneal_multichain() races independent chains;
+// anneal_parallel_tempering() (src/anneal/parallel_tempering.h) couples
+// chains at staggered temperatures through periodic replica exchanges.
 #pragma once
 
 #include <cmath>
 #include <concepts>
 #include <cstddef>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -66,6 +73,21 @@ concept InPlaceAnnealProblem =
       { p.extract(std::as_const(scratch)) } -> std::convertible_to<typename P::State>;
     };
 
+/// Optional extension of InPlaceAnnealProblem: problems that track the best
+/// configuration seen *inside their Scratch* (typically as a journal mark
+/// recorded during commit()) and can materialize it on demand.  The engine
+/// then never copies State on the move path at all — a new best costs O(1)
+/// bookkeeping instead of an extract() snapshot — and calls extract_best()
+/// exactly once when the chain is finalized.  extract_best may consume the
+/// scratch (e.g. roll it back to the marked position); the chain is spent
+/// afterwards.
+template <typename P>
+concept DeferredBestAnnealProblem =
+    InPlaceAnnealProblem<P> &&
+    requires(const P& p, typename P::Scratch& scratch) {
+      { p.extract_best(scratch) } -> std::convertible_to<typename P::State>;
+    };
+
 /// Engine parameters.  Defaults suit problems whose cost is O(1)-scaled;
 /// initial_temperature <= 0 requests automatic calibration (see
 /// calibrate_initial_temperature).
@@ -87,9 +109,36 @@ struct AnnealOptions {
   /// multi-chain runs while the samples remain chronologically uniform.
   /// 0 disables the cap.
   std::size_t trajectory_max_samples = 4096;
+  /// Replica count for anneal_parallel_tempering (ignored by anneal() and
+  /// anneal_multichain, which take their chain count explicitly).
+  std::size_t chains = 1;
+  /// Temperature steps each chain runs between replica-exchange rounds.
+  std::size_t swap_period = 8;
+  /// Geometric spacing of the tempering ladder: chain k starts at
+  /// T0 * temperature_spread^k, so higher chains explore hotter landscapes
+  /// whose configurations percolate down through accepted exchanges.
+  double temperature_spread = 1.5;
 };
 
-/// What the engine did, for instrumentation and tests.
+/// Per-chain instrumentation: what one Metropolis chain did.  Multi-chain
+/// drivers (anneal_multichain, anneal_parallel_tempering) report one entry
+/// per chain; anneal() reports a single entry mirroring the aggregate view.
+struct AnnealChainStats {
+  double best_cost = 0.0;
+  double final_temperature = 0.0;
+  std::size_t temperature_steps = 0;
+  std::size_t moves_proposed = 0;
+  std::size_t moves_accepted = 0;
+  std::size_t moves_noop = 0;
+  /// Replica exchanges this chain participated in (parallel tempering only).
+  std::size_t swaps_accepted = 0;
+  /// This chain's own (temperature, best-cost) trajectory.
+  std::vector<std::pair<double, double>> trajectory;
+};
+
+/// What the engine did, for instrumentation and tests.  The top-level move
+/// counters aggregate across chains; `trajectory` and `temperature_steps`
+/// are the winning chain's (per-chain views live in `chains`).
 template <typename State>
 struct AnnealResult {
   State best_state{};
@@ -105,6 +154,13 @@ struct AnnealResult {
   /// (temperature, best-cost) samples: one per temperature step, decimated
   /// to every k-th step once options.trajectory_max_samples is exceeded.
   std::vector<std::pair<double, double>> trajectory;
+  /// Index (into `chains`) of the chain that produced best_state.
+  std::size_t winning_chain = 0;
+  /// Replica-exchange bookkeeping (parallel tempering; zero otherwise).
+  std::size_t swap_attempts = 0;
+  std::size_t swap_accepts = 0;
+  /// One entry per chain, in chain order.
+  std::vector<AnnealChainStats> chains;
 };
 
 /// Estimates an initial temperature such that uphill moves are accepted with
@@ -138,6 +194,253 @@ template <AnnealProblem P>
   return mean_uphill / -std::log(target_acceptance);
 }
 
+namespace detail {
+
+/// The chain's mutable per-move storage: the problem's Scratch when it
+/// supports in-place moves, a plain State copy otherwise.  (A trait rather
+/// than std::conditional_t because `typename P::Scratch` must not be named
+/// at all for copy-only problems.)
+template <typename P, bool InPlace = InPlaceAnnealProblem<P>>
+struct AnnealStorage {
+  using type = typename P::State;
+};
+template <typename P>
+struct AnnealStorage<P, true> {
+  using type = typename P::Scratch;
+};
+
+}  // namespace detail
+
+/// One resumable Metropolis chain.  Construction consumes `rng` exactly as
+/// the classic one-shot engine did (initial solution, then calibration when
+/// requested); each step() call then runs one temperature step —
+/// moves_per_temperature Metropolis moves plus trajectory, stall, and
+/// cooling bookkeeping — and returns false once the chain has stopped.
+/// Driving a chain with `while (chain.step()) {}` therefore reproduces the
+/// one-shot anneal() bit for bit.
+///
+/// Chains are also the unit of replica exchange: `exchange()` swaps two
+/// chains' walker configurations (state + current cost) while each keeps its
+/// own temperature, rng, and schedule position — the parallel-tempering
+/// driver's only coupling point.
+template <AnnealProblem P>
+class AnnealChain {
+ public:
+  using State = typename P::State;
+  using Storage = typename detail::AnnealStorage<P>::type;
+
+  /// `rng`, `problem`, `options`, and `schedule` must outlive the chain.
+  /// `temperature_scale` multiplies the (possibly calibrated) initial
+  /// temperature — the tempering ladder's spacing knob; 1.0 reproduces the
+  /// classic single-chain start.
+  AnnealChain(const P& problem, Rng& rng, const AnnealOptions& options,
+              const CoolingSchedule& schedule, double temperature_scale = 1.0)
+      : problem_(&problem),
+        rng_(&rng),
+        options_(&options),
+        schedule_(&schedule) {
+    require(options.final_temperature > 0.0,
+            "anneal: final_temperature must be positive");
+    require(options.moves_per_temperature > 0,
+            "anneal: moves_per_temperature must be positive");
+    State initial_state = problem.initial(rng);
+    current_cost_ = problem.cost(initial_state);
+    result_.best_cost = current_cost_;
+    if constexpr (!DeferredBestAnnealProblem<P>) {
+      result_.best_state = initial_state;
+    }
+    if constexpr (InPlaceAnnealProblem<P>) {
+      storage_.emplace(problem.make_scratch(std::move(initial_state)));
+    } else {
+      storage_.emplace(std::move(initial_state));
+    }
+    temperature_ = options.initial_temperature;
+    if (temperature_ <= 0.0) {
+      temperature_ = calibrate_initial_temperature(
+          problem, rng, options.calibration_acceptance,
+          options.calibration_samples);
+    }
+    temperature_ *= temperature_scale;
+  }
+
+  /// Runs one temperature step; returns false (touching nothing) once the
+  /// chain is stopped — schedule exhausted (T below final or the step cap
+  /// reached) or stalled.
+  bool step() {
+    if (stop_ != StopReason::kRunning) return false;
+    if (!(temperature_ > options_->final_temperature &&
+          result_.temperature_steps < options_->max_temperature_steps)) {
+      stop_ = StopReason::kSchedule;
+      return false;
+    }
+    // Per-temperature-stage span (not per move): the disabled-path cost is
+    // one relaxed load per moves_per_temperature Metropolis steps.
+    VODREP_TRACE_SCOPE("anneal.temp_step");
+    std::size_t accepted = 0;
+    const double best_before = result_.best_cost;
+    for (std::size_t m = 0; m < options_->moves_per_temperature; ++m) {
+      if (metropolis_step()) ++accepted;
+    }
+    result_.moves_accepted += accepted;
+    const std::size_t step_index = result_.temperature_steps++;
+
+    // Bounded trajectory: sample every trajectory_stride-th step; on hitting
+    // the cap drop every other stored sample and double the stride.  Stored
+    // steps are always the multiples of the current stride.
+    if (step_index % trajectory_stride_ == 0) {
+      if (options_->trajectory_max_samples != 0 &&
+          result_.trajectory.size() >= options_->trajectory_max_samples) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < result_.trajectory.size(); i += 2) {
+          result_.trajectory[kept++] = result_.trajectory[i];
+        }
+        result_.trajectory.resize(kept);
+        trajectory_stride_ *= 2;
+      }
+      if (step_index % trajectory_stride_ == 0) {
+        result_.trajectory.emplace_back(temperature_, result_.best_cost);
+      }
+    }
+
+    stall_ = result_.best_cost < best_before ? 0 : stall_ + 1;
+    if (options_->stall_steps != 0 && stall_ >= options_->stall_steps) {
+      stop_ = StopReason::kStall;
+      return false;
+    }
+
+    info_.step = result_.temperature_steps;
+    info_.moves = options_->moves_per_temperature;
+    info_.accepted = accepted;
+    info_.best_cost = result_.best_cost;
+    info_.current_cost = current_cost_;
+    const double next_temperature = schedule_->next(temperature_, info_);
+    require(next_temperature < temperature_,
+            "anneal: cooling schedule failed to decrease the temperature");
+    temperature_ = next_temperature;
+    return true;
+  }
+
+  [[nodiscard]] bool active() const { return stop_ == StopReason::kRunning; }
+  [[nodiscard]] double temperature() const { return temperature_; }
+  [[nodiscard]] double current_cost() const { return current_cost_; }
+  [[nodiscard]] double best_cost() const { return result_.best_cost; }
+  [[nodiscard]] std::size_t swaps_accepted() const { return swaps_accepted_; }
+
+  /// Replica exchange: swaps the two chains' walkers — the mutable state,
+  /// its current cost, and the walker's best-so-far tracking (which lives
+  /// with the walker: for deferred-best problems the best is a mark inside
+  /// the scratch and must travel with it) — while each chain keeps its
+  /// temperature, rng, and schedule position.  Both chains restart their
+  /// stall clocks; a chain that had stopped on stall — but not one whose
+  /// schedule is exhausted — resumes with the fresh material.
+  static void exchange(AnnealChain& a, AnnealChain& b) {
+    using std::swap;
+    swap(a.storage_, b.storage_);
+    swap(a.current_cost_, b.current_cost_);
+    swap(a.result_.best_cost, b.result_.best_cost);
+    if constexpr (!DeferredBestAnnealProblem<P>) {
+      swap(a.result_.best_state, b.result_.best_state);
+    }
+    a.on_incoming();
+    b.on_incoming();
+    ++a.swaps_accepted_;
+    ++b.swaps_accepted_;
+  }
+
+  /// Finalizes and returns the chain's result; the chain is spent afterwards.
+  [[nodiscard]] AnnealResult<State> take_result() {
+    result_.final_temperature = temperature_;
+    if constexpr (DeferredBestAnnealProblem<P>) {
+      result_.best_state = problem_->extract_best(*storage_);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  enum class StopReason { kRunning, kSchedule, kStall };
+
+  /// One Metropolis move at the current temperature; true when accepted.
+  bool metropolis_step() {
+    Rng& rng = *rng_;
+    if constexpr (InPlaceAnnealProblem<P>) {
+      if (!problem_->propose(*storage_, rng)) {
+        ++result_.moves_noop;  // nothing applied, nothing to evaluate
+        return false;
+      }
+      ++result_.moves_proposed;
+      const double delta = problem_->delta_cost(*storage_);
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature_)) {
+        problem_->commit(*storage_);
+        current_cost_ += delta;
+        if (current_cost_ < result_.best_cost) {
+          result_.best_cost = current_cost_;
+          // Deferred-best problems record the improvement inside commit();
+          // copying a State snapshot here would be the hot loop's only O(M)
+          // work, so skip it and extract once in take_result().
+          if constexpr (!DeferredBestAnnealProblem<P>) {
+            result_.best_state = problem_->extract(*storage_);
+          }
+        }
+        return true;
+      }
+      problem_->revert(*storage_);
+      return false;
+    } else {
+      typename P::State candidate = problem_->neighbor(*storage_, rng);
+      const double candidate_cost = problem_->cost(candidate);
+      const double delta = candidate_cost - current_cost_;
+      ++result_.moves_proposed;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature_)) {
+        *storage_ = std::move(candidate);
+        current_cost_ = candidate_cost;
+        if (current_cost_ < result_.best_cost) {
+          result_.best_cost = current_cost_;
+          result_.best_state = *storage_;
+        }
+        return true;
+      }
+      return false;
+    }
+  }
+
+  void on_incoming() {
+    stall_ = 0;
+    if (stop_ == StopReason::kStall) stop_ = StopReason::kRunning;
+  }
+
+  const P* problem_;
+  Rng* rng_;
+  const AnnealOptions* options_;
+  const CoolingSchedule* schedule_;
+  // optional<> because Storage (a problem's Scratch) need not be
+  // default-constructible; always engaged after construction.
+  std::optional<Storage> storage_;
+  AnnealResult<State> result_;
+  double current_cost_ = 0.0;
+  double temperature_ = 0.0;
+  std::size_t stall_ = 0;
+  std::size_t trajectory_stride_ = 1;
+  std::size_t swaps_accepted_ = 0;
+  StopReason stop_ = StopReason::kRunning;
+  CoolingStepInfo info_;
+};
+
+/// Copies a finished chain result's counters into a per-chain stats entry.
+template <typename State>
+[[nodiscard]] AnnealChainStats chain_stats_of(const AnnealResult<State>& r,
+                                              std::size_t swaps_accepted = 0) {
+  AnnealChainStats stats;
+  stats.best_cost = r.best_cost;
+  stats.final_temperature = r.final_temperature;
+  stats.temperature_steps = r.temperature_steps;
+  stats.moves_proposed = r.moves_proposed;
+  stats.moves_accepted = r.moves_accepted;
+  stats.moves_noop = r.moves_noop;
+  stats.swaps_accepted = swaps_accepted;
+  stats.trajectory = r.trajectory;
+  return stats;
+}
+
 /// Runs simulated annealing and returns the best state encountered.
 /// Deterministic given `rng`'s seed.  Problems satisfying
 /// InPlaceAnnealProblem are driven through the allocation-free
@@ -147,121 +450,13 @@ template <AnnealProblem P>
 [[nodiscard]] AnnealResult<typename P::State> anneal(
     const P& problem, Rng& rng, const AnnealOptions& options,
     const CoolingSchedule& schedule) {
-  require(options.final_temperature > 0.0,
-          "anneal: final_temperature must be positive");
-  require(options.moves_per_temperature > 0,
-          "anneal: moves_per_temperature must be positive");
   VODREP_TRACE_SCOPE("anneal.run");
-
-  AnnealResult<typename P::State> result;
-  typename P::State initial_state = problem.initial(rng);
-  double current_cost = problem.cost(initial_state);
-  result.best_state = initial_state;
-  result.best_cost = current_cost;
-
-  // The chain's mutable state: the problem's Scratch when it supports
-  // in-place moves, a plain State copy otherwise.
-  auto chain = [&] {
-    if constexpr (InPlaceAnnealProblem<P>) {
-      return problem.make_scratch(std::move(initial_state));
-    } else {
-      return std::move(initial_state);
-    }
-  }();
-
-  /// One Metropolis step at `temperature`; returns whether it was accepted.
-  auto metropolis_step = [&](double temperature) {
-    if constexpr (InPlaceAnnealProblem<P>) {
-      if (!problem.propose(chain, rng)) {
-        ++result.moves_noop;  // nothing applied, nothing to evaluate
-        return false;
-      }
-      ++result.moves_proposed;
-      const double delta = problem.delta_cost(chain);
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-        problem.commit(chain);
-        current_cost += delta;
-        if (current_cost < result.best_cost) {
-          result.best_cost = current_cost;
-          result.best_state = problem.extract(chain);
-        }
-        return true;
-      }
-      problem.revert(chain);
-      return false;
-    } else {
-      typename P::State candidate = problem.neighbor(chain, rng);
-      const double candidate_cost = problem.cost(candidate);
-      const double delta = candidate_cost - current_cost;
-      ++result.moves_proposed;
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-        chain = std::move(candidate);
-        current_cost = candidate_cost;
-        if (current_cost < result.best_cost) {
-          result.best_cost = current_cost;
-          result.best_state = chain;
-        }
-        return true;
-      }
-      return false;
-    }
-  };
-
-  double temperature = options.initial_temperature;
-  if (temperature <= 0.0) {
-    temperature = calibrate_initial_temperature(
-        problem, rng, options.calibration_acceptance,
-        options.calibration_samples);
+  AnnealChain<P> chain(problem, rng, options, schedule);
+  while (chain.step()) {
   }
-
-  std::size_t stall = 0;
-  std::size_t trajectory_stride = 1;
-  CoolingStepInfo info;
-  while (temperature > options.final_temperature &&
-         result.temperature_steps < options.max_temperature_steps) {
-    // Per-temperature-stage span (not per move): the disabled-path cost is
-    // one relaxed load per moves_per_temperature Metropolis steps.
-    VODREP_TRACE_SCOPE("anneal.temp_step");
-    std::size_t accepted = 0;
-    const double best_before = result.best_cost;
-    for (std::size_t m = 0; m < options.moves_per_temperature; ++m) {
-      if (metropolis_step(temperature)) ++accepted;
-    }
-    result.moves_accepted += accepted;
-    const std::size_t step_index = result.temperature_steps++;
-
-    // Bounded trajectory: sample every trajectory_stride-th step; on hitting
-    // the cap drop every other stored sample and double the stride.  Stored
-    // steps are always the multiples of the current stride.
-    if (step_index % trajectory_stride == 0) {
-      if (options.trajectory_max_samples != 0 &&
-          result.trajectory.size() >= options.trajectory_max_samples) {
-        std::size_t kept = 0;
-        for (std::size_t i = 0; i < result.trajectory.size(); i += 2) {
-          result.trajectory[kept++] = result.trajectory[i];
-        }
-        result.trajectory.resize(kept);
-        trajectory_stride *= 2;
-      }
-      if (step_index % trajectory_stride == 0) {
-        result.trajectory.emplace_back(temperature, result.best_cost);
-      }
-    }
-
-    stall = result.best_cost < best_before ? 0 : stall + 1;
-    if (options.stall_steps != 0 && stall >= options.stall_steps) break;
-
-    info.step = result.temperature_steps;
-    info.moves = options.moves_per_temperature;
-    info.accepted = accepted;
-    info.best_cost = result.best_cost;
-    info.current_cost = current_cost;
-    const double next_temperature = schedule.next(temperature, info);
-    require(next_temperature < temperature,
-            "anneal: cooling schedule failed to decrease the temperature");
-    temperature = next_temperature;
-  }
-  result.final_temperature = temperature;
+  AnnealResult<typename P::State> result = chain.take_result();
+  result.chains.push_back(chain_stats_of(result));
+  result.winning_chain = 0;
   return result;
 }
 
@@ -277,8 +472,8 @@ template <AnnealProblem P>
 /// library the paper builds on: K independent Metropolis chains run from
 /// different seeds (on `pool` when provided) and the best final solution
 /// wins.  Deterministic in `base_seed` regardless of thread count.  The
-/// returned instrumentation aggregates move counts across chains and keeps
-/// the winning chain's trajectory.
+/// returned instrumentation aggregates move counts across chains, keeps the
+/// winning chain's trajectory, and reports per-chain views in `chains`.
 template <AnnealProblem P>
 [[nodiscard]] AnnealResult<typename P::State> anneal_multichain(
     const P& problem, std::uint64_t base_seed, std::size_t chains,
@@ -299,16 +494,21 @@ template <AnnealProblem P>
   std::size_t moves_proposed = 0;
   std::size_t moves_accepted = 0;
   std::size_t moves_noop = 0;
+  std::vector<AnnealChainStats> stats;
+  stats.reserve(chains);
   for (std::size_t chain = 0; chain < chains; ++chain) {
     moves_proposed += results[chain].moves_proposed;
     moves_accepted += results[chain].moves_accepted;
     moves_noop += results[chain].moves_noop;
+    stats.push_back(chain_stats_of(results[chain]));
     if (results[chain].best_cost < results[best].best_cost) best = chain;
   }
   AnnealResult<typename P::State> winner = std::move(results[best]);
   winner.moves_proposed = moves_proposed;
   winner.moves_accepted = moves_accepted;
   winner.moves_noop = moves_noop;
+  winner.winning_chain = best;
+  winner.chains = std::move(stats);
   return winner;
 }
 

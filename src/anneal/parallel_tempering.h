@@ -1,0 +1,192 @@
+// Parallel tempering (replica exchange) on top of the AnnealChain engine.
+//
+// K Metropolis chains run the same problem at staggered initial temperatures
+// (chain k starts at T0 * temperature_spread^k).  Every `swap_period`
+// temperature steps the chains synchronize and adjacent pairs attempt a
+// replica exchange under the standard Metropolis rule for minimization:
+//
+//   A = min(1, exp((1/T_i - 1/T_j) * (C_i - C_j)))
+//
+// so a hotter chain that stumbled onto a better configuration hands it down
+// the ladder with probability 1, while the reverse hand-up is throttled by
+// the temperature gap.  Hot chains thus keep jumping barriers the cold
+// chains cannot cross, and the cold chains refine whatever percolates down.
+//
+// Determinism: each chain owns its Rng, seeded from (base_seed, chain
+// index), and advances it only inside its own superstep; the exchange phase
+// runs serially on the caller thread with a dedicated swap Rng that draws
+// exactly one uniform per attempted pair.  The reduction picks the minimum
+// best cost with ties broken by lowest chain index.  The result is therefore
+// bit-identical for a fixed (seed, chains, swap_period) regardless of
+// thread-pool size or scheduling — chains never share mutable state, and
+// the swap phase is a barrier.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/anneal/annealer.h"
+#include "src/anneal/schedule.h"
+#include "src/obs/trace.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace vodrep {
+
+/// Deterministic per-chain seed.  Chain 0 reuses `base_seed` verbatim so a
+/// one-chain tempering run reproduces anneal(problem, Rng(base_seed), ...)
+/// bit for bit (the K=1 equivalence tests pin this).  Distinct from the
+/// anneal_multichain formula, which its own tests pin.
+[[nodiscard]] inline std::uint64_t pt_chain_seed(std::uint64_t base_seed,
+                                                 std::size_t chain) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(chain));
+}
+
+/// Trace lane name for chain k.  TraceEvent stores `const char*` with static
+/// storage duration, so the names are a fixed literal table; chains beyond
+/// the table share one overflow lane.
+[[nodiscard]] inline const char* pt_chain_lane(std::size_t chain) {
+  static constexpr const char* kLanes[] = {
+      "sa.chain.0",  "sa.chain.1",  "sa.chain.2",  "sa.chain.3",
+      "sa.chain.4",  "sa.chain.5",  "sa.chain.6",  "sa.chain.7",
+      "sa.chain.8",  "sa.chain.9",  "sa.chain.10", "sa.chain.11",
+      "sa.chain.12", "sa.chain.13", "sa.chain.14", "sa.chain.15",
+      "sa.chain.16", "sa.chain.17", "sa.chain.18", "sa.chain.19",
+      "sa.chain.20", "sa.chain.21", "sa.chain.22", "sa.chain.23",
+      "sa.chain.24", "sa.chain.25", "sa.chain.26", "sa.chain.27",
+      "sa.chain.28", "sa.chain.29", "sa.chain.30", "sa.chain.31",
+  };
+  constexpr std::size_t kCount = sizeof(kLanes) / sizeof(kLanes[0]);
+  return chain < kCount ? kLanes[chain] : "sa.chain.32+";
+}
+
+/// Runs options.chains tempering chains (on `pool` when provided) and
+/// returns the deterministic reduction: minimum best cost, ties to the
+/// lowest chain index.  Top-level move counters aggregate across chains;
+/// `temperature_steps`, `final_temperature`, and `trajectory` are the
+/// winning chain's own, and `chains` holds every chain's stats.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal_parallel_tempering(
+    const P& problem, std::uint64_t base_seed, const AnnealOptions& options,
+    const CoolingSchedule& schedule, ThreadPool* pool = nullptr) {
+  const std::size_t k = options.chains;
+  require(k >= 1, "anneal_parallel_tempering: need at least one chain");
+  require(options.swap_period >= 1,
+          "anneal_parallel_tempering: swap_period must be positive");
+  require(options.temperature_spread >= 1.0,
+          "anneal_parallel_tempering: temperature_spread must be >= 1");
+  VODREP_TRACE_SCOPE("anneal.pt.run");
+
+  // Each chain owns its Rng for its whole lifetime; the vector is sized up
+  // front so the pointers the chains hold stay stable.
+  std::vector<Rng> rngs;
+  rngs.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    rngs.emplace_back(pt_chain_seed(base_seed, c));
+  }
+
+  std::vector<std::optional<AnnealChain<P>>> chains(k);
+  auto construct = [&](std::size_t c) {
+    VODREP_TRACE_SCOPE(pt_chain_lane(c));
+    chains[c].emplace(
+        problem, rngs[c], options, schedule,
+        std::pow(options.temperature_spread, static_cast<double>(c)));
+  };
+  // A one-worker pool would only add queue/wake latency per superstep, so it
+  // runs inline like the no-pool case (output is identical either way).
+  auto for_each_chain = [&](auto&& body) {
+    if (pool != nullptr && pool->size() > 1 && k > 1) {
+      pool->parallel_for(k, body);
+    } else {
+      for (std::size_t c = 0; c < k; ++c) body(c);
+    }
+  };
+  for_each_chain(construct);
+
+  // Superstep loop: every chain advances up to swap_period temperature steps
+  // in parallel (stopping early if its own schedule or stall predicate
+  // fires), then the caller thread runs the serial exchange phase.  Pair
+  // parity alternates per round so configurations can travel the whole
+  // ladder.  The swap Rng always draws exactly one uniform per pair, keeping
+  // its stream independent of the chains' costs.
+  Rng swap_rng(base_seed ^ 0xd1b54a32d192ed03ULL);
+  std::size_t swap_attempts = 0;
+  std::size_t swap_accepts = 0;
+  auto any_active = [&] {
+    for (const auto& chain : chains) {
+      if (chain->active()) return true;
+    }
+    return false;
+  };
+  auto superstep = [&](std::size_t c) {
+    VODREP_TRACE_SCOPE(pt_chain_lane(c));
+    AnnealChain<P>& chain = *chains[c];
+    for (std::size_t i = 0; i < options.swap_period && chain.step(); ++i) {
+    }
+  };
+  for (std::size_t round = 0; any_active(); ++round) {
+    for_each_chain(superstep);
+    for (std::size_t lo = round % 2; lo + 1 < k; lo += 2) {
+      AnnealChain<P>& cold = *chains[lo];
+      AnnealChain<P>& hot = *chains[lo + 1];
+      ++swap_attempts;
+      const double exponent =
+          (1.0 / cold.temperature() - 1.0 / hot.temperature()) *
+          (cold.current_cost() - hot.current_cost());
+      const double u = swap_rng.uniform();
+      if (exponent >= 0.0 || u < std::exp(exponent)) {
+        AnnealChain<P>::exchange(cold, hot);
+        ++swap_accepts;
+      }
+    }
+  }
+
+  std::vector<std::size_t> swaps_by_chain(k);
+  std::vector<AnnealResult<typename P::State>> results;
+  results.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    swaps_by_chain[c] = chains[c]->swaps_accepted();
+    results.push_back(chains[c]->take_result());
+  }
+  std::size_t winner = 0;
+  for (std::size_t c = 1; c < k; ++c) {
+    if (results[c].best_cost < results[winner].best_cost) winner = c;
+  }
+
+  AnnealResult<typename P::State> out;
+  out.best_cost = results[winner].best_cost;
+  out.final_temperature = results[winner].final_temperature;
+  out.temperature_steps = results[winner].temperature_steps;
+  out.trajectory = results[winner].trajectory;
+  out.winning_chain = winner;
+  out.swap_attempts = swap_attempts;
+  out.swap_accepts = swap_accepts;
+  out.chains.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    out.moves_proposed += results[c].moves_proposed;
+    out.moves_accepted += results[c].moves_accepted;
+    out.moves_noop += results[c].moves_noop;
+    AnnealChainStats stats = chain_stats_of(results[c], swaps_by_chain[c]);
+    stats.trajectory = std::move(results[c].trajectory);
+    out.chains.push_back(std::move(stats));
+  }
+  out.best_state = std::move(results[winner].best_state);
+  return out;
+}
+
+/// Convenience overload with geometric(0.95) cooling.
+template <AnnealProblem P>
+[[nodiscard]] AnnealResult<typename P::State> anneal_parallel_tempering(
+    const P& problem, std::uint64_t base_seed, const AnnealOptions& options = {},
+    ThreadPool* pool = nullptr) {
+  const auto schedule = geometric_cooling(0.95);
+  return anneal_parallel_tempering(problem, base_seed, options, *schedule,
+                                   pool);
+}
+
+}  // namespace vodrep

@@ -315,7 +315,9 @@ AuditReport LayoutAuditor::audit_solution(const ScalableProblem& problem,
 AuditReport LayoutAuditor::audit_state(const IncrementalState& state,
                                        double drift_tolerance) {
   const ScalableProblem& problem = state.problem();
-  const ScalableSolution& solution = state.solution();
+  // The SoA state keeps no solution object live; materialize one snapshot
+  // and run every structural + drift check against it.
+  const ScalableSolution solution = state.to_solution();
   AuditReport report = audit_solution(problem, solution);
 
   const FreshUsage usage = recompute_usage(problem, solution);

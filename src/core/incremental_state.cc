@@ -9,14 +9,22 @@
 
 namespace vodrep {
 
+namespace {
+constexpr std::size_t kIndexLimit = 0xffffffffULL;
+}  // namespace
+
 IncrementalState::IncrementalState(const ScalableProblem& problem,
                                    ScalableSolution solution)
     : problem_(&problem),
-      solution_(std::move(solution)),
-      num_servers_(problem.cluster.num_servers) {
+      num_servers_(problem.cluster.num_servers),
+      bandwidth_cap_bps_(problem.cluster.bandwidth_bps_per_server),
+      storage_cap_bytes_(problem.cluster.storage_bytes_per_server) {
   const std::size_t m = problem.videos.count();
-  require(solution_.bitrate_index.size() == m && solution_.placement.size() == m,
+  require(solution.bitrate_index.size() == m && solution.placement.size() == m,
           "IncrementalState: solution/problem size mismatch");
+  require(m < kIndexLimit && num_servers_ < kIndexLimit &&
+              problem.ladder.size() < kIndexLimit,
+          "IncrementalState: index exceeds the 32-bit SoA layout");
 
   slot_bytes_.reserve(problem.ladder.size());
   slot_mbps_.reserve(problem.ladder.size());
@@ -30,72 +38,170 @@ IncrementalState::IncrementalState(const ScalableProblem& problem,
                              problem.videos.popularity[i]);
   }
 
+  bitrate_index_.resize(m);
+  replica_count_.assign(m, 0);
+  replica_server_.assign(m * kInlineReplicas, 0);
+  replica_pos_.assign(m * kInlineReplicas, 0);
+  spill_server_.resize(m);
+  spill_pos_.resize(m);
   storage_bytes_.assign(num_servers_, 0.0);
   bandwidth_bps_.assign(num_servers_, 0.0);
   server_videos_.resize(num_servers_);
-  host_pos_.assign(m * num_servers_, kNoPos);
 
   for (std::size_t i = 0; i < m; ++i) {
-    const auto& servers = solution_.placement[i];
+    const auto& servers = solution.placement[i];
     require(!servers.empty(), "IncrementalState: video with no replica");
-    const std::size_t idx = solution_.bitrate_index[i];
+    const std::size_t idx = solution.bitrate_index[i];
     require(idx < problem.ladder.size(),
             "IncrementalState: ladder index out of range");
+    bitrate_index_[i] = static_cast<std::uint32_t>(idx);
     const double per_replica_bps =
         peak_requests_[i] / static_cast<double>(servers.size()) *
         problem.ladder.rates_bps[idx];
+    const auto video = static_cast<std::uint32_t>(i);
     for (std::size_t s : servers) {
       require(s < num_servers_, "IncrementalState: server index out of range");
-      require(host_pos_[i * num_servers_ + s] == kNoPos,
-              "IncrementalState: duplicate replica");
+      require(!is_hosted(i, s), "IncrementalState: duplicate replica");
       storage_bytes_[s] += slot_bytes_[idx];
       bandwidth_bps_[s] += per_replica_bps;
-      host_pos_[i * num_servers_ + s] = server_videos_[s].size();
-      server_videos_[s].push_back(i);
+      push_replica(video, static_cast<std::uint32_t>(s),
+                   static_cast<std::uint32_t>(server_videos_[s].size()));
+      server_videos_[s].push_back(video);
     }
     rate_sum_mbps_ += slot_mbps_[idx];
     replica_sum_ += servers.size();
   }
 
-  const double cap = problem.cluster.bandwidth_bps_per_server;
   for (std::size_t s = 0; s < num_servers_; ++s) {
     total_load_bps_ += bandwidth_bps_[s];
-    if (bandwidth_bps_[s] > cap) {
-      overflow_sum_ += (bandwidth_bps_[s] - cap) / cap;
+    if (bandwidth_bps_[s] > bandwidth_cap_bps_) {
+      overflow_sum_ += (bandwidth_bps_[s] - bandwidth_cap_bps_) /
+                       bandwidth_cap_bps_;
       ++overflow_count_;
     }
+    if (storage_bytes_[s] > storage_cap_bytes_) ++storage_over_count_;
     if (bandwidth_bps_[s] > bandwidth_bps_[max_server_]) max_server_ = s;
   }
 }
 
+ScalableSolution IncrementalState::to_solution() const {
+  ScalableSolution solution;
+  const std::size_t m = num_videos();
+  solution.bitrate_index.assign(bitrate_index_.begin(), bitrate_index_.end());
+  solution.placement.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::span<const std::uint32_t> servers = replicas_of(i);
+    solution.placement[i].assign(servers.begin(), servers.end());
+  }
+  return solution;
+}
+
+std::pair<std::uint32_t*, std::uint32_t*> IncrementalState::replica_arrays(
+    std::uint32_t video) {
+  if (replica_count_[video] <= kInlineReplicas) {
+    return {&replica_server_[static_cast<std::size_t>(video) * kInlineReplicas],
+            &replica_pos_[static_cast<std::size_t>(video) * kInlineReplicas]};
+  }
+  return {spill_server_[video].data(), spill_pos_[video].data()};
+}
+
+std::size_t IncrementalState::find_replica(std::uint32_t video,
+                                           std::uint32_t server) const {
+  const std::span<const std::uint32_t> servers = replicas_of(video);
+  for (std::size_t j = 0; j < servers.size(); ++j) {
+    if (servers[j] == server) return j;
+  }
+  return servers.size();
+}
+
+void IncrementalState::push_replica(std::uint32_t video, std::uint32_t server,
+                                    std::uint32_t pos) {
+  const std::uint32_t count = replica_count_[video];
+  const std::size_t base = static_cast<std::size_t>(video) * kInlineReplicas;
+  if (count < kInlineReplicas) {
+    replica_server_[base + count] = server;
+    replica_pos_[base + count] = pos;
+  } else {
+    std::vector<std::uint32_t>& servers = spill_server_[video];
+    std::vector<std::uint32_t>& positions = spill_pos_[video];
+    if (count == kInlineReplicas) {
+      // Crossing the strip boundary: the whole set moves to the heap (the
+      // vectors keep their capacity across spill/un-spill round trips).
+      servers.assign(&replica_server_[base],
+                     &replica_server_[base + kInlineReplicas]);
+      positions.assign(&replica_pos_[base],
+                       &replica_pos_[base + kInlineReplicas]);
+    }
+    servers.push_back(server);
+    positions.push_back(pos);
+  }
+  replica_count_[video] = count + 1;
+}
+
+void IncrementalState::remove_replica_at(std::uint32_t video,
+                                         std::size_t index) {
+  const std::uint32_t count = replica_count_[video];
+  VODREP_DCHECK_LT(index, static_cast<std::size_t>(count),
+                   "remove_replica_at: index out of range");
+  if (count <= kInlineReplicas) {
+    const std::size_t base = static_cast<std::size_t>(video) * kInlineReplicas;
+    replica_server_[base + index] = replica_server_[base + count - 1];
+    replica_pos_[base + index] = replica_pos_[base + count - 1];
+  } else {
+    std::vector<std::uint32_t>& servers = spill_server_[video];
+    std::vector<std::uint32_t>& positions = spill_pos_[video];
+    servers[index] = servers.back();
+    positions[index] = positions.back();
+    servers.pop_back();
+    positions.pop_back();
+    if (count - 1 == kInlineReplicas) {
+      // Back at the strip boundary: copy the set inline and keep the spill
+      // capacity around for the next excursion.
+      const std::size_t base =
+          static_cast<std::size_t>(video) * kInlineReplicas;
+      std::copy(servers.begin(), servers.end(), &replica_server_[base]);
+      std::copy(positions.begin(), positions.end(), &replica_pos_[base]);
+      servers.clear();
+      positions.clear();
+    }
+  }
+  replica_count_[video] = count - 1;
+}
+
 void IncrementalState::add_load(std::size_t server, double delta) {
-  const double cap = problem_->cluster.bandwidth_bps_per_server;
+  const double cap = bandwidth_cap_bps_;
   const double before = bandwidth_bps_[server];
   const double after = before + delta;
   bandwidth_bps_[server] = after;
   total_load_bps_ += delta;
 
+  // Branch-free overflow accounting: the ternaries compile to conditional
+  // selects, and the unsigned count update wraps correctly for -1/0/+1.
   const double over_before = before > cap ? (before - cap) / cap : 0.0;
   const double over_after = after > cap ? (after - cap) / cap : 0.0;
-  if (over_before > 0.0 && over_after == 0.0) {
-    --overflow_count_;
-  } else if (over_before == 0.0 && over_after > 0.0) {
-    ++overflow_count_;
-  }
+  overflow_count_ += static_cast<std::size_t>(over_after > 0.0) -
+                     static_cast<std::size_t>(over_before > 0.0);
   overflow_sum_ += over_after - over_before;
   // With no overflowing server the penalty is exactly zero; resetting here
   // discards the drift accumulated across past excursions over the cap.
-  if (overflow_count_ == 0) overflow_sum_ = 0.0;
+  overflow_sum_ = overflow_count_ == 0 ? 0.0 : overflow_sum_;
 
-  if (!max_dirty_) {
-    if (server == max_server_) {
-      // The max server's load fell: some other server may now lead.  Defer
-      // the O(N) re-scan until the max is actually needed.
-      if (delta < 0.0) max_dirty_ = true;
-    } else if (after > bandwidth_bps_[max_server_]) {
-      max_server_ = server;
-    }
-  }
+  // Branchless lazy max: a shrinking max server defers the O(N) re-scan; a
+  // growing non-max server takes the lead immediately.
+  const bool is_max = server == max_server_;
+  max_dirty_ = max_dirty_ || (is_max && delta < 0.0);
+  const bool take_lead =
+      !max_dirty_ && !is_max && after > bandwidth_bps_[max_server_];
+  max_server_ = take_lead ? server : max_server_;
+}
+
+void IncrementalState::add_storage(std::size_t server, double delta) {
+  const double cap = storage_cap_bytes_;
+  const double before = storage_bytes_[server];
+  const double after = before + delta;
+  storage_bytes_[server] = after;
+  storage_over_count_ += static_cast<std::size_t>(after > cap) -
+                         static_cast<std::size_t>(before > cap);
 }
 
 double IncrementalState::max_bandwidth_bps() const {
@@ -110,81 +216,92 @@ double IncrementalState::max_bandwidth_bps() const {
   return bandwidth_bps_[max_server_];
 }
 
-void IncrementalState::apply_set_bitrate(std::size_t video,
-                                         std::size_t ladder_index,
+void IncrementalState::apply_set_bitrate(std::uint32_t video,
+                                         std::uint32_t ladder_index,
                                          bool journal) {
-  const std::size_t prev = solution_.bitrate_index[video];
+  const std::uint32_t prev = bitrate_index_[video];
   if (prev == ladder_index) return;
   if (journal) journal_.push_back({Op::kSetBitrate, video, prev});
 
-  const auto& servers = solution_.placement[video];
+  const std::span<const std::uint32_t> servers = replicas_of(video);
   const auto replicas = static_cast<double>(servers.size());
   const double delta_bytes = slot_bytes_[ladder_index] - slot_bytes_[prev];
   const double delta_bps =
       peak_requests_[video] / replicas *
       (problem_->ladder.rates_bps[ladder_index] -
        problem_->ladder.rates_bps[prev]);
-  for (std::size_t s : servers) {
-    storage_bytes_[s] += delta_bytes;
+  for (std::uint32_t s : servers) {
+    add_storage(s, delta_bytes);
     add_load(s, delta_bps);
   }
   rate_sum_mbps_ += slot_mbps_[ladder_index] - slot_mbps_[prev];
-  solution_.bitrate_index[video] = ladder_index;
+  bitrate_index_[video] = ladder_index;
 }
 
-void IncrementalState::apply_add_replica(std::size_t video, std::size_t server,
-                                         bool journal) {
+void IncrementalState::apply_add_replica(std::uint32_t video,
+                                         std::uint32_t server, bool journal) {
   if (journal) journal_.push_back({Op::kAddReplica, video, server});
 
-  auto& servers = solution_.placement[video];
-  const std::size_t idx = solution_.bitrate_index[video];
+  const std::uint32_t idx = bitrate_index_[video];
   const double rate = problem_->ladder.rates_bps[idx];
-  const auto r_old = static_cast<double>(servers.size());
+  const auto r_old = static_cast<double>(replica_count_[video]);
   const double per_old = peak_requests_[video] / r_old * rate;
   const double per_new = peak_requests_[video] / (r_old + 1.0) * rate;
   // Adding a host redistributes this video's requests over r+1 replicas, so
   // every existing host sheds a share of its load.
-  for (std::size_t s : servers) add_load(s, per_new - per_old);
-  servers.push_back(server);
-  storage_bytes_[server] += slot_bytes_[idx];
+  for (std::uint32_t s : replicas_of(video)) add_load(s, per_new - per_old);
+  add_storage(server, slot_bytes_[idx]);
   add_load(server, per_new);
-  host_pos_[video * num_servers_ + server] = server_videos_[server].size();
+  push_replica(video, server,
+               static_cast<std::uint32_t>(server_videos_[server].size()));
   server_videos_[server].push_back(video);
   ++replica_sum_;
 }
 
-void IncrementalState::apply_drop_replica(std::size_t video, std::size_t server,
-                                          bool journal) {
+void IncrementalState::apply_drop_replica(std::uint32_t video,
+                                          std::uint32_t server, bool journal) {
   if (journal) journal_.push_back({Op::kDropReplica, video, server});
 
-  auto& servers = solution_.placement[video];
-  const std::size_t idx = solution_.bitrate_index[video];
+  const std::uint32_t idx = bitrate_index_[video];
   const double rate = problem_->ladder.rates_bps[idx];
-  const auto r_old = static_cast<double>(servers.size());
+  const auto r_old = static_cast<double>(replica_count_[video]);
   const double per_old = peak_requests_[video] / r_old * rate;
   const double per_new = peak_requests_[video] / (r_old - 1.0) * rate;
-  servers.erase(std::find(servers.begin(), servers.end(), server));
-  storage_bytes_[server] -= slot_bytes_[idx];
-  add_load(server, -per_old);
-  for (std::size_t s : servers) add_load(s, per_new - per_old);
 
-  std::vector<std::size_t>& hosted = server_videos_[server];
-  const std::size_t pos = host_pos_[video * num_servers_ + server];
-  VODREP_DCHECK_NE(pos, kNoPos,
-                   "drop_replica: reverse index lost track of a replica");
-  VODREP_DCHECK_LT(pos, hosted.size(),
+  const std::size_t index = find_replica(video, server);
+  VODREP_DCHECK_LT(index, static_cast<std::size_t>(replica_count_[video]),
+                   "drop_replica: replica set lost track of a replica");
+  const std::uint32_t pos = replica_arrays(video).second[index];
+  remove_replica_at(video, index);
+
+  add_storage(server, -slot_bytes_[idx]);
+  add_load(server, -per_old);
+  for (std::uint32_t s : replicas_of(video)) add_load(s, per_new - per_old);
+
+  std::vector<std::uint32_t>& hosted = server_videos_[server];
+  VODREP_DCHECK_LT(static_cast<std::size_t>(pos), hosted.size(),
                    "drop_replica: reverse index position out of range");
   VODREP_DCHECK_EQ(hosted[pos], video,
                    "drop_replica: reverse index points at the wrong video");
-  const std::size_t moved = hosted.back();
+  const std::uint32_t moved = hosted.back();
   hosted[pos] = moved;
-  host_pos_[moved * num_servers_ + server] = pos;
   hosted.pop_back();
-  host_pos_[video * num_servers_ + server] = kNoPos;
+  if (moved != video) {
+    // Tell the moved video's replica entry about its new position.
+    auto [servers, positions] = replica_arrays(moved);
+    const std::size_t moved_index = find_replica(moved, server);
+    VODREP_DCHECK_LT(moved_index,
+                     static_cast<std::size_t>(replica_count_[moved]),
+                     "drop_replica: swap-removed video not hosted here");
+    positions[moved_index] = pos;
+    (void)servers;
+  }
   if (hosted.empty()) {
     // An empty server's usage is exactly zero; snap there so add/sub drift
-    // cannot leave a (possibly negative) residue.
-    storage_bytes_[server] = 0.0;
+    // cannot leave a (possibly negative) residue.  x + (-x) is exactly +0.0,
+    // so routing through the accounting helpers keeps the overflow counts
+    // consistent.
+    add_storage(server, -storage_bytes_[server]);
     add_load(server, -bandwidth_bps_[server]);
   }
   VODREP_DCHECK_GE(storage_bytes_[server], -1e-3,
@@ -195,26 +312,30 @@ void IncrementalState::apply_drop_replica(std::size_t video, std::size_t server,
 }
 
 void IncrementalState::set_bitrate(std::size_t video, std::size_t ladder_index) {
-  require(video < solution_.num_videos(), "set_bitrate: video out of range");
+  require(video < num_videos(), "set_bitrate: video out of range");
   require(ladder_index < problem_->ladder.size(),
           "set_bitrate: ladder index out of range");
-  apply_set_bitrate(video, ladder_index, /*journal=*/true);
+  apply_set_bitrate(static_cast<std::uint32_t>(video),
+                    static_cast<std::uint32_t>(ladder_index),
+                    /*journal=*/true);
 }
 
 void IncrementalState::add_replica(std::size_t video, std::size_t server) {
-  require(video < solution_.num_videos(), "add_replica: video out of range");
+  require(video < num_videos(), "add_replica: video out of range");
   require(server < num_servers_, "add_replica: server out of range");
   require(!is_hosted(video, server), "add_replica: replica already hosted");
-  apply_add_replica(video, server, /*journal=*/true);
+  apply_add_replica(static_cast<std::uint32_t>(video),
+                    static_cast<std::uint32_t>(server), /*journal=*/true);
 }
 
 void IncrementalState::drop_replica(std::size_t video, std::size_t server) {
-  require(video < solution_.num_videos(), "drop_replica: video out of range");
+  require(video < num_videos(), "drop_replica: video out of range");
   require(server < num_servers_, "drop_replica: server out of range");
   require(is_hosted(video, server), "drop_replica: replica not hosted");
-  require(solution_.placement[video].size() >= 2,
+  require(replica_count_[video] >= 2,
           "drop_replica: cannot drop the last replica (Eq. 6)");
-  apply_drop_replica(video, server, /*journal=*/true);
+  apply_drop_replica(static_cast<std::uint32_t>(video),
+                     static_cast<std::uint32_t>(server), /*journal=*/true);
 }
 
 void IncrementalState::rollback(Checkpoint mark) {
@@ -237,7 +358,7 @@ void IncrementalState::rollback(Checkpoint mark) {
 }
 
 double IncrementalState::objective() const {
-  const auto m = static_cast<double>(solution_.num_videos());
+  const auto m = static_cast<double>(num_videos());
   const auto n = static_cast<double>(num_servers_);
   const double mean_rate_mbps = rate_sum_mbps_ / m;
   const double mean_degree_normalized =

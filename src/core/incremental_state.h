@@ -4,20 +4,28 @@
 // add or drop one replica).  Re-deriving per-server usage and the Eq. 1
 // objective from scratch per candidate costs O(M*r + N); this class keeps
 // that state live and updates it in O(r) per primitive move, where r is the
-// touched video's replica count (<= N and typically tiny):
+// touched video's replica count (<= N and typically tiny).
 //
-//   * per-server storage (Eq. 4 LHS) and expected bandwidth (Eq. 5 LHS);
-//   * the objective's running sums: encoding-rate sum (Mb/s), replica count,
-//     and total cluster load;
-//   * the Eq. 2 max term via a lazy max: the argmax server is tracked
-//     eagerly while loads grow and only re-scanned (O(N)) after a move
-//     lowered the current max server's load;
-//   * a server -> hosted-videos reverse index (swap-remove, O(1) updates,
-//     O(1) membership) so neighborhood generation never rescans the
-//     placement of all M videos;
-//   * the soft bandwidth-overflow penalty term (sum over servers of relative
-//     excess), with an overflowing-server count so the common all-feasible
-//     case pays nothing and accumulates no float drift.
+// Storage is structure-of-arrays, sized for the ROADMAP's M=1M x N=1024
+// regime:
+//
+//   * per-server storage (Eq. 4 LHS) and expected bandwidth (Eq. 5 LHS) in
+//     flat contiguous double arrays;
+//   * per-video ladder slot and replica count in flat uint32 arrays;
+//   * each video's replica set (hosting servers + the replica's position in
+//     the server's reverse index) inline in a fixed kInlineReplicas-wide
+//     uint32 strip — the common r<=4 case touches one cache line and zero
+//     heap indirections — spilling the whole set to a per-video heap vector
+//     only while r exceeds the strip (the old dense M*N position table would
+//     be 8 GB at the north-star scale);
+//   * a server -> hosted-videos reverse index (swap-remove, O(1) updates) so
+//     neighborhood generation never rescans the placement of all M videos;
+//   * the objective's running sums (encoding-rate sum, replica count, total
+//     cluster load), the Eq. 2 max term via a branchless lazy max, and the
+//     soft bandwidth-overflow penalty with an overflowing-server count so
+//     the all-feasible case pays nothing and accumulates no float drift;
+//   * an overflowing-server count for storage too, so repair loops can skip
+//     their O(N) scan in the common nothing-to-fix case.
 //
 // Mutations are journaled: `checkpoint()` marks the journal, `rollback(mark)`
 // undoes every primitive op back to the mark (a rejected composite
@@ -27,6 +35,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/core/scalable.h"
@@ -37,7 +47,7 @@ class IncrementalState {
  public:
   using Checkpoint = std::size_t;
 
-  /// Takes ownership of `solution` and derives all running state from it in
+  /// Consumes `solution` and derives all running state from it in
   /// O(M*r + N).  `problem` must outlive this object.
   IncrementalState(const ScalableProblem& problem, ScalableSolution solution);
 
@@ -57,11 +67,51 @@ class IncrementalState {
   void rollback(Checkpoint mark);
   /// Accepts all journaled mutations (empties the undo journal).
   void commit() { journal_.clear(); }
+  /// Drops journal entries before `mark` (undo beyond it is no longer
+  /// possible) and shifts later checkpoints down by `mark`.  Lets a caller
+  /// that keeps the journal alive across commits — to roll back to a marked
+  /// best configuration later — bound the journal's memory: trim to the
+  /// mark it still cares about, then treat that mark as 0.
+  void forget_history(Checkpoint mark) {
+    journal_.erase(journal_.begin(),
+                   journal_.begin() + static_cast<std::ptrdiff_t>(mark));
+  }
 
   // --- Observers ---
 
   [[nodiscard]] const ScalableProblem& problem() const { return *problem_; }
-  [[nodiscard]] const ScalableSolution& solution() const { return solution_; }
+  /// Materializes the current configuration as a ScalableSolution, O(M*r).
+  /// The SoA layout keeps no solution object live, so this is a snapshot
+  /// for extraction, auditing, and interop — never call it per move.
+  [[nodiscard]] ScalableSolution to_solution() const;
+
+  [[nodiscard]] std::size_t num_videos() const { return bitrate_index_.size(); }
+  [[nodiscard]] std::size_t bitrate_index(std::size_t video) const {
+    return bitrate_index_[video];
+  }
+  [[nodiscard]] std::size_t replica_count(std::size_t video) const {
+    return replica_count_[video];
+  }
+  /// Servers hosting `video`, in unspecified order (swap-remove set); a
+  /// contiguous view into the inline strip or the spill vector.
+  [[nodiscard]] std::span<const std::uint32_t> replicas_of(
+      std::size_t video) const {
+    const std::uint32_t count = replica_count_[video];
+    return count <= kInlineReplicas
+               ? std::span<const std::uint32_t>(
+                     &replica_server_[video * kInlineReplicas], count)
+               : std::span<const std::uint32_t>(spill_server_[video].data(),
+                                                count);
+  }
+  /// O(r) membership test over the replica strip.
+  [[nodiscard]] bool is_hosted(std::size_t video, std::size_t server) const {
+    const auto target = static_cast<std::uint32_t>(server);
+    for (std::uint32_t s : replicas_of(video)) {
+      if (s == target) return true;
+    }
+    return false;
+  }
+
   [[nodiscard]] const std::vector<double>& storage_bytes() const {
     return storage_bytes_;
   }
@@ -69,13 +119,19 @@ class IncrementalState {
     return bandwidth_bps_;
   }
   /// Videos hosted on `server`, in unspecified order (swap-remove index).
-  [[nodiscard]] const std::vector<std::size_t>& videos_on(
+  [[nodiscard]] const std::vector<std::uint32_t>& videos_on(
       std::size_t server) const {
     return server_videos_[server];
   }
-  /// O(1) membership test.
-  [[nodiscard]] bool is_hosted(std::size_t video, std::size_t server) const {
-    return host_pos_[video * num_servers_ + server] != kNoPos;
+
+  /// True while any server exceeds its storage (resp. bandwidth) capacity;
+  /// O(1), maintained alongside the usage arrays.  Lets repair loops skip
+  /// their per-server scan in the common nothing-overflowing case.
+  [[nodiscard]] bool any_storage_overflow() const {
+    return storage_over_count_ != 0;
+  }
+  [[nodiscard]] bool any_bandwidth_overflow() const {
+    return overflow_count_ != 0;
   }
 
   /// Eq. 1 objective of the current configuration from the running sums;
@@ -90,32 +146,55 @@ class IncrementalState {
   [[nodiscard]] double max_bandwidth_bps() const;
 
   /// Test hook for the audit layer (LayoutAuditor::audit_state): additively
-  /// perturbs the cached per-server sums while leaving the solution intact,
-  /// so tests can prove that cache drift is detected.  Never called by
-  /// solvers.
+  /// perturbs the cached per-server sums while leaving the configuration
+  /// intact, so tests can prove that cache drift is detected.  Never called
+  /// by solvers.
   void debug_inject_drift(std::size_t server, double storage_delta_bytes,
                           double bandwidth_delta_bps);
+
+  /// Replica sets at or below this count live inline in the SoA strip;
+  /// larger sets spill to a per-video heap vector (and move back when they
+  /// shrink to the strip again).  Exposed for the boundary property tests.
+  static constexpr std::uint32_t kInlineReplicas = 4;
 
  private:
   enum class Op : unsigned char { kSetBitrate, kAddReplica, kDropReplica };
   struct JournalEntry {
     Op op;
-    std::size_t video;
-    std::size_t aux;  ///< prev ladder index (kSetBitrate) or server id
+    std::uint32_t video;
+    std::uint32_t aux;  ///< prev ladder index (kSetBitrate) or server id
   };
-  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 
-  void apply_set_bitrate(std::size_t video, std::size_t ladder_index,
+  void apply_set_bitrate(std::uint32_t video, std::uint32_t ladder_index,
                          bool journal);
-  void apply_add_replica(std::size_t video, std::size_t server, bool journal);
-  void apply_drop_replica(std::size_t video, std::size_t server, bool journal);
+  void apply_add_replica(std::uint32_t video, std::uint32_t server,
+                         bool journal);
+  void apply_drop_replica(std::uint32_t video, std::uint32_t server,
+                          bool journal);
   /// Single entry point for load changes: maintains the total-load sum, the
   /// overflow penalty term, and the lazy-max bookkeeping.
   void add_load(std::size_t server, double delta);
+  /// Single entry point for storage changes: maintains the overflow count.
+  void add_storage(std::size_t server, double delta);
+
+  /// Appends (server, pos) to video's replica set, spilling inline entries
+  /// to the heap when the strip overflows.
+  void push_replica(std::uint32_t video, std::uint32_t server,
+                    std::uint32_t pos);
+  /// Swap-removes replica entry `index`, un-spilling back to the strip when
+  /// the set shrinks to kInlineReplicas.
+  void remove_replica_at(std::uint32_t video, std::size_t index);
+  /// Index of `server` in video's replica set; count when absent.
+  [[nodiscard]] std::size_t find_replica(std::uint32_t video,
+                                         std::uint32_t server) const;
+  /// Mutable (servers, positions) base pointers of video's replica set.
+  [[nodiscard]] std::pair<std::uint32_t*, std::uint32_t*> replica_arrays(
+      std::uint32_t video);
 
   const ScalableProblem* problem_;
-  ScalableSolution solution_;
   std::size_t num_servers_ = 0;
+  double bandwidth_cap_bps_ = 0.0;
+  double storage_cap_bytes_ = 0.0;
 
   // Per-ladder-slot constants (all videos share the paper's fixed duration).
   std::vector<double> slot_bytes_;
@@ -123,16 +202,25 @@ class IncrementalState {
   // Per-video expected peak requests: lambda*T * p_i.
   std::vector<double> peak_requests_;
 
+  // SoA per-video configuration.
+  std::vector<std::uint32_t> bitrate_index_;
+  std::vector<std::uint32_t> replica_count_;
+  std::vector<std::uint32_t> replica_server_;  ///< [video*kInlineReplicas+j]
+  std::vector<std::uint32_t> replica_pos_;     ///< parallel: pos in videos_on
+  std::vector<std::vector<std::uint32_t>> spill_server_;
+  std::vector<std::vector<std::uint32_t>> spill_pos_;
+
+  // Per-server usage and reverse index.
   std::vector<double> storage_bytes_;
   std::vector<double> bandwidth_bps_;
-  std::vector<std::vector<std::size_t>> server_videos_;
-  std::vector<std::size_t> host_pos_;  ///< [video * N + server] -> position
+  std::vector<std::vector<std::uint32_t>> server_videos_;
 
   double rate_sum_mbps_ = 0.0;
   std::size_t replica_sum_ = 0;
   double total_load_bps_ = 0.0;
   double overflow_sum_ = 0.0;
   std::size_t overflow_count_ = 0;
+  std::size_t storage_over_count_ = 0;
 
   mutable std::size_t max_server_ = 0;
   mutable bool max_dirty_ = false;

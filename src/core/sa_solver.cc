@@ -1,9 +1,11 @@
 #include "src/core/sa_solver.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/anneal/parallel_tempering.h"
 #include "src/audit/audit.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -15,6 +17,7 @@ namespace vodrep {
 // The whole point of this solver is the delta-evaluation path; a silent
 // fallback to the copy-based engine loop would be a perf regression.
 static_assert(InPlaceAnnealProblem<ScalableSaProblem>);
+static_assert(DeferredBestAnnealProblem<ScalableSaProblem>);
 
 namespace {
 
@@ -69,8 +72,12 @@ double ScalableSaProblem::incremental_cost(const IncrementalState& inc) const {
          options_.bandwidth_penalty * inc.relative_bandwidth_overflow();
 }
 
-bool ScalableSaProblem::repair_incremental(
-    IncrementalState& inc, std::vector<std::size_t>& hosted) const {
+bool ScalableSaProblem::repair_incremental(IncrementalState& inc) const {
+  // O(1) fast path: the overflow counters are maintained move-by-move, so
+  // the common nothing-to-fix case costs two loads instead of an O(N) scan.
+  if (!inc.any_storage_overflow() && !inc.any_bandwidth_overflow()) {
+    return true;
+  }
   if (obs::metrics_enabled()) {
     repairs_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -84,6 +91,9 @@ bool ScalableSaProblem::repair_incremental(
   for (;;) {
     const std::vector<double>& storage = inc.storage_bytes();
     const std::vector<double>& bandwidth = inc.bandwidth_bps();
+    if (!inc.any_storage_overflow() && !inc.any_bandwidth_overflow()) {
+      return true;
+    }
     std::size_t worst = n;
     for (std::size_t s = 0; s < n; ++s) {
       if (storage[s] > storage_cap || bandwidth[s] > bandwidth_cap) {
@@ -93,71 +103,63 @@ bool ScalableSaProblem::repair_incremental(
     }
     if (worst == n) return true;
 
-    // Prefer the cheapest quality loss: among videos on the server, try the
-    // lowest-rate ones first — lower their rate a notch, or evict their
-    // replica here if already at the ladder floor (never the last replica).
-    hosted = inc.videos_on(worst);
-    const std::vector<std::size_t>& bitrate_index =
-        inc.solution().bitrate_index;
-    // The comparator is a strict total order, so the sorted sequence (and
-    // with it the shed order) does not depend on the reverse index's
-    // swap-remove permutation.
-    std::sort(hosted.begin(), hosted.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (bitrate_index[a] != bitrate_index[b]) {
-                  return bitrate_index[a] < bitrate_index[b];
-                }
-                return a > b;  // colder video first
-              });
-    bool acted = false;
-    for (std::size_t video : hosted) {
-      if (bitrate_index[video] > 0) {
-        inc.set_bitrate(video, bitrate_index[video] - 1);
-        acted = true;
-        break;
-      }
-      if (inc.solution().placement[video].size() > 1) {
-        inc.drop_replica(video, worst);
-        acted = true;
-        break;
+    // Prefer the cheapest quality loss: among videos on the server that can
+    // still shed something (rate above the floor, or a droppable replica),
+    // pick the lowest-rate one, ties to the colder (higher-index) video.
+    // One O(hosted) min scan per action — the seed implementation sorted
+    // the whole hosted list per action, which dominated the repair profile.
+    // The key is a strict total order, so the shed order does not depend on
+    // the reverse index's swap-remove permutation.
+    constexpr std::uint32_t kNone = 0xffffffffu;
+    std::uint32_t pick = kNone;
+    std::size_t pick_rate = 0;
+    for (std::uint32_t video : inc.videos_on(worst)) {
+      const std::size_t rate = inc.bitrate_index(video);
+      if (rate == 0 && inc.replica_count(video) <= 1) continue;
+      if (pick == kNone || rate < pick_rate ||
+          (rate == pick_rate && video > pick)) {
+        pick = video;
+        pick_rate = rate;
       }
     }
-    if (!acted) {
+    if (pick == kNone) {
       // Everything on the server is at the floor rate with a single replica.
       // Storage overflow is then unfixable; bandwidth overflow is tolerated
       // (soft constraint, penalized in the cost).
-      return std::all_of(storage.begin(), storage.end(),
-                         [&](double b) { return b <= storage_cap; });
+      return !inc.any_storage_overflow();
+    }
+    if (pick_rate > 0) {
+      inc.set_bitrate(pick, pick_rate - 1);
+    } else {
+      inc.drop_replica(pick, worst);
     }
   }
 }
 
 bool ScalableSaProblem::repair(State& state) const {
   IncrementalState inc(problem_, std::move(state));
-  std::vector<std::size_t> hosted;
-  const bool ok = repair_incremental(inc, hosted);
-  state = inc.solution();
+  const bool ok = repair_incremental(inc);
+  state = inc.to_solution();
   return ok;
 }
 
 bool ScalableSaProblem::propose_move(IncrementalState& inc,
-                                     std::vector<std::size_t>& candidates,
+                                     std::vector<std::uint32_t>& candidates,
                                      Rng& rng) const {
   const std::size_t n = problem_.cluster.num_servers;
   const std::size_t m = problem_.videos.count();
   const auto server = static_cast<std::size_t>(rng.uniform_index(n));
-  const ScalableSolution& solution = inc.solution();
 
   auto try_increase_rate = [&]() {
     candidates.clear();
-    for (std::size_t v : inc.videos_on(server)) {
-      if (solution.bitrate_index[v] + 1 < problem_.ladder.size()) {
+    for (std::uint32_t v : inc.videos_on(server)) {
+      if (inc.bitrate_index(v) + 1 < problem_.ladder.size()) {
         candidates.push_back(v);
       }
     }
     if (candidates.empty()) return false;
-    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
-    inc.set_bitrate(pick, solution.bitrate_index[pick] + 1);
+    const std::uint32_t pick = candidates[rng.uniform_index(candidates.size())];
+    inc.set_bitrate(pick, inc.bitrate_index(pick) + 1);
     return true;
   };
   auto try_add_replica = [&]() {
@@ -166,19 +168,19 @@ bool ScalableSaProblem::propose_move(IncrementalState& inc,
     for (std::size_t attempt = 0; attempt < kAddReplicaRejectionAttempts;
          ++attempt) {
       const auto v = static_cast<std::size_t>(rng.uniform_index(m));
-      if (solution.placement[v].size() < n && !inc.is_hosted(v, server)) {
+      if (inc.replica_count(v) < n && !inc.is_hosted(v, server)) {
         inc.add_replica(v, server);
         return true;
       }
     }
     candidates.clear();
     for (std::size_t v = 0; v < m; ++v) {
-      if (solution.placement[v].size() < n && !inc.is_hosted(v, server)) {
-        candidates.push_back(v);
+      if (inc.replica_count(v) < n && !inc.is_hosted(v, server)) {
+        candidates.push_back(static_cast<std::uint32_t>(v));
       }
     }
     if (candidates.empty()) return false;
-    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
+    const std::uint32_t pick = candidates[rng.uniform_index(candidates.size())];
     inc.add_replica(pick, server);
     return true;
   };
@@ -187,17 +189,17 @@ bool ScalableSaProblem::propose_move(IncrementalState& inc,
     // one).  Uphill in objective, but it frees storage so later growth
     // moves can re-pack — the escape hatch from the storage-full plateau.
     candidates.clear();
-    for (std::size_t v : inc.videos_on(server)) {
-      if (solution.bitrate_index[v] == 0 && solution.placement[v].size() <= 1) {
+    for (std::uint32_t v : inc.videos_on(server)) {
+      if (inc.bitrate_index(v) == 0 && inc.replica_count(v) <= 1) {
         continue;
       }
       candidates.push_back(v);
     }
     if (candidates.empty()) return false;
-    const std::size_t pick = candidates[rng.uniform_index(candidates.size())];
-    if (solution.bitrate_index[pick] > 0 &&
-        (solution.placement[pick].size() <= 1 || rng.bernoulli(0.5))) {
-      inc.set_bitrate(pick, solution.bitrate_index[pick] - 1);
+    const std::uint32_t pick = candidates[rng.uniform_index(candidates.size())];
+    if (inc.bitrate_index(pick) > 0 &&
+        (inc.replica_count(pick) <= 1 || rng.bernoulli(0.5))) {
+      inc.set_bitrate(pick, inc.bitrate_index(pick) - 1);
     } else {
       inc.drop_replica(pick, server);
     }
@@ -219,21 +221,29 @@ ScalableSolution ScalableSaProblem::neighbor(const State& state,
   // and tests): runs the same move + repair as the in-place path against a
   // freshly built incremental state.
   IncrementalState inc(problem_, state);
-  std::vector<std::size_t> candidates;
+  std::vector<std::uint32_t> candidates;
   if (!propose_move(inc, candidates, rng)) return state;  // saturated server
-  if (!repair_incremental(inc, candidates)) return state;  // irreparable
-  return inc.solution();
+  if (!repair_incremental(inc)) return state;             // irreparable
+  return inc.to_solution();
 }
 
 ScalableSaProblem::Scratch ScalableSaProblem::make_scratch(State state) const {
-  return Scratch{IncrementalState(problem_, std::move(state)), 0, 0.0, {}};
+  Scratch scratch{IncrementalState(problem_, std::move(state)), 0, 0.0, 0.0,
+                  0,   0.0, {}};
+  scratch.cost_before = incremental_cost(scratch.state);
+  scratch.cost_after = scratch.cost_before;
+  scratch.best_cost = scratch.cost_before;
+  scratch.best_mark = 0;
+  return scratch;
 }
 
 bool ScalableSaProblem::propose(Scratch& scratch, Rng& rng) const {
+  // scratch.cost_before already holds the committed configuration's cost
+  // (seeded by make_scratch, refreshed by commit), so the pre-move
+  // evaluation the seed implementation paid here is free.
   scratch.mark = scratch.state.checkpoint();
-  scratch.cost_before = incremental_cost(scratch.state);
   if (!propose_move(scratch.state, scratch.candidates, rng)) return false;
-  if (!repair_incremental(scratch.state, scratch.candidates)) {
+  if (!repair_incremental(scratch.state)) {
     scratch.state.rollback(scratch.mark);
     return false;
   }
@@ -253,19 +263,43 @@ double ScalableSaProblem::delta_cost(const Scratch& scratch) const {
   if (obs::metrics_enabled()) {
     delta_evaluations_.fetch_add(1, std::memory_order_relaxed);
   }
-  return incremental_cost(scratch.state) - scratch.cost_before;
+  scratch.cost_after = incremental_cost(scratch.state);
+  return scratch.cost_after - scratch.cost_before;
 }
 
 void ScalableSaProblem::commit(Scratch& scratch) const {
-  scratch.state.commit();
+  // Deferred best tracking: the journal stays alive across commits so the
+  // best configuration remains reachable by rollback.  A new best is one
+  // mark assignment; extract_best() pays the single O(M) materialization at
+  // the end of the chain.
+  scratch.cost_before = scratch.cost_after;
+  if (scratch.cost_after < scratch.best_cost) {
+    scratch.best_cost = scratch.cost_after;
+    scratch.best_mark = scratch.state.checkpoint();
+    // The prefix behind the best mark can never be rolled back to again;
+    // dropping it (rarely — the erase is O(journal)) bounds journal memory
+    // to the since-best tail.
+    constexpr IncrementalState::Checkpoint kTrimThreshold = 1u << 16;
+    if (scratch.best_mark >= kTrimThreshold) {
+      scratch.state.forget_history(scratch.best_mark);
+      scratch.best_mark = 0;
+    }
+  }
 }
 
 void ScalableSaProblem::revert(Scratch& scratch) const {
+  // cost_before still describes the restored configuration (rollback undoes
+  // the running sums up to float-drift of ulp order).
   scratch.state.rollback(scratch.mark);
 }
 
 ScalableSolution ScalableSaProblem::extract(const Scratch& scratch) const {
-  return scratch.state.solution();
+  return scratch.state.to_solution();
+}
+
+ScalableSolution ScalableSaProblem::extract_best(Scratch& scratch) const {
+  scratch.state.rollback(scratch.best_mark);
+  return scratch.state.to_solution();
 }
 
 ScalableSaProblem::EvalCounts ScalableSaProblem::eval_counts() const {
@@ -285,10 +319,15 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
   if (options.chains == 1) {
     Rng rng(seed);
     result.anneal = anneal(sa_problem, rng, options.anneal);
-  } else {
+  } else if (options.independent_chains) {
     result.anneal =
         anneal_multichain(sa_problem, seed, options.chains, options.anneal,
                           pool);
+  } else {
+    AnnealOptions pt_options = options.anneal;
+    pt_options.chains = options.chains;
+    result.anneal =
+        anneal_parallel_tempering(sa_problem, seed, pt_options, pool);
   }
   result.solution = result.anneal.best_state;
   result.objective = solution_objective(problem, result.solution);
@@ -314,6 +353,20 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
     registry.gauge("sa.best_objective").set(result.objective);
     registry.gauge("sa.final_temperature")
         .set(result.anneal.final_temperature);
+    // Tempering instrumentation: exchange-phase totals plus a per-chain
+    // breakdown keyed sa.chain.<k>.* so runs can see which rung of the
+    // temperature ladder did the work.
+    registry.counter("sa.swap_attempts").add(result.anneal.swap_attempts);
+    registry.counter("sa.swap_accepts").add(result.anneal.swap_accepts);
+    for (std::size_t k = 0; k < result.anneal.chains.size(); ++k) {
+      const AnnealChainStats& chain = result.anneal.chains[k];
+      const std::string prefix = "sa.chain." + std::to_string(k) + ".";
+      registry.counter(prefix + "moves_proposed").add(chain.moves_proposed);
+      registry.counter(prefix + "moves_accepted").add(chain.moves_accepted);
+      registry.counter(prefix + "moves_noop").add(chain.moves_noop);
+      registry.counter(prefix + "swaps_accepted").add(chain.swaps_accepted);
+      registry.gauge(prefix + "best_cost").set(chain.best_cost);
+    }
   }
 #if VODREP_CONTRACTS_ENABLED
   {

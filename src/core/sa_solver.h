@@ -28,9 +28,15 @@ namespace vodrep {
 
 struct SaSolverOptions {
   AnnealOptions anneal;
-  /// Independent annealing chains (parsa-style parallel SA); the best final
-  /// solution wins.  Chains run on `pool` when provided to solve_scalable.
+  /// Annealing chains.  With chains > 1 solve_scalable runs parallel
+  /// tempering by default — coupled chains at staggered temperatures with
+  /// periodic replica exchanges every anneal.swap_period steps (see
+  /// src/anneal/parallel_tempering.h) — on `pool` when provided.  Output is
+  /// deterministic in the seed regardless of thread count.
   std::size_t chains = 1;
+  /// Run chains fully independently (parsa-style best-of-K racing) instead
+  /// of coupling them through replica exchanges.
+  bool independent_chains = false;
   /// Cost penalty per unit of relative bandwidth overflow (sum over servers
   /// of overflow/B).  Large enough that infeasibility always dominates any
   /// objective gain at the paper's scales.
@@ -60,11 +66,26 @@ struct SaSolverResult {
 /// Mutable per-chain working set for the in-place annealing path: the live
 /// incremental state plus the transaction bookkeeping of the tentatively
 /// applied move and reusable candidate buffers (no per-move allocation).
+/// `cost_before` caches the cost of the committed configuration across
+/// moves — make_scratch seeds it and commit() refreshes it from the move's
+/// own delta evaluation, so the engine pays exactly one cost evaluation per
+/// proposed move instead of two.
 struct SaScratch {
   IncrementalState state;
   IncrementalState::Checkpoint mark = 0;
   double cost_before = 0.0;
-  std::vector<std::size_t> candidates;
+  /// The tentative move's cost, written by delta_cost() (const in the
+  /// engine's concept, hence mutable) and promoted to cost_before on commit.
+  mutable double cost_after = 0.0;
+  /// Deferred best tracking (DeferredBestAnnealProblem): the journal is kept
+  /// alive across commits, best_mark points at the best configuration seen
+  /// by this walker, and extract_best() rolls back to it once at the end —
+  /// so a new best costs O(1) instead of an O(M) solution snapshot.
+  /// commit() trims the journal prefix behind best_mark when it grows past
+  /// a threshold, keeping memory proportional to the since-best tail.
+  IncrementalState::Checkpoint best_mark = 0;
+  double best_cost = 0.0;
+  std::vector<std::uint32_t> candidates;
 };
 
 /// The AnnealProblem adapter; exposed so tests can exercise the neighborhood
@@ -101,6 +122,10 @@ class ScalableSaProblem {
   void commit(Scratch& scratch) const;
   void revert(Scratch& scratch) const;
   [[nodiscard]] State extract(const Scratch& scratch) const;
+  /// DeferredBestAnnealProblem hook: rolls the scratch back to the best
+  /// configuration its journal has seen and materializes it.  Consumes the
+  /// scratch (call once, at the end of a chain).
+  [[nodiscard]] State extract_best(Scratch& scratch) const;
 
   /// Evaluation-path instrumentation, summed across every chain driving this
   /// problem: full cost() recomputes, delta_cost() incremental evaluations,
@@ -117,12 +142,11 @@ class ScalableSaProblem {
   [[nodiscard]] double incremental_cost(const IncrementalState& inc) const;
   /// The neighborhood action (no repair); false when the server is saturated.
   [[nodiscard]] bool propose_move(IncrementalState& inc,
-                                  std::vector<std::size_t>& candidates,
+                                  std::vector<std::uint32_t>& candidates,
                                   Rng& rng) const;
   /// repair() on the live incremental state; false on irreparable storage
   /// overflow (caller must roll back).
-  [[nodiscard]] bool repair_incremental(IncrementalState& inc,
-                                        std::vector<std::size_t>& hosted) const;
+  [[nodiscard]] bool repair_incremental(IncrementalState& inc) const;
 
   const ScalableProblem& problem_;
   SaSolverOptions options_;
@@ -135,9 +159,9 @@ class ScalableSaProblem {
 };
 
 /// Runs the annealer with `seed` and returns the best configuration found.
-/// With options.chains > 1 the chains run independently (on `pool` when
-/// given) and the best result wins; output is deterministic in `seed`
-/// either way.
+/// With options.chains > 1 the chains run parallel tempering (or
+/// independently when options.independent_chains is set) on `pool` when
+/// given; output is deterministic in `seed` regardless of thread count.
 [[nodiscard]] SaSolverResult solve_scalable(const ScalableProblem& problem,
                                             std::uint64_t seed,
                                             const SaSolverOptions& options = {},

@@ -291,7 +291,7 @@ TEST(StateAudit, StateSurvivesAnEditSession) {
   const ScalableProblem problem = scalable_problem();
   IncrementalState state(problem, lowest_rate_round_robin(problem));
   state.set_bitrate(0, 1);
-  state.add_replica(0, (state.solution().placement[0][0] + 1) %
+  state.add_replica(0, (state.replicas_of(0)[0] + 1) %
                            problem.cluster.num_servers);
   state.set_bitrate(3, 2);
   state.commit();

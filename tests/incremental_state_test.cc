@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "src/util/error.h"
@@ -42,13 +43,14 @@ void expect_close(double actual, double expected, const char* what) {
 /// of the solution it carries.
 void verify_against_recompute(const ScalableProblem& problem,
                               const IncrementalState& inc) {
-  const ServerUsage usage = compute_usage(problem, inc.solution());
+  const ScalableSolution solution = inc.to_solution();
+  const ServerUsage usage = compute_usage(problem, solution);
   for (std::size_t s = 0; s < problem.cluster.num_servers; ++s) {
     expect_close(inc.storage_bytes()[s], usage.storage_bytes[s], "storage");
     expect_close(inc.bandwidth_bps()[s], usage.bandwidth_bps[s], "bandwidth");
   }
   const double expected_objective = objective_value(
-      inc.solution().bitrates(problem.ladder), inc.solution().replicas(),
+      solution.bitrates(problem.ladder), solution.replicas(),
       usage.bandwidth_bps, problem.cluster.num_servers, problem.weights);
   expect_close(inc.objective(), expected_objective, "objective");
 
@@ -69,9 +71,10 @@ void verify_against_recompute(const ScalableProblem& problem,
 /// relation.  O(M*N) — sampled sparsely inside the big property loop.
 void verify_hosting_index(const ScalableProblem& problem,
                           const IncrementalState& inc) {
-  for (std::size_t i = 0; i < inc.solution().num_videos(); ++i) {
+  const ScalableSolution solution = inc.to_solution();
+  for (std::size_t i = 0; i < solution.num_videos(); ++i) {
     for (std::size_t s = 0; s < problem.cluster.num_servers; ++s) {
-      const auto& servers = inc.solution().placement[i];
+      const auto& servers = solution.placement[i];
       const bool placed =
           std::find(servers.begin(), servers.end(), s) != servers.end();
       ASSERT_EQ(inc.is_hosted(i, s), placed) << "video " << i << " server " << s;
@@ -106,7 +109,7 @@ bool random_mutation(const ScalableProblem& problem, IncrementalState& inc,
       return true;
     }
     default: {
-      const auto& servers = inc.solution().placement[video];
+      const auto servers = inc.replicas_of(video);
       if (servers.size() < 2) return false;
       inc.drop_replica(video, servers[rng.uniform_index(servers.size())]);
       return true;
@@ -159,16 +162,17 @@ TEST(IncrementalState, RollbackRestoresTheSolution) {
   IncrementalState inc(p, lowest_rate_round_robin(p));
   Rng rng(21);
   for (int round = 0; round < 200; ++round) {
-    const std::vector<std::size_t> bitrates = inc.solution().bitrate_index;
-    const auto placement = sorted_placement(inc.solution());
+    const ScalableSolution before = inc.to_solution();
+    const auto placement = sorted_placement(before);
     const auto mark = inc.checkpoint();
     const auto ops = 1 + rng.uniform_index(6);
     for (std::size_t op = 0; op < ops; ++op) {
       (void)random_mutation(p, inc, rng);
     }
     inc.rollback(mark);
-    EXPECT_EQ(inc.solution().bitrate_index, bitrates);
-    EXPECT_EQ(sorted_placement(inc.solution()), placement);
+    const ScalableSolution after = inc.to_solution();
+    EXPECT_EQ(after.bitrate_index, before.bitrate_index);
+    EXPECT_EQ(sorted_placement(after), placement);
   }
   verify_against_recompute(p, inc);
 }
@@ -206,13 +210,13 @@ TEST(IncrementalState, TracksBandwidthOverflowAcrossExcursions) {
 TEST(IncrementalState, RejectsIllegalMutations) {
   const ScalableProblem p = test_problem();
   IncrementalState inc(p, lowest_rate_round_robin(p));
-  EXPECT_THROW(inc.drop_replica(0, inc.solution().placement[0][0]),
+  EXPECT_THROW(inc.drop_replica(0, inc.replicas_of(0)[0]),
                InvalidArgumentError);  // would drop the last replica
-  EXPECT_THROW(inc.add_replica(0, inc.solution().placement[0][0]),
+  EXPECT_THROW(inc.add_replica(0, inc.replicas_of(0)[0]),
                InvalidArgumentError);  // duplicate replica
   EXPECT_THROW(inc.set_bitrate(0, p.ladder.size()), InvalidArgumentError);
   EXPECT_THROW(inc.add_replica(p.videos.count(), 0), InvalidArgumentError);
-  const std::size_t host = inc.solution().placement[1][0];
+  const std::size_t host = inc.replicas_of(1)[0];
   const std::size_t other = (host + 1) % p.cluster.num_servers;
   EXPECT_THROW(inc.drop_replica(1, other), InvalidArgumentError);
 }
@@ -222,7 +226,7 @@ TEST(IncrementalState, EmptiedServerReportsExactlyZeroUsage) {
   ScalableSolution solution = lowest_rate_round_robin(p);
   IncrementalState inc(p, std::move(solution));
   // Give every video on server 0 a second home, then clear server 0.
-  const std::vector<std::size_t> hosted = inc.videos_on(0);
+  const std::vector<std::uint32_t> hosted = inc.videos_on(0);
   for (std::size_t video : hosted) {
     for (std::size_t s = 1; s < p.cluster.num_servers; ++s) {
       if (!inc.is_hosted(video, s)) {
@@ -236,6 +240,90 @@ TEST(IncrementalState, EmptiedServerReportsExactlyZeroUsage) {
   EXPECT_EQ(inc.storage_bytes()[0], 0.0);
   EXPECT_EQ(inc.bandwidth_bps()[0], 0.0);
   verify_against_recompute(p, inc);
+}
+
+// SoA boundary: growing a replica set past kInlineReplicas spills it to the
+// heap and shrinking back un-spills it; every state along the way (and after
+// commit) must agree with the from-scratch evaluation and the reverse index.
+TEST(IncrementalState, ReplicaSetSpillsAndUnspillsAcrossInlineBoundary) {
+  const ScalableProblem p = test_problem();
+  ASSERT_GT(p.cluster.num_servers, IncrementalState::kInlineReplicas);
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  const std::size_t home = inc.replicas_of(0)[0];
+  // Grow video 0 from 1 replica to one on every server (1 -> 6, crossing the
+  // inline boundary at 4 -> 5), verifying each step.
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    if (s == home) continue;
+    inc.add_replica(0, s);
+    inc.commit();
+    verify_against_recompute(p, inc);
+    verify_hosting_index(p, inc);
+  }
+  EXPECT_EQ(inc.replica_count(0), p.cluster.num_servers);
+  // Shrink back down to 1 (crossing 5 -> 4 un-spill), verifying each step.
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    if (s == home) continue;
+    inc.drop_replica(0, s);
+    inc.commit();
+    verify_against_recompute(p, inc);
+    verify_hosting_index(p, inc);
+  }
+  EXPECT_EQ(inc.replica_count(0), 1u);
+  EXPECT_EQ(inc.replicas_of(0)[0], home);
+}
+
+TEST(IncrementalState, RollbackAcrossSpillBoundaryRestoresState) {
+  const ScalableProblem p = test_problem();
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  const std::size_t home = inc.replicas_of(0)[0];
+  const ScalableSolution before = inc.to_solution();
+  const auto placement_before = sorted_placement(before);
+  const auto mark = inc.checkpoint();
+  // One journaled composite move that crosses the spill boundary both ways:
+  // fill video 0 onto every server, then drop back to two replicas.
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    if (s != home) inc.add_replica(0, s);
+  }
+  EXPECT_GT(inc.replica_count(0), IncrementalState::kInlineReplicas);
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < p.cluster.num_servers && dropped + 2 < p.cluster.num_servers;
+       ++s) {
+    if (s == home) continue;
+    inc.drop_replica(0, s);
+    ++dropped;
+  }
+  EXPECT_LE(inc.replica_count(0), IncrementalState::kInlineReplicas);
+  inc.rollback(mark);
+  const ScalableSolution after = inc.to_solution();
+  EXPECT_EQ(after.bitrate_index, before.bitrate_index);
+  EXPECT_EQ(sorted_placement(after), placement_before);
+  verify_against_recompute(p, inc);
+  verify_hosting_index(p, inc);
+}
+
+TEST(IncrementalState, OverflowCountersMatchScans) {
+  ScalableProblem p = test_problem();
+  p.expected_peak_requests = 4e5;  // saturating: overflow excursions happen
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  Rng rng(47);
+  const double bw_cap = p.cluster.bandwidth_bps_per_server;
+  const double st_cap = p.cluster.storage_bytes_per_server;
+  for (int round = 0; round < 400; ++round) {
+    (void)random_mutation(p, inc, rng);
+    if (rng.bernoulli(0.3)) {
+      inc.rollback(0);
+    } else {
+      inc.commit();
+    }
+    bool bw_over = false;
+    bool st_over = false;
+    for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+      bw_over |= inc.bandwidth_bps()[s] > bw_cap;
+      st_over |= inc.storage_bytes()[s] > st_cap;
+    }
+    ASSERT_EQ(inc.any_bandwidth_overflow(), bw_over) << "round " << round;
+    ASSERT_EQ(inc.any_storage_overflow(), st_over) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 # smoke configuration.  Each BENCH file has the schema
 #   {"name": ..., "moves_per_sec" | "events_per_sec": ...,
 #    "config": <the benchmark's full JSON record>, "git_sha": ...}
+# BENCH_sa.json additionally carries "threads_axis" (the parallel-tempering
+# chains/threads scaling points) and "hardware_threads".
 set -euo pipefail
 
 quick_flag=""
@@ -59,6 +61,12 @@ record = {
     "config": raw,
     "git_sha": os.environ["GIT_SHA"],
 }
+# The SA bench also reports parallel-tempering scaling: promote the
+# chains/threads axis to the top level so the per-PR perf trajectory
+# captures scaling, not just single-thread speed.
+if "chains_axis" in raw:
+    record["threads_axis"] = raw["chains_axis"]
+    record["hardware_threads"] = raw.get("hardware_threads")
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2, sort_keys=True)
     f.write("\n")

@@ -21,9 +21,12 @@
 #include <sstream>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/core/layout_io.h"
 #include "src/core/objective.h"
 #include "src/core/pipeline.h"
+#include "src/core/sa_solver.h"
+#include "src/core/scalable.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/timeseries.h"
@@ -34,6 +37,7 @@
 #include "src/util/cli.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 #include "src/util/units.h"
 #include "src/workload/trace.h"
 #include "src/util/table.h"
@@ -176,6 +180,20 @@ int run(int argc, char** argv) {
   flags.add_int("event-log-cap", 10000,
                 "report per-request event-log capacity (older requests "
                 "beyond it are dropped and counted)");
+  flags.add_int("sa-chains", 0,
+                "plan scalable encoding rates with the Section 4.3 "
+                "simulated-annealing solver using this many "
+                "parallel-tempering chains (0 = heuristic pipeline)");
+  flags.add_int("sa-swap-period", 8,
+                "temperature steps between replica-exchange rounds");
+  flags.add_int("sa-temp-steps", 200, "annealing temperature-step cap");
+  flags.add_int("sa-moves", 200, "moves per temperature step");
+  flags.add_int("sa-seed", 2002, "annealer seed (output is deterministic in "
+                                 "it, independent of thread count)");
+  flags.add_double("sa-lambda", 30.0,
+                   "peak arrival rate for the SA load model, requests/minute");
+  flags.add_double("storage-gb", 120.0,
+                   "per-server storage budget for --sa-chains, GB");
   if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
 
   const ObsExports exports(flags.get_string("metrics-out"),
@@ -280,6 +298,93 @@ int run(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("videos")),
         flags.get_double("theta"));
   }
+  require(flags.get_int("sa-chains") >= 0, "--sa-chains must be >= 0");
+  const auto sa_chains = static_cast<std::size_t>(flags.get_int("sa-chains"));
+  if (sa_chains >= 1) {
+    // Scalable-rate planning (paper Section 4.3): jointly choose encoding
+    // bit rates, replica counts, and placement by parallel-tempering SA.
+    require(report_path.empty(),
+            "--sa-chains plans encoding rates, which the run-report "
+            "simulation does not model yet; drop --report-out");
+    ScalableProblem problem;
+    problem.videos.duration_sec =
+        units::minutes(flags.get_double("duration-min"));
+    problem.videos.popularity = popularity;
+    problem.cluster.num_servers = servers;
+    problem.cluster.bandwidth_bps_per_server =
+        units::gbps(flags.get_double("bandwidth-gbps"));
+    problem.cluster.storage_bytes_per_server =
+        units::gigabytes(flags.get_double("storage-gb"));
+    problem.ladder.rates_bps = {units::mbps(1), units::mbps(2),
+                                units::mbps(3), units::mbps(4),
+                                units::mbps(6), units::mbps(8)};
+    problem.expected_peak_requests =
+        flags.get_double("sa-lambda") * flags.get_double("duration-min");
+    problem.weights.alpha = 1.0;
+    problem.weights.beta = 1.0;
+
+    SaSolverOptions options;
+    options.anneal.initial_temperature = 1.0;
+    options.anneal.final_temperature = 1e-3;
+    options.anneal.max_temperature_steps =
+        static_cast<std::size_t>(flags.get_int("sa-temp-steps"));
+    options.anneal.moves_per_temperature =
+        static_cast<std::size_t>(flags.get_int("sa-moves"));
+    options.anneal.swap_period =
+        static_cast<std::size_t>(flags.get_int("sa-swap-period"));
+    options.chains = sa_chains;
+    ThreadPool pool;
+    const SaSolverResult result = solve_scalable(
+        problem, static_cast<std::uint64_t>(flags.get_int("sa-seed")),
+        options, sa_chains > 1 ? &pool : nullptr);
+
+    // Hard-constraint audit (Eqs. 4, 6, 7 from first principles); bandwidth
+    // (Eq. 5) is the solver's soft constraint, reported via `feasible`.
+    const AuditReport audit =
+        LayoutAuditor::audit_solution(problem, result.solution);
+    require(audit.ok_ignoring(ViolationKind::kBandwidthOverflow),
+            [&] { return "SA layout failed audit: " + audit.summary(); });
+
+    double mean_rate_bps = 0.0;
+    double replicas = 0.0;
+    for (double rate : result.solution.bitrates(problem.ladder)) {
+      mean_rate_bps += rate;
+    }
+    for (const auto& hosts : result.solution.placement) {
+      replicas += static_cast<double>(hosts.size());
+    }
+    const double m_count = static_cast<double>(popularity.size());
+    std::cout << "== plan: simulated annealing (" << sa_chains
+              << " tempering chain" << (sa_chains > 1 ? "s" : "")
+              << ", swap period " << options.anneal.swap_period << ") ==\n"
+              << "objective (Eq. 1): " << result.objective
+              << (result.feasible ? "  [feasible]"
+                                  : "  [bandwidth overflow tolerated]")
+              << "\nmean encoding rate: "
+              << units::to_mbps(mean_rate_bps / m_count)
+              << " Mb/s, mean degree: " << replicas / m_count << "\n"
+              << "audit: " << audit.summary() << "\n"
+              << "winning chain: " << result.anneal.winning_chain << " of "
+              << sa_chains << ", exchanges accepted: "
+              << result.anneal.swap_accepts << "/"
+              << result.anneal.swap_attempts << "\n";
+    Table chain_table(
+        {"chain", "proposed", "accepted", "noop", "swaps", "best_cost"});
+    chain_table.set_precision(4);
+    for (std::size_t c = 0; c < result.anneal.chains.size(); ++c) {
+      const AnnealChainStats& stats = result.anneal.chains[c];
+      chain_table.add_row({static_cast<long long>(c),
+                           static_cast<long long>(stats.moves_proposed),
+                           static_cast<long long>(stats.moves_accepted),
+                           static_cast<long long>(stats.moves_noop),
+                           static_cast<long long>(stats.swaps_accepted),
+                           stats.best_cost});
+    }
+    chain_table.print(std::cout);
+    exports.write();
+    return EXIT_SUCCESS;
+  }
+
   const auto budget = static_cast<std::size_t>(
       flags.get_double("degree") * static_cast<double>(popularity.size()));
   const std::size_t capacity = (budget + servers - 1) / servers;
