@@ -1,0 +1,40 @@
+// Fuzz target: json_lite parser round-trip.
+//
+// Oracle: for any input the parser accepts, serialization must be a fixed
+// point — dump() reparses to a structurally equal value, and dumping that
+// reparse is byte-identical.  This is the property the observability layer
+// leans on (deterministic exports, value-exact number round-trips via
+// max_digits10); a violation means some value shape escapes the
+// parse/dump/parse cycle.  Inputs the parser rejects must reject cleanly
+// with InvalidArgumentError, never any other way.
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_support.h"
+#include "src/obs/json_lite.h"
+#include "src/util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  vodrep::obs::JsonValue value;
+  try {
+    value = vodrep::obs::parse_json(text);
+  } catch (const vodrep::InvalidArgumentError&) {
+    return 0;  // clean reject
+  }
+  const std::string once = value.dump();
+  vodrep::obs::JsonValue reparsed;
+  try {
+    reparsed = vodrep::obs::parse_json(once);
+  } catch (const vodrep::InvalidArgumentError& err) {
+    VODREP_FUZZ_FAIL("dump() emitted unparseable JSON: %s", err.what());
+  }
+  if (!(value == reparsed)) {
+    VODREP_FUZZ_FAIL("parse(dump(v)) != v for accepted input");
+  }
+  if (reparsed.dump() != once) {
+    VODREP_FUZZ_FAIL("dump() is not a serialization fixed point");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz target: run-report schema validator total-ness.
+//
+// validate_run_report's contract is to *report* problems, never to throw on
+// them: CI validators and vodrep_report --validate-only feed it arbitrary
+// parsed documents and render the problem list.  Oracle: for any JSON the
+// parser accepts — any shape, any type confusion in any field — the
+// validator returns normally.  An exception escaping it means some field
+// access skipped its shape check (exactly the bug class the is_uint/is_int
+// guards in report.cc exist to prevent).
+#include <exception>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzz_support.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/report.h"
+#include "src/util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  vodrep::obs::JsonValue report;
+  try {
+    report = vodrep::obs::parse_json(text);
+  } catch (const vodrep::InvalidArgumentError&) {
+    return 0;  // clean reject
+  }
+  try {
+    const std::vector<std::string> problems =
+        vodrep::obs::validate_run_report(report);
+    (void)problems;
+  } catch (const std::exception& err) {
+    VODREP_FUZZ_FAIL("validate_run_report threw on parsed input: %s",
+                     err.what());
+  }
+  return 0;
+}

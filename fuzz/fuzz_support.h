@@ -1,0 +1,31 @@
+// Shared support for the vodrep libFuzzer targets.
+//
+// Each target defines LLVMFuzzerTestOneInput and is linked either against
+// libFuzzer proper (the `fuzz` CMake preset: clang, -fsanitize=fuzzer) or
+// against standalone_main.cc, a corpus-replay driver that works with any
+// toolchain.  The committed seed corpora under fuzz/corpus/<target>/ run as
+// ctest entries in every build, so the oracles double as regression tests.
+//
+// Targets must distinguish two outcomes on malformed input:
+//   * a clean reject (InvalidArgumentError / InfeasibleError from a parser
+//     or validator) — expected, return 0;
+//   * everything else — an uncaught exception type, a sanitizer report, or a
+//     violated oracle — a finding.  Oracle violations call VODREP_FUZZ_FAIL,
+//     which prints the reason and aborts so both libFuzzer and the replay
+//     driver record a crash.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define VODREP_FUZZ_FAIL(...)                        \
+  do {                                               \
+    std::fprintf(stderr, "fuzz oracle violation: "); \
+    std::fprintf(stderr, __VA_ARGS__);               \
+    std::fprintf(stderr, "\n");                      \
+    std::abort();                                    \
+  } while (false)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

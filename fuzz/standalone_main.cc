@@ -1,0 +1,62 @@
+// Corpus-replay driver for toolchains without libFuzzer (GCC builds).
+//
+// Feeds every file named on the command line — directories are walked
+// recursively in sorted order for determinism — through the target's
+// LLVMFuzzerTestOneInput.  Exit status 0 means every input ran without a
+// finding; oracle violations abort (matching libFuzzer's crash semantics),
+// so the ctest corpus-replay entries fail loudly on regression.
+//
+// Under the `fuzz` preset this file is NOT compiled: libFuzzer provides
+// main() and uses the same corpus directories as its seeds.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_support.h"
+
+namespace {
+
+std::vector<std::string> collect_inputs(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path path(argv[i]);
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(path.string());
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  return inputs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  const std::vector<std::string> inputs = collect_inputs(argc, argv);
+  for (const std::string& input : inputs) {
+    std::ifstream file(input, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot read %s\n", input.c_str());
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %zu corpus input(s) without findings\n",
+              inputs.size());
+  return 0;
+}

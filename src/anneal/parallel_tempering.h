@@ -34,6 +34,7 @@
 #include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace vodrep {
@@ -64,6 +65,47 @@ namespace vodrep {
   constexpr std::size_t kCount = sizeof(kLanes) / sizeof(kLanes[0]);
   return chain < kCount ? kLanes[chain] : "sa.chain.32+";
 }
+
+/// The replica-exchange bookkeeping: the dedicated swap Rng and the
+/// attempt/accept counters.  Determinism requires that this state advance
+/// only inside the serial exchange phase, in ladder order — never from a
+/// chain superstep racing on the pool.  The members are therefore guarded by
+/// an annotated mutex (uncontended: the exchange phase is a barrier, so the
+/// lock costs one uncontended acquire per attempted pair) and the clang
+/// -Werror=thread-safety lanes reject any future access that bypasses it.
+class ExchangeLedger {
+ public:
+  explicit ExchangeLedger(std::uint64_t swap_seed) : rng_(swap_seed) {}
+
+  /// Metropolis admission for one attempted pair.  Counts the attempt and
+  /// draws exactly one uniform — even on the exponent >= 0 fast path — so
+  /// the swap stream stays independent of the chains' costs.
+  [[nodiscard]] bool admit(double exponent) VODREP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    ++attempts_;
+    const double u = rng_.uniform();
+    if (exponent >= 0.0 || u < std::exp(exponent)) {
+      ++accepts_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t attempts() const VODREP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return attempts_;
+  }
+  [[nodiscard]] std::size_t accepts() const VODREP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return accepts_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  Rng rng_ VODREP_GUARDED_BY(mutex_);
+  std::size_t attempts_ VODREP_GUARDED_BY(mutex_) = 0;
+  std::size_t accepts_ VODREP_GUARDED_BY(mutex_) = 0;
+};
 
 /// Runs options.chains tempering chains (on `pool` when provided) and
 /// returns the deterministic reduction: minimum best cost, ties to the
@@ -114,9 +156,7 @@ template <AnnealProblem P>
   // parity alternates per round so configurations can travel the whole
   // ladder.  The swap Rng always draws exactly one uniform per pair, keeping
   // its stream independent of the chains' costs.
-  Rng swap_rng(base_seed ^ 0xd1b54a32d192ed03ULL);
-  std::size_t swap_attempts = 0;
-  std::size_t swap_accepts = 0;
+  ExchangeLedger ledger(base_seed ^ 0xd1b54a32d192ed03ULL);
   auto any_active = [&] {
     for (const auto& chain : chains) {
       if (chain->active()) return true;
@@ -134,14 +174,11 @@ template <AnnealProblem P>
     for (std::size_t lo = round % 2; lo + 1 < k; lo += 2) {
       AnnealChain<P>& cold = *chains[lo];
       AnnealChain<P>& hot = *chains[lo + 1];
-      ++swap_attempts;
       const double exponent =
           (1.0 / cold.temperature() - 1.0 / hot.temperature()) *
           (cold.current_cost() - hot.current_cost());
-      const double u = swap_rng.uniform();
-      if (exponent >= 0.0 || u < std::exp(exponent)) {
+      if (ledger.admit(exponent)) {
         AnnealChain<P>::exchange(cold, hot);
-        ++swap_accepts;
       }
     }
   }
@@ -164,8 +201,8 @@ template <AnnealProblem P>
   out.temperature_steps = results[winner].temperature_steps;
   out.trajectory = results[winner].trajectory;
   out.winning_chain = winner;
-  out.swap_attempts = swap_attempts;
-  out.swap_accepts = swap_accepts;
+  out.swap_attempts = ledger.attempts();
+  out.swap_accepts = ledger.accepts();
   out.chains.reserve(k);
   for (std::size_t c = 0; c < k; ++c) {
     out.moves_proposed += results[c].moves_proposed;

@@ -1,8 +1,11 @@
 #include "src/core/layout_io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/util/error.h"
 
@@ -33,7 +36,23 @@ PlacementFile load_placement(std::istream& is) {
   is >> magic >> num_videos >> placement.num_servers;
   require(static_cast<bool>(is) && magic == "vodrep-layout",
           "load_placement: missing vodrep-layout header");
-  placement.layout.assignment.resize(num_videos);
+  // num_servers drives O(N) allocations downstream (the auditor's per-server
+  // tables), so it must be bounded before anything trusts it: a forged
+  // header — "-1" wraps to SIZE_MAX when read into size_t — would otherwise
+  // turn validation into a multi-exabyte allocation (found by
+  // fuzz_layout_io).  The cap is 1024x the ROADMAP's N=1024 north star.
+  constexpr std::size_t kMaxNumServers = std::size_t{1} << 20;
+  require(placement.num_servers <= kMaxNumServers,
+          "load_placement: num_servers out of range");
+  // Records are buffered as read and the assignment table materialized only
+  // afterwards, so allocation stays proportional to the bytes actually in
+  // the stream: a forged header claiming 10^18 videos fails on its missing
+  // first record instead of demanding the full table up front (the
+  // fuzz_layout_io target runs this parser under ASan, where a
+  // header-driven pre-allocation is a crash, not a clean reject).
+  constexpr std::size_t kReserveCap = 4096;
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> records;
+  records.reserve(std::min(num_videos, kReserveCap));
   for (std::size_t i = 0; i < num_videos; ++i) {
     std::size_t video = 0;
     std::size_t replicas = 0;
@@ -42,15 +61,21 @@ PlacementFile load_placement(std::istream& is) {
             "load_placement: bad video record");
     require(replicas >= 1 && replicas <= placement.num_servers,
             "load_placement: replica count out of range");
-    auto& servers = placement.layout.assignment[video];
-    require(servers.empty(), "load_placement: duplicate video record");
-    servers.reserve(replicas);
+    std::vector<std::size_t> servers;
+    servers.reserve(std::min(replicas, kReserveCap));
     for (std::size_t k = 0; k < replicas; ++k) {
       std::size_t server = 0;
       is >> server;
       require(static_cast<bool>(is), "load_placement: truncated record");
       servers.push_back(server);
     }
+    records.emplace_back(video, std::move(servers));
+  }
+  placement.layout.assignment.resize(num_videos);
+  for (auto& [video, servers] : records) {
+    auto& slot = placement.layout.assignment[video];
+    require(slot.empty(), "load_placement: duplicate video record");
+    slot = std::move(servers);
   }
   placement.layout.validate(placement.layout.implied_plan(),
                             placement.num_servers,

@@ -96,7 +96,7 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   require(!gauges_.contains(name) && !histograms_.contains(name), [&] {
     return "MetricsRegistry: '" + name + "' already registered as another kind";
   });
@@ -106,7 +106,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   require(!counters_.contains(name) && !histograms_.contains(name), [&] {
     return "MetricsRegistry: '" + name + "' already registered as another kind";
   });
@@ -117,7 +117,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   require(!counters_.contains(name) && !gauges_.contains(name), [&] {
     return "MetricsRegistry: '" + name + "' already registered as another kind";
   });
@@ -134,7 +134,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
@@ -204,7 +204,7 @@ std::string MetricsRegistry::to_json() const {
 }
 
 void MetricsRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -26,10 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace vodrep::obs {
 
@@ -172,28 +173,33 @@ class MetricsRegistry {
   /// Returns the instrument registered under `name`, creating it on first
   /// use.  Re-registering returns the identical instrument; registering a
   /// name that already exists as a different kind (or, for histograms, with
-  /// different bounds) throws InvalidArgumentError.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  /// different bounds) throws InvalidArgumentError.  The returned reference
+  /// is lock-free to use; only the registration map is guarded.
+  Counter& counter(const std::string& name) VODREP_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) VODREP_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds)
+      VODREP_EXCLUDES(mutex_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const VODREP_EXCLUDES(mutex_);
 
   /// Deterministic JSON export: {"counters":{...},"gauges":{...},
   /// "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":x}}}
   /// with names sorted.
-  void write_json(std::ostream& os) const;
-  [[nodiscard]] std::string to_json() const;
+  void write_json(std::ostream& os) const VODREP_EXCLUDES(mutex_);
+  [[nodiscard]] std::string to_json() const VODREP_EXCLUDES(mutex_);
 
   /// Drops every instrument.  Invalidates previously returned references —
   /// only for test isolation and CLI runs that own the whole process.
-  void clear();
+  void clear() VODREP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      VODREP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      VODREP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      VODREP_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for MetricsRegistry::global().

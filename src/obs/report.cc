@@ -6,6 +6,20 @@ namespace vodrep::obs {
 
 namespace {
 
+/// True when `value` is a JSON integer >= 0.  The validator reports shape
+/// problems instead of throwing, so every numeric field goes through this
+/// (or is_int) before as_int()/as_uint() — a report whose counts are
+/// strings, floats, or negative must come back as problems, not as an
+/// InvalidArgumentError escaping validate_run_report (the
+/// fuzz_report_schema target pins this no-throw contract).
+[[nodiscard]] bool is_uint(const JsonValue& value) {
+  return value.kind() == JsonValue::Kind::kInt && value.as_int() >= 0;
+}
+
+[[nodiscard]] bool is_int(const JsonValue& value) {
+  return value.kind() == JsonValue::Kind::kInt;
+}
+
 void check_array_sizes(const JsonValue& timeline, const char* key,
                        std::size_t expected, std::vector<std::string>* out) {
   if (!timeline.has(key)) {
@@ -48,7 +62,7 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
   }
   if (!problems.empty()) return problems;
 
-  if (!report.at("schema_version").is_number() ||
+  if (!is_int(report.at("schema_version")) ||
       report.at("schema_version").as_int() != kRunReportSchemaVersion) {
     problems.push_back("schema_version is not " +
                        std::to_string(kRunReportSchemaVersion));
@@ -82,13 +96,21 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
   if (!rejections.is_object() || !rejections.has("total") ||
       !rejections.has("by_reason") || !rejections.at("by_reason").is_object()) {
     problems.push_back("rejections must carry 'total' and object 'by_reason'");
+  } else if (!is_uint(rejections.at("total"))) {
+    problems.push_back("rejections.total is not a non-negative integer");
   } else {
     std::uint64_t sum = 0;
+    bool counts_ok = true;
     for (const auto& [name, count] : rejections.at("by_reason").members()) {
-      (void)name;
+      if (!is_uint(count)) {
+        problems.push_back("rejections.by_reason['" + name +
+                           "'] is not a non-negative integer");
+        counts_ok = false;
+        continue;
+      }
       sum += count.as_uint();
     }
-    if (sum != rejections.at("total").as_uint()) {
+    if (counts_ok && sum != rejections.at("total").as_uint()) {
       problems.push_back(
           "rejections.by_reason does not sum to rejections.total");
     }
@@ -97,6 +119,8 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
   const JsonValue& timeline = report.at("timeline");
   if (!timeline.is_object() || !timeline.has("num_samples")) {
     problems.push_back("timeline must be an object with 'num_samples'");
+  } else if (!is_uint(timeline.at("num_samples"))) {
+    problems.push_back("timeline.num_samples is not a non-negative integer");
   } else {
     const auto samples = static_cast<std::size_t>(
         timeline.at("num_samples").as_uint());

@@ -30,7 +30,7 @@ std::uint64_t TraceRecorder::now_ns() noexcept {
 
 void TraceRecorder::set_enabled(bool enabled, std::size_t capacity) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (enabled) {
       capacity_ = capacity;
       if (events_.capacity() < capacity_) events_.reserve(capacity_);
@@ -43,7 +43,7 @@ void TraceRecorder::record_complete(const char* name, std::uint64_t ts_ns,
                                     std::uint64_t dur_ns) noexcept {
   if (!enabled()) return;
   const std::uint32_t tid = detail::thread_slot();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -58,7 +58,7 @@ void TraceRecorder::record_complete(const char* name, std::uint64_t ts_ns,
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
@@ -100,7 +100,7 @@ std::string TraceRecorder::to_json() const {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
   recorded_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);

@@ -22,10 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace vodrep::obs {
 
@@ -50,7 +51,8 @@ class TraceRecorder {
   /// Enables recording; reserves space for `capacity` events so the record
   /// hot path never reallocates.  Disabling stops recording but keeps the
   /// buffered events for export.
-  void set_enabled(bool enabled, std::size_t capacity = kDefaultCapacity);
+  void set_enabled(bool enabled, std::size_t capacity = kDefaultCapacity)
+      VODREP_EXCLUDES(mutex_);
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
@@ -60,10 +62,10 @@ class TraceRecorder {
 
   /// Appends one complete event (no-op while disabled).  Thread-safe.
   void record_complete(const char* name, std::uint64_t ts_ns,
-                       std::uint64_t dur_ns) noexcept;
+                       std::uint64_t dur_ns) noexcept VODREP_EXCLUDES(mutex_);
 
   /// Copy of the buffered events (for assertions; export uses write_json).
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const VODREP_EXCLUDES(mutex_);
 
   // Instrument counters, for tests and for the export metadata.
   [[nodiscard]] std::uint64_t events_recorded() const noexcept {
@@ -84,7 +86,7 @@ class TraceRecorder {
   [[nodiscard]] std::string to_json() const;
 
   /// Discards buffered events and resets the instrument counters.
-  void clear();
+  void clear() VODREP_EXCLUDES(mutex_);
 
   static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
@@ -93,9 +95,9 @@ class TraceRecorder {
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> buffer_grows_{0};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::size_t capacity_ = 0;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ VODREP_GUARDED_BY(mutex_);
+  std::size_t capacity_ VODREP_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span: arms itself only when the recorder is enabled at construction,

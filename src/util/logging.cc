@@ -23,13 +23,13 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sink_ = sink;
 }
 
 void Logger::emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(this->level())) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
   os << "[" << level_tag(level) << "] " << message << "\n";
 }

@@ -7,10 +7,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
+
+#include "src/util/thread_annotations.h"
 
 namespace vodrep {
 
@@ -33,16 +34,18 @@ class Logger {
   }
 
   /// Redirects output (default stderr).  The stream must outlive all logging.
-  void set_sink(std::ostream* sink);
+  void set_sink(std::ostream* sink) VODREP_EXCLUDES(mutex_);
 
   /// Emits one formatted line; called by the LOG macro machinery.
-  void emit(LogLevel level, const std::string& message);
+  void emit(LogLevel level, const std::string& message) VODREP_EXCLUDES(mutex_);
 
  private:
   Logger() = default;
   std::atomic<LogLevel> level_{LogLevel::kInfo};
-  std::ostream* sink_ = nullptr;
-  std::mutex mutex_;
+  Mutex mutex_;
+  /// The sink pointer itself is guarded; the pointed-to stream is only
+  /// written under the same mutex (one emit at a time).
+  std::ostream* sink_ VODREP_GUARDED_BY(mutex_) = nullptr;
 };
 
 namespace detail {

@@ -1,0 +1,149 @@
+// Clang thread-safety capability annotations, plus the annotated mutex and
+// lock types the library's shared state is expressed with.
+//
+// The repository's headline concurrency guarantee — bit-identical solver and
+// simulator output at any thread-pool size — used to be enforced only
+// dynamically (tests + tsan).  These macros make the locking contracts
+// machine-checked at *compile time*: every mutex-protected member is declared
+// VODREP_GUARDED_BY(its mutex), every function that expects a lock held says
+// so with VODREP_REQUIRES, and the clang CI lanes build with
+// -Werror=thread-safety, so an unguarded access is a build break rather than
+// a rare flaky test.  On non-clang compilers (and on clang versions without
+// the attributes) every macro expands to nothing.
+//
+// The analysis only understands lock types that are themselves annotated —
+// libstdc++'s std::mutex is not — so the library wraps std::mutex in
+// vodrep::Mutex (a capability) and locks it through vodrep::MutexLock /
+// vodrep::UniqueLock (scoped capabilities).  UniqueLock additionally models
+// BasicLockable so it can sit under std::condition_variable_any.
+//
+// Annotation conventions (DESIGN.md §8):
+//   * members written under a mutex: VODREP_GUARDED_BY(mutex_);
+//   * private helpers called with the lock held: VODREP_REQUIRES(mutex_);
+//   * public entry points that take the lock themselves: VODREP_EXCLUDES
+//     when re-entry would deadlock;
+//   * atomics are not annotated — their safety is carried by the type.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define VODREP_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define VODREP_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if VODREP_HAS_THREAD_ATTRIBUTE(guarded_by)
+#define VODREP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define VODREP_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis can track.
+#define VODREP_CAPABILITY(name) VODREP_THREAD_ANNOTATION_(capability(name))
+
+/// Declares a RAII type whose lifetime acquires/releases a capability.
+#define VODREP_SCOPED_CAPABILITY VODREP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member data that must only be accessed while `x` is held.
+#define VODREP_GUARDED_BY(x) VODREP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* must only be accessed while `x` is held.
+#define VODREP_PT_GUARDED_BY(x) VODREP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called with the listed capabilities held.
+#define VODREP_REQUIRES(...) \
+  VODREP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding them.
+#define VODREP_ACQUIRE(...) \
+  VODREP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define VODREP_RELEASE(...) \
+  VODREP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `result`.
+#define VODREP_TRY_ACQUIRE(result, ...) \
+  VODREP_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must be called *without* the listed capabilities held
+/// (it takes them itself; calling with them held would deadlock).
+#define VODREP_EXCLUDES(...) \
+  VODREP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned object.
+#define VODREP_RETURN_CAPABILITY(x) VODREP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function.  Every use must carry a
+/// comment stating the invariant that makes the unchecked access safe.
+#define VODREP_NO_THREAD_SAFETY_ANALYSIS \
+  VODREP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace vodrep {
+
+/// std::mutex wrapped as an annotated capability.  Same semantics and cost;
+/// exists so clang's analysis can associate VODREP_GUARDED_BY members with
+/// the lock operations protecting them.
+class VODREP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VODREP_ACQUIRE() { mutex_.lock(); }
+  void unlock() VODREP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() VODREP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock of a Mutex (the std::lock_guard shape): acquires on
+/// construction, releases on destruction, no unlock in between.
+class VODREP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) VODREP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() VODREP_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped lock that additionally models BasicLockable, so it can be handed
+/// to std::condition_variable_any::wait (which unlocks while blocked and
+/// re-locks before returning — a net no-op for the capability state at the
+/// call site, which is exactly what the analysis assumes of an unannotated
+/// call).  Always holds the lock at destruction unless unlock() was the last
+/// explicit call.
+class VODREP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) VODREP_ACQUIRE(mutex)
+      : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  ~UniqueLock() VODREP_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  void lock() VODREP_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() VODREP_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+}  // namespace vodrep

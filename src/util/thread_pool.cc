@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "src/util/error.h"
 
@@ -21,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -30,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -40,8 +41,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the analysis then
+      // sees every guarded read under the held lock.
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -63,10 +66,10 @@ struct ParallelForState {
   const std::function<void(std::size_t)> body;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex error_mutex;
+  std::exception_ptr first_error VODREP_GUARDED_BY(error_mutex);
+  Mutex done_mutex;
+  std::condition_variable_any done_cv;
 
   void drain() {
     for (;;) {
@@ -75,11 +78,11 @@ struct ParallelForState {
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
-        std::lock_guard<std::mutex> lock(done_mutex);
+        MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     }
@@ -101,12 +104,17 @@ void ThreadPool::parallel_for(std::size_t count,
   state->drain();
 
   {
-    std::unique_lock<std::mutex> lock(state->done_mutex);
-    state->done_cv.wait(lock, [&] {
-      return state->done.load(std::memory_order_acquire) == count;
-    });
+    UniqueLock lock(state->done_mutex);
+    while (state->done.load(std::memory_order_acquire) != count) {
+      state->done_cv.wait(lock);
+    }
   }
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state->error_mutex);
+    first_error = state->first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace vodrep

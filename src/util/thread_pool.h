@@ -4,15 +4,20 @@
 // replication owns its RNG (derived from the base seed and run index) so the
 // result is identical regardless of thread count or scheduling.  The pool
 // offers a bulk parallel_for, which is the only primitive the harness needs.
+//
+// Queue and shutdown state are mutex-protected and annotated
+// (VODREP_GUARDED_BY) so the clang lanes verify the locking discipline at
+// compile time; see src/util/thread_annotations.h.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace vodrep {
 
@@ -37,14 +42,16 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body);
 
  private:
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) VODREP_EXCLUDES(mutex_);
   void worker_loop();
 
+  /// Set once in the constructor, then only read; not guarded.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ VODREP_GUARDED_BY(mutex_);
+  bool stopping_ VODREP_GUARDED_BY(mutex_) = false;
+  /// condition_variable_any so it can wait on the annotated UniqueLock.
+  std::condition_variable_any cv_;
 };
 
 }  // namespace vodrep

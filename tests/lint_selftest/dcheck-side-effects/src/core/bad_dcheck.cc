@@ -1,0 +1,15 @@
+// Lint self-test fixture: deliberately violates `dcheck-side-effects`.
+// The increment inside VODREP_DCHECK_LT only happens in builds where
+// contracts are armed, so release and debug binaries disagree on `cursor`.
+#include <cstddef>
+
+#define VODREP_DCHECK_LT(a, b) static_cast<void>((a) < (b))
+
+namespace vodrep {
+
+std::size_t advance(std::size_t cursor, std::size_t limit) {
+  VODREP_DCHECK_LT(cursor++, limit);
+  return cursor;
+}
+
+}  // namespace vodrep

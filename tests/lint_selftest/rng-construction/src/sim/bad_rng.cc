@@ -1,0 +1,15 @@
+// Lint self-test fixture: deliberately violates `rng-construction`.
+// A std:: engine/distribution outside src/util/rng sidesteps the explicitly
+// seeded vodrep::Rng — std::uniform_real_distribution's output sequence is
+// not specified identically across standard libraries.
+#include <random>
+
+namespace vodrep {
+
+double draw_load_factor() {
+  std::mt19937_64 engine(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine);
+}
+
+}  // namespace vodrep

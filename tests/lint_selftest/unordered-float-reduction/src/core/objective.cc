@@ -1,0 +1,17 @@
+// Lint self-test fixture: deliberately violates `unordered-float-reduction`.
+// Summing doubles over an unordered_set in Eq. 1-3 objective code makes the
+// total depend on the hash table's unspecified iteration order: float
+// addition is not associative, so the objective drifts in the last bits.
+#include <unordered_set>
+
+namespace vodrep {
+
+double summed_bitrate(const std::unordered_set<int>& bitrate_milli) {
+  double total_bps = 0.0;
+  for (const int rate : bitrate_milli) {
+    total_bps += static_cast<double>(rate) * 1000.0;
+  }
+  return total_bps;
+}
+
+}  // namespace vodrep

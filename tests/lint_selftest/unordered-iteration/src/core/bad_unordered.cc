@@ -1,0 +1,18 @@
+// Lint self-test fixture: deliberately violates `unordered-iteration`.
+// An unordered container in a deterministic path (src/core) is exactly the
+// hazard the rule exists for — iteration order differs across libstdc++ and
+// libc++, so any range-for over it breaks bit-reproducibility.
+#include <cstddef>
+#include <unordered_map>
+
+namespace vodrep {
+
+std::size_t count_replicas(const std::unordered_map<int, int>& replicas) {
+  std::size_t total = 0;
+  for (const auto& [video, count] : replicas) {
+    total += static_cast<std::size_t>(count);
+  }
+  return total;
+}
+
+}  // namespace vodrep

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy at the repo root) over every
-# first-party translation unit under src/, using the compilation database of
-# an existing build directory.
+# Runs the full static-analysis gauntlet: clang-tidy (config: .clang-tidy at
+# the repo root) over every first-party translation unit under src/, using
+# the compilation database of an existing build directory, followed by the
+# project-specific determinism/contract lint (tools/vodrep_lint).
 #
 #   tools/run_clang_tidy.sh [build-dir]
 #
 # The build directory defaults to ./build and must have been configured with
 # CMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo's CMakeLists turns it on).
-# Exits non-zero when clang-tidy reports any finding (WarningsAsErrors: '*').
+# Exits non-zero when clang-tidy or vodrep_lint reports any finding
+# (WarningsAsErrors: '*').  vodrep_lint additionally runs its clang-query
+# AST matcher pack when clang-query is installed.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,4 +33,12 @@ status=0
 for source in "${sources[@]}"; do
   clang-tidy --quiet -p "${build_dir}" "${source}" || status=1
 done
+
+echo "vodrep_lint (determinism/contract rules)"
+lint_args=(--root "${repo_root}")
+if command -v clang-query >/dev/null 2>&1; then
+  lint_args+=(--clang-query "${build_dir}")
+fi
+python3 "${repo_root}/tools/vodrep_lint" "${lint_args[@]}" || status=1
+
 exit "${status}"
