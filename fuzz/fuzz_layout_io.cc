@@ -41,6 +41,19 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     VODREP_FUZZ_FAIL("load_placement accepted a layout the auditor rejects: %s",
                      report.summary().c_str());
   }
+  // Accepted v2 files additionally carry prefix fractions; the fractional
+  // audit path re-derives per-server slot usage as sum f_i and checks every
+  // fraction against (0, 1] from the raw vector.
+  if (placement.has_asset_metadata()) {
+    const vodrep::AuditReport fractional = auditor.audit(
+        placement.layout, &plan, nullptr, &placement.prefix_fraction);
+    if (!fractional.ok()) {
+      VODREP_FUZZ_FAIL(
+          "load_placement accepted v2 metadata the fractional auditor "
+          "rejects: %s",
+          fractional.summary().c_str());
+    }
+  }
 
   // Oracle 2: save/load round trip must reproduce the placement exactly.
   std::ostringstream saved;
@@ -61,6 +74,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (reloaded.num_servers != placement.num_servers ||
       reloaded.layout.assignment != placement.layout.assignment) {
     VODREP_FUZZ_FAIL("save/load round trip changed the placement");
+  }
+  // Doubles are written with max_digits10, so even the v2 metadata must
+  // round trip bit-exactly (vector equality compares every double).
+  if (reloaded.prefix_fraction != placement.prefix_fraction ||
+      reloaded.variant_bitrates_bps != placement.variant_bitrates_bps) {
+    VODREP_FUZZ_FAIL("save/load round trip changed the v2 asset metadata");
   }
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "src/core/layout_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -10,6 +12,44 @@
 #include "src/util/error.h"
 
 namespace vodrep {
+namespace {
+
+// num_servers drives O(N) allocations downstream (the auditor's per-server
+// tables), so it must be bounded before anything trusts it: a forged
+// header — "-1" wraps to SIZE_MAX when read into size_t — would otherwise
+// turn validation into a multi-exabyte allocation (found by
+// fuzz_layout_io).  The cap is 1024x the ROADMAP's N=1024 north star.
+constexpr std::size_t kMaxNumServers = std::size_t{1} << 20;
+// Records are buffered as read and tables materialized only afterwards, so
+// allocation stays proportional to the bytes actually in the stream; this
+// caps the speculative reserve for forged counts.
+constexpr std::size_t kReserveCap = 4096;
+// Per-video variant ladders are the v2 parser's second header-driven
+// allocation; bound them the same way the server count is bounded.
+constexpr std::size_t kMaxVariants = 64;
+
+void check_asset_metadata(const PlacementFile& placement) {
+  const std::size_t m = placement.layout.num_videos();
+  require(placement.prefix_fraction.size() == m &&
+              placement.variant_bitrates_bps.size() == m,
+          "save_placement: asset metadata size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    const double f = placement.prefix_fraction[i];
+    require(std::isfinite(f) && f > 0.0 && f <= 1.0,
+            "save_placement: prefix fraction out of (0, 1]");
+    const std::vector<double>& rates = placement.variant_bitrates_bps[i];
+    require(!rates.empty() && rates.size() <= kMaxVariants,
+            "save_placement: variant count out of range");
+    double prev = 0.0;
+    for (double rate : rates) {
+      require(std::isfinite(rate) && rate > prev,
+              "save_placement: variant rates must be positive and ascending");
+      prev = rate;
+    }
+  }
+}
+
+}  // namespace
 
 void save_placement(std::ostream& os, const PlacementFile& placement) {
   // Structural validation only (distinct in-range servers, >= 1 replica);
@@ -18,15 +58,41 @@ void save_placement(std::ostream& os, const PlacementFile& placement) {
                             placement.num_servers,
                             placement.layout.num_videos() *
                                 placement.num_servers);
-  os << "vodrep-layout " << placement.layout.num_videos() << " "
+  if (!placement.has_asset_metadata()) {
+    require(placement.variant_bitrates_bps.empty(),
+            "save_placement: variant ladder without prefix fractions");
+    os << "vodrep-layout " << placement.layout.num_videos() << " "
+       << placement.num_servers << "\n";
+    for (std::size_t video = 0; video < placement.layout.num_videos();
+         ++video) {
+      const auto& servers = placement.layout.assignment[video];
+      require(!servers.empty(), "save_placement: video has no replica");
+      os << video << " " << servers.size();
+      for (std::size_t server : servers) os << " " << server;
+      os << "\n";
+    }
+    return;
+  }
+
+  check_asset_metadata(placement);
+  // max_digits10 makes the text round trip bit-exact for every finite
+  // double, which the fuzz oracle's save/load check relies on.
+  const std::streamsize saved_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "vodrep-layout-v2 " << placement.layout.num_videos() << " "
      << placement.num_servers << "\n";
   for (std::size_t video = 0; video < placement.layout.num_videos(); ++video) {
     const auto& servers = placement.layout.assignment[video];
     require(!servers.empty(), "save_placement: video has no replica");
-    os << video << " " << servers.size();
+    const std::vector<double>& rates = placement.variant_bitrates_bps[video];
+    os << video << " " << placement.prefix_fraction[video] << " "
+       << rates.size();
+    for (double rate : rates) os << " " << rate;
+    os << " " << servers.size();
     for (std::size_t server : servers) os << " " << server;
     os << "\n";
   }
+  os.precision(saved_precision);
 }
 
 PlacementFile load_placement(std::istream& is) {
@@ -34,48 +100,80 @@ PlacementFile load_placement(std::istream& is) {
   std::size_t num_videos = 0;
   PlacementFile placement;
   is >> magic >> num_videos >> placement.num_servers;
-  require(static_cast<bool>(is) && magic == "vodrep-layout",
+  const bool v2 = magic == "vodrep-layout-v2";
+  require(static_cast<bool>(is) && (magic == "vodrep-layout" || v2),
           "load_placement: missing vodrep-layout header");
-  // num_servers drives O(N) allocations downstream (the auditor's per-server
-  // tables), so it must be bounded before anything trusts it: a forged
-  // header — "-1" wraps to SIZE_MAX when read into size_t — would otherwise
-  // turn validation into a multi-exabyte allocation (found by
-  // fuzz_layout_io).  The cap is 1024x the ROADMAP's N=1024 north star.
-  constexpr std::size_t kMaxNumServers = std::size_t{1} << 20;
   require(placement.num_servers <= kMaxNumServers,
           "load_placement: num_servers out of range");
-  // Records are buffered as read and the assignment table materialized only
+  // Records are buffered as read and the tables materialized only
   // afterwards, so allocation stays proportional to the bytes actually in
   // the stream: a forged header claiming 10^18 videos fails on its missing
   // first record instead of demanding the full table up front (the
   // fuzz_layout_io target runs this parser under ASan, where a
   // header-driven pre-allocation is a crash, not a clean reject).
-  constexpr std::size_t kReserveCap = 4096;
-  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> records;
+  struct Record {
+    std::size_t video = 0;
+    double fraction = 1.0;
+    std::vector<double> rates;
+    std::vector<std::size_t> servers;
+  };
+  std::vector<Record> records;
   records.reserve(std::min(num_videos, kReserveCap));
   for (std::size_t i = 0; i < num_videos; ++i) {
-    std::size_t video = 0;
-    std::size_t replicas = 0;
-    is >> video >> replicas;
-    require(static_cast<bool>(is) && video < num_videos,
+    Record record;
+    is >> record.video;
+    require(static_cast<bool>(is) && record.video < num_videos,
             "load_placement: bad video record");
+    if (v2) {
+      std::size_t num_variants = 0;
+      is >> record.fraction >> num_variants;
+      require(static_cast<bool>(is), "load_placement: truncated v2 record");
+      require(std::isfinite(record.fraction) && record.fraction > 0.0 &&
+                  record.fraction <= 1.0,
+              "load_placement: prefix fraction out of (0, 1]");
+      // Like the num_servers cap: "-1" wraps to SIZE_MAX, and the variant
+      // list is a header-driven allocation that must stay bounded.
+      require(num_variants >= 1 && num_variants <= kMaxVariants,
+              "load_placement: variant count out of range");
+      record.rates.reserve(num_variants);
+      double prev_rate = 0.0;
+      for (std::size_t v = 0; v < num_variants; ++v) {
+        double rate = 0.0;
+        is >> rate;
+        require(static_cast<bool>(is) && std::isfinite(rate) &&
+                    rate > prev_rate,
+                "load_placement: variant rates must be positive, ascending");
+        record.rates.push_back(rate);
+        prev_rate = rate;
+      }
+    }
+    std::size_t replicas = 0;
+    is >> replicas;
+    require(static_cast<bool>(is), "load_placement: bad video record");
     require(replicas >= 1 && replicas <= placement.num_servers,
             "load_placement: replica count out of range");
-    std::vector<std::size_t> servers;
-    servers.reserve(std::min(replicas, kReserveCap));
+    record.servers.reserve(std::min(replicas, kReserveCap));
     for (std::size_t k = 0; k < replicas; ++k) {
       std::size_t server = 0;
       is >> server;
       require(static_cast<bool>(is), "load_placement: truncated record");
-      servers.push_back(server);
+      record.servers.push_back(server);
     }
-    records.emplace_back(video, std::move(servers));
+    records.push_back(std::move(record));
   }
   placement.layout.assignment.resize(num_videos);
-  for (auto& [video, servers] : records) {
-    auto& slot = placement.layout.assignment[video];
+  if (v2) {
+    placement.prefix_fraction.assign(num_videos, 1.0);
+    placement.variant_bitrates_bps.resize(num_videos);
+  }
+  for (auto& record : records) {
+    auto& slot = placement.layout.assignment[record.video];
     require(slot.empty(), "load_placement: duplicate video record");
-    slot = std::move(servers);
+    slot = std::move(record.servers);
+    if (v2) {
+      placement.prefix_fraction[record.video] = record.fraction;
+      placement.variant_bitrates_bps[record.video] = std::move(record.rates);
+    }
   }
   placement.layout.validate(placement.layout.implied_plan(),
                             placement.num_servers,

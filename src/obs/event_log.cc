@@ -14,6 +14,8 @@ std::string_view reject_reason_name(RejectReason reason) {
       return "no_replica_alive";
     case RejectReason::kStripeUnavailable:
       return "stripe_unavailable";
+    case RejectReason::kCacheMissOriginBusy:
+      return "cache_miss_origin_busy";
   }
   return "unknown";
 }

@@ -32,8 +32,9 @@ enum class RejectReason : std::uint8_t {
   kNoBandwidth,            ///< scheduled server(s) lacked outgoing bandwidth
   kNoReplicaAlive,         ///< every replica holder of the video has crashed
   kStripeUnavailable,      ///< a stripe-group member has crashed
+  kCacheMissOriginBusy,    ///< edge-cache miss and the origin had no bandwidth
 };
-inline constexpr std::size_t kNumRejectReasons = 4;
+inline constexpr std::size_t kNumRejectReasons = 5;
 
 [[nodiscard]] std::string_view reject_reason_name(RejectReason reason);
 

@@ -128,6 +128,13 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
                             "max_utilization", "requests", "rejected"}) {
       check_array_sizes(timeline, key, samples, &problems);
     }
+    // Cache columns arrived with the edge-tier work; they are optional so
+    // pre-cache reports stay valid, but when present they must line up.
+    for (const char* key : {"cache_hits", "cache_misses"}) {
+      if (timeline.has(key)) {
+        check_array_sizes(timeline, key, samples, &problems);
+      }
+    }
     if (!timeline.has("utilization_per_server") ||
         !timeline.at("utilization_per_server").is_array()) {
       problems.push_back("timeline.utilization_per_server is not an array");

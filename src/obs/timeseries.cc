@@ -33,7 +33,9 @@ TimeseriesCollector::TimeseriesCollector(const TimeseriesConfig& config,
 
 void TimeseriesCollector::record(double eq2, double mean_util, double max_util,
                                  std::uint64_t requests, std::uint64_t rejected,
-                                 const std::vector<double>& utilization) {
+                                 const std::vector<double>& utilization,
+                                 std::uint64_t cache_hits,
+                                 std::uint64_t cache_misses) {
   VODREP_DCHECK(utilization.size() == num_servers_,
                 "TimeseriesCollector: utilization size mismatch");
   if (size_ == max_samples_) compact();
@@ -44,6 +46,8 @@ void TimeseriesCollector::record(double eq2, double mean_util, double max_util,
   slot.max_utilization = max_util;
   slot.requests = requests;
   slot.rejected = rejected;
+  slot.cache_hits = cache_hits;
+  slot.cache_misses = cache_misses;
   std::copy(utilization.begin(), utilization.end(), slot.utilization.begin());
   next_due_global_ += interval_sec_;
 }
@@ -88,6 +92,8 @@ JsonValue TimeseriesCollector::to_json() const {
   JsonValue max_util = JsonValue::array();
   JsonValue requests = JsonValue::array();
   JsonValue rejected = JsonValue::array();
+  JsonValue cache_hits = JsonValue::array();
+  JsonValue cache_misses = JsonValue::array();
   for (std::size_t i = 0; i < size_; ++i) {
     const TimeSample& s = samples_[i];
     time.push_back(JsonValue::number(s.time));
@@ -96,6 +102,8 @@ JsonValue TimeseriesCollector::to_json() const {
     max_util.push_back(JsonValue::number(s.max_utilization));
     requests.push_back(JsonValue::integer_u64(s.requests));
     rejected.push_back(JsonValue::integer_u64(s.rejected));
+    cache_hits.push_back(JsonValue::integer_u64(s.cache_hits));
+    cache_misses.push_back(JsonValue::integer_u64(s.cache_misses));
   }
   root.set("time", std::move(time));
   root.set("imbalance_eq2", std::move(eq2));
@@ -103,6 +111,8 @@ JsonValue TimeseriesCollector::to_json() const {
   root.set("max_utilization", std::move(max_util));
   root.set("requests", std::move(requests));
   root.set("rejected", std::move(rejected));
+  root.set("cache_hits", std::move(cache_hits));
+  root.set("cache_misses", std::move(cache_misses));
   JsonValue per_server = JsonValue::array();
   for (std::size_t s = 0; s < num_servers_; ++s) {
     JsonValue series = JsonValue::array();

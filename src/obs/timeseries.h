@@ -47,6 +47,8 @@ struct TimeSample {
   double max_utilization = 0.0;
   std::uint64_t requests = 0;     ///< requests dispatched so far
   std::uint64_t rejected = 0;     ///< rejections so far
+  std::uint64_t cache_hits = 0;   ///< cumulative edge-cache hits (0 = no cache)
+  std::uint64_t cache_misses = 0; ///< cumulative edge-cache misses
   std::vector<double> utilization;  ///< per-server l_j / B_j
 
   friend bool operator==(const TimeSample&, const TimeSample&) = default;
@@ -76,9 +78,12 @@ class TimeseriesCollector {
   /// Stores one sample at engine-local time next_due() and advances the
   /// schedule; compacts (drop every second sample, double the interval)
   /// when the buffer is full.  `utilization` must have num_servers entries.
+  /// The trailing cache counters are cumulative (like requests/rejected) and
+  /// default to zero so cache-less recorders need not mention them.
   void record(double eq2, double mean_util, double max_util,
               std::uint64_t requests, std::uint64_t rejected,
-              const std::vector<double>& utilization);
+              const std::vector<double>& utilization,
+              std::uint64_t cache_hits = 0, std::uint64_t cache_misses = 0);
 
   /// Appends an annotation at *global* time (bounded; dropped-and-counted
   /// beyond max_annotations).
@@ -113,7 +118,8 @@ class TimeseriesCollector {
   /// Columnar export: {"interval_sec":..,"downsample_factor":..,
   /// "num_samples":..,"time":[..],"imbalance_eq2":[..],
   /// "mean_utilization":[..],"max_utilization":[..],"requests":[..],
-  /// "rejected":[..],"utilization_per_server":[[server 0 series],...]}.
+  /// "rejected":[..],"cache_hits":[..],"cache_misses":[..],
+  /// "utilization_per_server":[[server 0 series],...]}.
   [[nodiscard]] JsonValue to_json() const;
   /// [{"t":..,"label":".."},...] plus nothing else; pair with to_json().
   [[nodiscard]] JsonValue annotations_json() const;

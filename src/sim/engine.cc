@@ -61,6 +61,13 @@ double SimResult::rejection_rate() const {
              : static_cast<double>(rejected) / static_cast<double>(total_requests);
 }
 
+double SimResult::cache_hit_ratio() const {
+  const std::uint64_t total = cache_hits + cache_misses;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(cache_hits) / static_cast<double>(total);
+}
+
 double SimResult::mean_utilization() const {
   if (utilization_per_server.empty()) return 0.0;
   double sum = 0.0;
@@ -88,6 +95,7 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
   require(trace.is_well_formed(), "SimEngine::run: malformed trace");
   VODREP_TRACE_SCOPE("sim.run");
   policy.bind(*this);
+  cache_stats_ = policy.cache_stats();
 
   // Per-request dispatch timing is the one per-event obs cost; it is paid
   // only when metrics are enabled at run start (two steady-clock reads and
@@ -169,6 +177,11 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
           integral / (trace.horizon * capacities_bps_[s]);
     }
   }
+  if (cache_stats_ != nullptr) {
+    result_.cache_hits = cache_stats_->hits;
+    result_.cache_misses = cache_stats_->misses;
+    result_.cache_evictions = cache_stats_->evictions;
+  }
   if (obs::metrics_enabled()) export_metrics();
   return result_;
 }
@@ -198,6 +211,14 @@ void SimEngine::export_metrics() const {
       .set_max(static_cast<double>(heap_high_water_));
   registry.gauge("sim.mean_imbalance_eq2").set(result_.mean_imbalance_eq2);
   registry.gauge("sim.mean_utilization").set(result_.mean_utilization());
+  // Cache counters fold only for runs that actually had a cache tier, so a
+  // cache-less process never grows sim.cache.* series.
+  if (cache_stats_ != nullptr) {
+    registry.counter("sim.cache.hits").add(result_.cache_hits);
+    registry.counter("sim.cache.misses").add(result_.cache_misses);
+    registry.counter("sim.cache.evictions").add(result_.cache_evictions);
+    registry.gauge("sim.cache.hit_ratio").set(result_.cache_hit_ratio());
+  }
 }
 
 void SimEngine::admit(std::size_t s, double bitrate_bps) {
@@ -306,8 +327,12 @@ void SimEngine::sample_timeline_to(double t) {
       mean = utilization_sum_ / static_cast<double>(servers_.size());
       if (mean > 0.0) eq2 = std::max(0.0, (max - mean) / mean);
     }
+    const std::uint64_t cache_hits =
+        cache_stats_ != nullptr ? cache_stats_->hits : 0;
+    const std::uint64_t cache_misses =
+        cache_stats_ != nullptr ? cache_stats_->misses : 0;
     timeline_->record(eq2, mean, max, requests_dispatched_, result_.rejected,
-                      utilization_);
+                      utilization_, cache_hits, cache_misses);
   }
 }
 

@@ -90,6 +90,27 @@ struct SimConfig {
   void require_replication_extensions_unset(const char* organization) const;
 };
 
+/// Counters an edge-cache tier exposes to the engine (see
+/// PrefixCachePolicy).  A policy that owns a cache keeps one instance live
+/// for the whole run and returns it from cache_stats(); the engine snapshots
+/// it into SimResult and samples the cumulative hit/miss counts into the
+/// load timeline.
+struct CacheTierStats {
+  std::uint64_t hits = 0;        ///< requests whose prefix was cache-resident
+  std::uint64_t misses = 0;      ///< requests that had to fetch the prefix
+  std::uint64_t evictions = 0;   ///< entries evicted to make room
+  std::uint64_t insertions = 0;  ///< entries admitted into the cache
+  double used_bytes = 0.0;       ///< bytes resident at end of run
+  double capacity_bytes = 0.0;   ///< configured cache capacity
+
+  /// hits / (hits + misses); 0 when the cache saw no traffic.
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 struct SimResult {
   std::size_t total_requests = 0;
   std::size_t rejected = 0;
@@ -119,6 +140,15 @@ struct SimResult {
   /// the paper's Figure 6 (peak just below saturation, collapse once every
   /// server clips at capacity).
   double mean_imbalance_capacity = 0.0;
+
+  /// Edge-cache tier counters, copied from the policy's CacheTierStats in
+  /// the run epilogue; all zero when the policy has no cache tier.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  /// cache_hits / (cache_hits + cache_misses); 0 when the run had no cache
+  /// traffic.
+  [[nodiscard]] double cache_hit_ratio() const;
 
   /// Streams admitted per server (served counts).
   std::vector<std::size_t> served_per_server;
@@ -221,6 +251,9 @@ class SimEngine {
   std::size_t requests_dispatched_ = 0;  ///< arrivals processed so far
   obs::TimeseriesCollector* timeline_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
+  /// Borrowed from the policy in run() (nullptr for cache-less policies);
+  /// read for timeline samples and snapshotted in the epilogue.
+  const CacheTierStats* cache_stats_ = nullptr;
 
   // --- observability tallies (plain counters; the engine is single-threaded
   // per run, and the fold into the global obs::MetricsRegistry happens once
@@ -275,6 +308,14 @@ class StoragePolicy {
   /// down every stream the crash kills, and returns how many admitted
   /// streams were disrupted.
   virtual std::size_t on_crash(std::size_t server) = 0;
+
+  /// Live cache-tier counters, or nullptr when the organization has no edge
+  /// cache.  The engine reads the pointer once in run() (right after bind)
+  /// and samples it as the run progresses, so the instance must stay valid
+  /// for the whole replay.
+  [[nodiscard]] virtual const CacheTierStats* cache_stats() const {
+    return nullptr;
+  }
 };
 
 }  // namespace vodrep

@@ -1,0 +1,135 @@
+// StoragePolicy for the replicated organization fronted by an edge-proxy
+// prefix cache (the segment/prefix content model, DESIGN.md §9).
+//
+// The edge tier holds the first `prefix_fraction` of each video (the prefix
+// a viewer watches before the origin can stage the suffix).  A request
+// first consults the cache:
+//
+//   * prefix HIT, viewer stops inside the prefix — served entirely from the
+//     edge; no origin bandwidth is reserved at all;
+//   * prefix HIT, viewer watches past the prefix — only the suffix streams
+//     from the origin cluster, holding origin bandwidth for
+//     (watch_fraction - prefix_fraction) * duration seconds;
+//   * prefix MISS — the whole watched stream comes from the origin (the
+//     fetch that fills the cache rides the same stream), and the prefix is
+//     inserted into the cache, evicting per the configured policy.
+//
+// Rejection attribution is exact: a blocked suffix after a hit is plain
+// kNoBandwidth (the cache did its job; the origin link was the constraint),
+// a miss with at least one live replica holder but no origin bandwidth is
+// the new kCacheMissOriginBusy, and a miss with every holder crashed stays
+// kNoReplicaAlive.  With capacity 0 the cache tier is disabled outright and
+// the policy reproduces ReplicatedPolicy decision-for-decision, reasons
+// included (asserted by tests/prefix_cache_test.cc).
+//
+// The cache itself (PrefixCache) is deterministic by construction: victim
+// selection is an O(M) scan over flat vectors keyed by a monotone access
+// tick — no pointer- or hash-ordered iteration anywhere (the vodrep_lint
+// determinism rules apply to this file).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/sim/dispatcher.h"
+#include "src/sim/engine.h"
+
+namespace vodrep {
+
+/// Which resident prefix to evict when the cache is full.
+enum class CacheEvictionPolicy {
+  kLru,  ///< least recently touched prefix
+  kLfu,  ///< least frequently touched; recency breaks ties (older evicts)
+};
+
+/// Deterministic fixed-capacity prefix cache over videos 0..M-1 with
+/// per-video entry sizes fixed at construction.  lookup() counts hits and
+/// misses and refreshes recency/frequency; insert() admits one entry,
+/// evicting per the policy until it fits.  All state is flat vectors; the
+/// same access sequence always produces the same residency and stats.
+class PrefixCache {
+ public:
+  /// `entry_bytes[i]` is the stored size of video i's prefix (> 0, finite).
+  PrefixCache(CacheEvictionPolicy policy, double capacity_bytes,
+              std::vector<double> entry_bytes);
+
+  /// True (and a counted hit, with recency/frequency refreshed) when the
+  /// video's prefix is resident; a counted miss otherwise.
+  [[nodiscard]] bool lookup(std::size_t video);
+
+  /// Admits `video` after a miss, evicting victims until it fits.  An entry
+  /// larger than the whole cache is never admitted (no eviction churn).
+  /// No-op if the video is already resident.
+  void insert(std::size_t video);
+
+  [[nodiscard]] bool resident(std::size_t video) const {
+    return resident_[video] != 0;
+  }
+  [[nodiscard]] double used_bytes() const { return stats_.used_bytes; }
+  [[nodiscard]] const CacheTierStats& stats() const { return stats_; }
+
+ private:
+  /// Deterministic victim: LRU = smallest last-touch tick; LFU = smallest
+  /// (frequency, last-touch tick).  Ticks are unique, so there are no ties.
+  [[nodiscard]] std::size_t pick_victim() const;
+
+  CacheEvictionPolicy policy_;
+  double capacity_bytes_ = 0.0;
+  std::vector<double> entry_bytes_;
+  std::vector<std::uint8_t> resident_;
+  std::vector<std::uint64_t> freq_;        ///< touches since insertion
+  std::vector<std::uint64_t> last_touch_;  ///< access tick of last touch
+  std::uint64_t tick_ = 0;                 ///< monotone access counter
+  CacheTierStats stats_;
+};
+
+/// Configuration of the edge tier in front of the replicated origin.
+struct PrefixCacheOptions {
+  CacheEvictionPolicy eviction = CacheEvictionPolicy::kLru;
+  /// Total edge capacity in bytes; 0 disables the tier entirely (the policy
+  /// then replays ReplicatedPolicy exactly).
+  double capacity_bytes = 0.0;
+  /// Per-video stored prefix fraction in (0, 1]; empty applies
+  /// `uniform_prefix_fraction` to every video.
+  std::vector<double> prefix_fraction;
+  double uniform_prefix_fraction = 0.25;
+};
+
+/// ReplicatedPolicy + edge prefix cache.  See the file comment for the hit/
+/// miss semantics and rejection attribution.
+class PrefixCachePolicy final : public StoragePolicy {
+ public:
+  /// `layout` must outlive the policy; `config` and `options` are copied.
+  PrefixCachePolicy(const Layout& layout, const SimConfig& config,
+                    const PrefixCacheOptions& options);
+
+  void bind(SimEngine& engine) override;
+  PolicyDecision dispatch(const Request& request) override;
+  void on_departure(std::size_t stream) override;
+  std::size_t on_crash(std::size_t server) override;
+  [[nodiscard]] const CacheTierStats* cache_stats() const override;
+
+ private:
+  /// One origin reservation with a scheduled departure (full stream,
+  /// suffix stream, or patching catch-up).
+  struct Stream {
+    std::size_t server = 0;
+    bool via_backbone = false;
+  };
+
+  [[nodiscard]] PolicyDecision reject_for(std::size_t video,
+                                          bool cache_hit) const;
+
+  const Layout& layout_;
+  const SimConfig config_;
+  const bool cache_enabled_;
+  std::vector<double> prefix_fraction_;  ///< size M, each in (0, 1]
+  Dispatcher dispatcher_;
+  PrefixCache cache_;
+  SimEngine* engine_ = nullptr;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace vodrep

@@ -65,6 +65,12 @@ obs::JsonValue final_json(const SimResult& result) {
           JsonValue::number(result.mean_imbalance_capacity));
   out.set("peak_imbalance_eq2", JsonValue::number(result.peak_imbalance_eq2));
   out.set("mean_utilization", JsonValue::number(result.mean_utilization()));
+  // Cache-tier counters are always present (all zero for cache-less
+  // policies) so required-key consumers need no conditional schema.
+  out.set("cache_hits", JsonValue::integer_u64(result.cache_hits));
+  out.set("cache_misses", JsonValue::integer_u64(result.cache_misses));
+  out.set("cache_evictions", JsonValue::integer_u64(result.cache_evictions));
+  out.set("cache_hit_ratio", JsonValue::number(result.cache_hit_ratio()));
   JsonValue util = JsonValue::array();
   for (double u : result.utilization_per_server) {
     util.push_back(JsonValue::number(u));
@@ -102,6 +108,7 @@ obs::JsonValue empty_timeline_json() {
   out.set("num_samples", JsonValue::integer_u64(0));
   for (const char* key : {"time", "imbalance_eq2", "mean_utilization",
                           "max_utilization", "requests", "rejected",
+                          "cache_hits", "cache_misses",
                           "utilization_per_server"}) {
     out.set(key, JsonValue::array());
   }
@@ -137,6 +144,9 @@ SimResult aggregate_results(const std::vector<SimResult>& results) {
     total.proxied += r.proxied;
     total.batched += r.batched;
     total.disrupted += r.disrupted;
+    total.cache_hits += r.cache_hits;
+    total.cache_misses += r.cache_misses;
+    total.cache_evictions += r.cache_evictions;
     total.mean_imbalance_eq2 += r.mean_imbalance_eq2;
     total.mean_imbalance_cv += r.mean_imbalance_cv;
     total.mean_imbalance_capacity += r.mean_imbalance_capacity;

@@ -1,0 +1,239 @@
+// Equivalence contract of the segment/prefix content model (DESIGN.md §9):
+// with every prefix fraction pinned at 1.0 (whole-file replicas, one
+// variant) the fractional paths must be BIT-EXACT with the pre-prefix
+// whole-file paths — the generalization multiplies existing float
+// expressions by f in place (IEEE x * 1.0 == x) and never reorders the
+// sums they feed.  With fractions free, the incremental solver state must
+// agree with a from-scratch compute_usage / objective_value evaluation at
+// the layer's 1e-9 contract, and every journaled fraction move must roll
+// back.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/core/incremental_state.h"
+#include "src/core/objective.h"
+#include "src/core/sa_solver.h"
+#include "src/core/scalable.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "src/workload/popularity.h"
+
+namespace vodrep {
+namespace {
+
+ScalableProblem test_problem(double min_prefix_fraction = 1.0) {
+  ScalableProblem p;
+  p.videos.duration_sec = units::minutes(90);
+  p.videos.popularity = zipf_popularity(30, 0.75);
+  p.cluster.num_servers = 5;
+  p.cluster.bandwidth_bps_per_server = units::gbps(0.5);
+  p.cluster.storage_bytes_per_server = units::gigabytes(160.0);
+  p.ladder.rates_bps = {units::mbps(1), units::mbps(2), units::mbps(4),
+                        units::mbps(8)};
+  p.expected_peak_requests = 700.0;
+  p.min_prefix_fraction = min_prefix_fraction;
+  return p;
+}
+
+void expect_close(double actual, double expected, const char* what) {
+  const double tolerance =
+      1e-9 * std::max({1.0, std::abs(actual), std::abs(expected)});
+  EXPECT_NEAR(actual, expected, tolerance) << what;
+}
+
+/// Bit-exact comparison of every running quantity of two states.
+void expect_states_bit_exact(const IncrementalState& a,
+                             const IncrementalState& b) {
+  ASSERT_EQ(a.storage_bytes().size(), b.storage_bytes().size());
+  for (std::size_t s = 0; s < a.storage_bytes().size(); ++s) {
+    EXPECT_EQ(a.storage_bytes()[s], b.storage_bytes()[s]) << "server " << s;
+    EXPECT_EQ(a.bandwidth_bps()[s], b.bandwidth_bps()[s]) << "server " << s;
+  }
+  EXPECT_EQ(a.objective(), b.objective());
+  EXPECT_EQ(a.relative_bandwidth_overflow(), b.relative_bandwidth_overflow());
+  EXPECT_EQ(a.max_bandwidth_bps(), b.max_bandwidth_bps());
+}
+
+TEST(PrefixEquivalence, ObjectiveWithAllOnesFractionsIsBitExact) {
+  Rng rng(0xF1201);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 3 + rng.uniform_index(40);
+    const std::size_t n = 2 + rng.uniform_index(8);
+    std::vector<double> bitrates(m), loads(n);
+    std::vector<std::size_t> replicas(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      bitrates[i] = units::mbps(1.0 + rng.uniform(0.0, 7.0));
+      replicas[i] = 1 + rng.uniform_index(n);
+    }
+    for (double& l : loads) l = rng.uniform(0.0, 1e9);
+    ObjectiveWeights weights;
+    weights.alpha = rng.uniform(0.1, 3.0);
+    weights.beta = rng.uniform(0.1, 3.0);
+    const double legacy =
+        objective_value(bitrates, replicas, loads, n, weights);
+    const double fractional = objective_value(
+        bitrates, replicas, std::vector<double>(m, 1.0), loads, n, weights);
+    EXPECT_EQ(legacy, fractional) << "trial " << trial;
+  }
+}
+
+TEST(PrefixEquivalence, ComputeUsageWithAllOnesFractionsIsBitExact) {
+  const ScalableProblem p = test_problem();
+  ScalableSolution plain = lowest_rate_round_robin(p);
+  ScalableSolution ones = plain;
+  ones.prefix_fraction.assign(p.videos.count(), 1.0);
+  const ServerUsage usage_plain = compute_usage(p, plain);
+  const ServerUsage usage_ones = compute_usage(p, ones);
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    EXPECT_EQ(usage_plain.storage_bytes[s], usage_ones.storage_bytes[s]);
+    EXPECT_EQ(usage_plain.bandwidth_bps[s], usage_ones.bandwidth_bps[s]);
+  }
+  EXPECT_EQ(solution_objective(p, plain), solution_objective(p, ones));
+}
+
+TEST(PrefixEquivalence, IncrementalStateWithAllOnesFractionsIsBitExact) {
+  const ScalableProblem p = test_problem();
+  ScalableSolution ones = lowest_rate_round_robin(p);
+  ones.prefix_fraction.assign(p.videos.count(), 1.0);
+  IncrementalState plain(p, lowest_rate_round_robin(p));
+  IncrementalState fractional(p, ones);
+  expect_states_bit_exact(plain, fractional);
+
+  // The equivalence must survive mutations: replica and bitrate moves
+  // applied identically to both states keep them bit-identical as long as
+  // every fraction stays 1.0.
+  Rng rng(0xF1202);
+  const std::size_t m = p.videos.count();
+  const std::size_t n = p.cluster.num_servers;
+  for (int step = 0; step < 300; ++step) {
+    const auto video = static_cast<std::size_t>(rng.uniform_index(m));
+    if (rng.bernoulli(0.5)) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_index(p.ladder.size()));
+      plain.set_bitrate(video, idx);
+      fractional.set_bitrate(video, idx);
+    } else {
+      const auto server = static_cast<std::size_t>(rng.uniform_index(n));
+      if (plain.is_hosted(video, server)) {
+        if (plain.replicas_of(video).size() < 2) continue;
+        plain.drop_replica(video, server);
+        fractional.drop_replica(video, server);
+      } else {
+        plain.add_replica(video, server);
+        fractional.add_replica(video, server);
+      }
+    }
+  }
+  expect_states_bit_exact(plain, fractional);
+  // A state that never left f == 1.0 serializes without the fraction table,
+  // so downstream consumers see the legacy whole-file solution.
+  EXPECT_TRUE(fractional.to_solution().prefix_fraction.empty());
+}
+
+TEST(PrefixEquivalence, FractionalStateMatchesRecompute) {
+  const ScalableProblem p = test_problem(/*min_prefix_fraction=*/0.2);
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  Rng rng(0xF1203);
+  const std::size_t m = p.videos.count();
+  for (int step = 0; step < 400; ++step) {
+    const auto video = static_cast<std::size_t>(rng.uniform_index(m));
+    switch (rng.uniform_index(3)) {
+      case 0:
+        inc.set_prefix_fraction(video, rng.uniform(0.2, 1.0));
+        break;
+      case 1:
+        inc.set_bitrate(video, static_cast<std::size_t>(
+                                   rng.uniform_index(p.ladder.size())));
+        break;
+      default: {
+        const auto server = static_cast<std::size_t>(
+            rng.uniform_index(p.cluster.num_servers));
+        if (inc.is_hosted(video, server)) {
+          if (inc.replicas_of(video).size() >= 2) {
+            inc.drop_replica(video, server);
+          }
+        } else {
+          inc.add_replica(video, server);
+        }
+        break;
+      }
+    }
+  }
+  const ScalableSolution solution = inc.to_solution();
+  ASSERT_EQ(solution.prefix_fraction.size(), m);
+  const ServerUsage usage = compute_usage(p, solution);
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    expect_close(inc.storage_bytes()[s], usage.storage_bytes[s], "storage");
+    expect_close(inc.bandwidth_bps()[s], usage.bandwidth_bps[s], "bandwidth");
+  }
+  expect_close(inc.objective(), solution_objective(p, solution), "objective");
+}
+
+TEST(PrefixEquivalence, PrefixFractionMovesRollBack) {
+  const ScalableProblem p = test_problem(/*min_prefix_fraction=*/0.25);
+  IncrementalState inc(p, lowest_rate_round_robin(p));
+  Rng rng(0xF1204);
+  const std::size_t m = p.videos.count();
+  const std::vector<double> storage_before = inc.storage_bytes();
+  const std::vector<double> bandwidth_before = inc.bandwidth_bps();
+  const double objective_before = inc.objective();
+  const IncrementalState::Checkpoint mark = inc.checkpoint();
+  for (int step = 0; step < 120; ++step) {
+    const auto video = static_cast<std::size_t>(rng.uniform_index(m));
+    if (rng.bernoulli(0.6)) {
+      inc.set_prefix_fraction(video, rng.uniform(0.25, 1.0));
+    } else {
+      const auto server =
+          static_cast<std::size_t>(rng.uniform_index(p.cluster.num_servers));
+      if (!inc.is_hosted(video, server)) inc.add_replica(video, server);
+    }
+  }
+  inc.rollback(mark);
+  for (std::size_t s = 0; s < p.cluster.num_servers; ++s) {
+    expect_close(inc.storage_bytes()[s], storage_before[s], "storage");
+    expect_close(inc.bandwidth_bps()[s], bandwidth_before[s], "bandwidth");
+  }
+  expect_close(inc.objective(), objective_before, "objective");
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(inc.prefix_fraction(i), 1.0) << "video " << i;
+  }
+}
+
+TEST(PrefixEquivalence, SolverWithPrefixMovesPassesFractionalAudit) {
+  ScalableProblem p = test_problem(/*min_prefix_fraction=*/0.25);
+  SaSolverOptions options;
+  options.anneal.max_temperature_steps = 40;
+  options.anneal.moves_per_temperature = 60;
+  options.prefix_fraction_probability = 0.3;
+  options.prefix_fraction_step = 0.25;
+  const SaSolverResult result = solve_scalable(p, /*seed=*/77, options);
+  const AuditReport audit = LayoutAuditor::audit_solution(p, result.solution);
+  EXPECT_TRUE(audit.ok_ignoring(ViolationKind::kBandwidthOverflow))
+      << audit.summary();
+  if (!result.solution.prefix_fraction.empty()) {
+    for (double f : result.solution.prefix_fraction) {
+      EXPECT_GE(f, p.min_prefix_fraction);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(PrefixEquivalence, SolverDefaultOptionsStayOnWholeFilePath) {
+  // prefix_fraction_probability defaults to 0: the move gate short-circuits
+  // before consuming any RNG draw, so a default run never leaves f == 1.0
+  // and its solution serializes without a fraction table.
+  const ScalableProblem p = test_problem();
+  SaSolverOptions options;
+  options.anneal.max_temperature_steps = 30;
+  options.anneal.moves_per_temperature = 40;
+  const SaSolverResult result = solve_scalable(p, /*seed=*/13, options);
+  EXPECT_TRUE(result.solution.prefix_fraction.empty());
+}
+
+}  // namespace
+}  // namespace vodrep

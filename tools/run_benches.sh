@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the two hot-path benchmarks and writes their trajectory records as
-# BENCH_sa.json / BENCH_sim.json at the repo root, so every PR leaves a
-# machine-readable perf datapoint next to the code that produced it.
+# Runs the hot-path and cache benchmarks and writes their trajectory records
+# as BENCH_sa.json / BENCH_sim.json / BENCH_cache.json at the repo root, so
+# every PR leaves a machine-readable perf datapoint next to the code that
+# produced it.
 #
 #   tools/run_benches.sh [--quick] [<build-dir>]
 #
@@ -29,7 +30,7 @@ done
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
-for bench in vodrep_sa_hotpath vodrep_sim_hotpath; do
+for bench in vodrep_sa_hotpath vodrep_sim_hotpath vodrep_prefix_cache; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -54,6 +55,7 @@ raw = json.loads(os.environ["RAW_JSON"])
 rate_source = {
     "moves_per_sec": "incremental_moves_per_sec",
     "events_per_sec": "engine_events_per_sec",
+    "cache_events_per_sec": "cache_events_per_sec",
 }[os.environ["RATE_KEY"]]
 record = {
     "name": os.environ["BENCH_NAME"],
@@ -76,3 +78,4 @@ PY
 
 run_bench vodrep_sa_hotpath BENCH_sa.json moves_per_sec
 run_bench vodrep_sim_hotpath BENCH_sim.json events_per_sec
+run_bench vodrep_prefix_cache BENCH_cache.json cache_events_per_sec

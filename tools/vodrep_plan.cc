@@ -32,6 +32,8 @@
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/online/controller.h"
+#include "src/sim/prefix_cache_policy.h"
+#include "src/sim/replicated_policy.h"
 #include "src/sim/run_report.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
@@ -131,6 +133,38 @@ class ObsExports {
   std::string trace_path_;
 };
 
+// Builds the storage policy for the report/evaluate simulations: the plain
+// replicated organization, or — under --prefix-cache — the same origin
+// cluster fronted by an edge prefix-cache tier.
+std::unique_ptr<StoragePolicy> make_sim_policy(const CliFlags& flags,
+                                               const Layout& layout,
+                                               const SimConfig& config) {
+  if (!flags.get_bool("prefix-cache")) {
+    return std::make_unique<ReplicatedPolicy>(layout, config);
+  }
+  PrefixCacheOptions options;
+  const std::string& policy = flags.get_string("cache-policy");
+  if (policy == "lru") {
+    options.eviction = CacheEvictionPolicy::kLru;
+  } else if (policy == "lfu") {
+    options.eviction = CacheEvictionPolicy::kLfu;
+  } else {
+    require(false, [&] { return "unknown --cache-policy: " + policy; });
+  }
+  options.capacity_bytes =
+      units::gigabytes(flags.get_double("cache-capacity-gb"));
+  options.uniform_prefix_fraction = flags.get_double("cache-prefix-fraction");
+  return std::make_unique<PrefixCachePolicy>(layout, config, options);
+}
+
+void print_cache_summary(const CliFlags& flags, const SimResult& result) {
+  if (!flags.get_bool("prefix-cache")) return;
+  std::cout << "edge cache (" << flags.get_string("cache-policy")
+            << "): " << result.cache_hits << " hits, " << result.cache_misses
+            << " misses (" << 100.0 * result.cache_hit_ratio()
+            << " % hit ratio), " << result.cache_evictions << " evictions\n";
+}
+
 void write_report(const obs::JsonValue& report, const std::string& path) {
   std::ofstream out(path);
   require(out.good(), [&] { return "cannot write report file: " + path; });
@@ -186,6 +220,20 @@ int run(int argc, char** argv) {
                 "parallel-tempering chains (0 = heuristic pipeline)");
   flags.add_int("sa-swap-period", 8,
                 "temperature steps between replica-exchange rounds");
+  flags.add_double("sa-temp-spread", 1.15,
+                   "geometric spread between adjacent tempering-chain "
+                   "temperatures (> 1; 1.15 keeps a 32-chain ladder within "
+                   "~2 decades, see DESIGN.md)");
+  flags.add_bool("prefix-cache", false,
+                 "front the simulated origin cluster with an edge "
+                 "prefix-cache tier (--evaluate / --report-out)");
+  flags.add_string("cache-policy", "lru",
+                   "edge-cache eviction policy: lru | lfu");
+  flags.add_double("cache-capacity-gb", 8.0,
+                   "edge prefix-cache capacity in GB (0 = tier disabled, "
+                   "identical to the plain replicated simulation)");
+  flags.add_double("cache-prefix-fraction", 0.25,
+                   "stored prefix fraction per video, in (0, 1]");
   flags.add_int("sa-temp-steps", 200, "annealing temperature-step cap");
   flags.add_int("sa-moves", 200, "moves per temperature step");
   flags.add_int("sa-seed", 2002, "annealer seed (output is deterministic in "
@@ -226,7 +274,8 @@ int run(int argc, char** argv) {
     config.video_duration_sec =
         units::minutes(flags.get_double("duration-min"));
     SimEngine engine(config);
-    ReplicatedPolicy policy(placement.layout, config);
+    const std::unique_ptr<StoragePolicy> policy =
+        make_sim_policy(flags, placement.layout, config);
 
     std::unique_ptr<obs::TimeseriesCollector> timeline;
     std::unique_ptr<obs::EventLog> event_log;
@@ -242,7 +291,7 @@ int run(int argc, char** argv) {
       engine.attach_timeline(timeline.get());
       engine.attach_event_log(event_log.get());
     }
-    const SimResult result = engine.run(policy, trace);
+    const SimResult result = engine.run(*policy, trace);
     if (!report_path.empty()) {
       obs::JsonValue extra = obs::JsonValue::object();
       extra.set("layout_file",
@@ -250,6 +299,8 @@ int run(int argc, char** argv) {
       extra.set("trace_file",
                 obs::JsonValue::string(flags.get_string("evaluate")));
       extra.set("sim_horizon_sec", obs::JsonValue::number(trace.horizon));
+      extra.set("prefix_cache",
+                obs::JsonValue::boolean(flags.get_bool("prefix-cache")));
       write_report(build_run_report(config, result, timeline.get(),
                                     event_log.get(), std::move(extra)),
                    report_path);
@@ -264,6 +315,7 @@ int run(int argc, char** argv) {
               << 100.0 * result.mean_imbalance_eq2 << " %\n"
               << "mean link utilization: "
               << 100.0 * result.mean_utilization() << " %\n";
+    print_cache_summary(flags, result);
     exports.write();
     return EXIT_SUCCESS;
   }
@@ -332,6 +384,7 @@ int run(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("sa-moves"));
     options.anneal.swap_period =
         static_cast<std::size_t>(flags.get_int("sa-swap-period"));
+    options.anneal.temperature_spread = flags.get_double("sa-temp-spread");
     options.chains = sa_chains;
     ThreadPool pool;
     const SaSolverResult result = solve_scalable(
@@ -469,11 +522,16 @@ int run(int argc, char** argv) {
     std::vector<SimResult> results;
     if (epochs == 0) {
       SimEngine engine(sim);
-      ReplicatedPolicy policy(layout, sim);
+      const std::unique_ptr<StoragePolicy> policy =
+          make_sim_policy(flags, layout, sim);
       engine.attach_timeline(&timeline);
       engine.attach_event_log(&event_log);
-      results.push_back(engine.run(policy, generate_trace(rng, spec)));
+      results.push_back(engine.run(*policy, generate_trace(rng, spec)));
     } else {
+      require(!flags.get_bool("prefix-cache"),
+              "--prefix-cache does not compose with --online-epochs yet: the "
+              "adaptive controller replans the origin layout but the edge "
+              "tier's residency would carry across replans; drop one");
       // Multi-epoch online path: the adaptive controller re-provisions
       // between epochs; each replan lands on the timeline as an annotation
       // at its (global-time) epoch boundary.
@@ -512,6 +570,8 @@ int run(int argc, char** argv) {
     extra.set("sim_seed", obs::JsonValue::integer(flags.get_int("sim-seed")));
     extra.set("sim_horizon_sec", obs::JsonValue::number(horizon));
     extra.set("online_epochs", obs::JsonValue::integer_u64(epochs));
+    extra.set("prefix_cache",
+              obs::JsonValue::boolean(flags.get_bool("prefix-cache")));
     write_report(build_run_report(sim, result, &timeline, &event_log,
                                   std::move(extra)),
                  report_path);
@@ -519,6 +579,7 @@ int run(int argc, char** argv) {
               << " requests, " << result.rejected << " rejected ("
               << 100.0 * result.rejection_rate() << " %), "
               << timeline.size() << " timeline samples\n";
+    print_cache_summary(flags, result);
   }
   exports.write();
   return EXIT_SUCCESS;
