@@ -27,6 +27,7 @@
 #include <iostream>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/sim_noobs_baseline.h"
@@ -34,6 +35,7 @@
 #include "src/core/pipeline.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
 #include "src/util/error.h"
@@ -364,15 +366,18 @@ int main(int argc, char** argv) {
     // needs many repetitions before best-of-reps converges; the full
     // configuration amortizes scheduler noise over ~30 ms replays instead.
     const double min_total_sec = quick ? 0.5 : 1.0;
-    const std::size_t max_reps = quick ? 400 : 8;
+    const std::size_t max_reps = quick ? 4000 : 8;
     obs::set_metrics_enabled(false);
     obs::TraceRecorder::global().set_enabled(false);
-    // Up to three measurement rounds, keeping each path's fastest round:
-    // a single round can still catch a scheduler hiccup on one path only,
+    // Several measurement rounds, keeping each path's fastest round: a
+    // single round can still catch a scheduler hiccup on one path only,
     // which reads as phantom overhead.  Stop as soon as the guard passes.
+    // Quick mode's sub-millisecond replays are the noisiest, so it gets
+    // twice the rounds before the verdict counts.
     double noobs_eps = 0.0;
     double obs_off_eps = 0.0;
-    for (int round = 0; round < 3; ++round) {
+    const int guard_rounds = quick ? 6 : 3;
+    for (int round = 0; round < guard_rounds; ++round) {
       noobs_eps = std::max(noobs_eps, best_events_per_sec(
                                           [&] {
                                             noobs::NoObsSimEngine engine(config);
@@ -402,6 +407,52 @@ int main(int argc, char** argv) {
               << "  guard (<3% disabled):   "
               << (guard_pass ? "PASS" : "FAIL") << "\n\n";
 
+    // --- shards axis: sharded engine events/sec vs shard count S ----------
+    // Each point replays the identical trace through simulate_sharded and
+    // requires the merged result equal to the monolithic engine's before it
+    // counts — the scaling curve is only worth recording if the sharded
+    // replay is still the same simulation.  hardware_threads says how much
+    // parallelism this machine could actually supply for the recorded
+    // numbers; on a single-core box the axis is expected to be flat.
+    const unsigned hardware_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+    const std::vector<std::size_t> shard_counts =
+        quick ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 4, 8};
+    struct ShardsPoint {
+      std::size_t shards = 0;
+      double events_per_sec = 0.0;
+      double speedup = 0.0;  // vs the S=1 point of this same axis
+    };
+    std::vector<ShardsPoint> shards_axis;
+    Table shard_table({"shards", "threads", "events_per_sec", "speedup"});
+    shard_table.set_precision(3);
+    for (const std::size_t num_shards : shard_counts) {
+      ThreadPool shard_pool(num_shards);
+      ShardedSimOptions shard_options;
+      shard_options.num_shards = num_shards;
+      shard_options.pool = num_shards > 1 ? &shard_pool : nullptr;
+      const RunStats stats = time_replays(
+          [&] { return simulate_sharded(layout, config, trace, shard_options); },
+          reps);
+      require_same(engine_stats.result, stats.result);
+      ShardsPoint point;
+      point.shards = num_shards;
+      point.events_per_sec = stats.events_per_sec;
+      point.speedup = shards_axis.empty()
+                          ? 1.0
+                          : point.events_per_sec /
+                                shards_axis.front().events_per_sec;
+      shards_axis.push_back(point);
+      shard_table.add_row({static_cast<double>(num_shards),
+                           static_cast<double>(hardware_threads),
+                           point.events_per_sec, point.speedup});
+    }
+    std::cout << "sharded engine scaling (" << hardware_threads
+              << " hardware thread(s), results verified equal at every S):\n";
+    shard_table.print(std::cout);
+    std::cout << "\n";
+
     std::cout << "{\"bench\":\"sim_hotpath\",\"videos\":" << m
               << ",\"servers\":" << n << ",\"requests\":" << trace.size()
               << ",\"events\":" << engine_stats.events / reps
@@ -415,7 +466,15 @@ int main(int argc, char** argv) {
               << ",\"obs_off_events_per_sec\":" << obs_off_eps
               << ",\"obs_off_overhead_pct\":" << off_overhead_pct
               << ",\"obs_guard_pass\":" << (guard_pass ? "true" : "false")
-              << "}\n";
+              << ",\"hardware_threads\":" << hardware_threads
+              << ",\"shards_axis\":[";
+    for (std::size_t i = 0; i < shards_axis.size(); ++i) {
+      std::cout << (i == 0 ? "" : ",") << "{\"shards\":"
+                << shards_axis[i].shards << ",\"threads\":" << hardware_threads
+                << ",\"events_per_sec\":" << shards_axis[i].events_per_sec
+                << ",\"speedup\":" << shards_axis[i].speedup << "}";
+    }
+    std::cout << "]}\n";
     if (!guard_pass) {
       std::cerr << "error: obs layer costs " << off_overhead_pct
                 << " % events/sec while disabled (budget: 3 %)\n";

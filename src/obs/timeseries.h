@@ -89,6 +89,18 @@ class TimeseriesCollector {
   /// beyond max_annotations).
   void annotate(double global_time, std::string label);
 
+  /// Sharded-merge support (src/sim/sharded_engine.h): fills this *fresh*
+  /// collector (size 0, factor 1, zero offset, same config as the shards)
+  /// with the elementwise merge of per-shard collectors recorded on
+  /// identical grids.  Because every shard records the same number of
+  /// samples on the same schedule and compaction is a pure function of the
+  /// record sequence, the shards' retained grids coincide — and match what
+  /// a monolithic run would have retained.  Per sample: counters and the
+  /// per-server utilizations sum (foreign servers contribute exact zeros),
+  /// max is the max of maxes, mean is the sum of means, and the imbalance
+  /// is recomputed from the merged mean/max with integrate_to's clamps.
+  void merge_shards(const std::vector<const TimeseriesCollector*>& shards);
+
   /// Shifts subsequent record() calls by `offset` (epoch concatenation).
   void set_time_offset(double offset) noexcept { offset_ = offset; }
   [[nodiscard]] double time_offset() const noexcept { return offset_; }
@@ -113,6 +125,11 @@ class TimeseriesCollector {
   }
   [[nodiscard]] std::size_t num_servers() const noexcept {
     return num_servers_;
+  }
+  /// Compaction bound (TimeseriesConfig::max_samples); lets a sharded
+  /// driver clone per-shard collectors on the same grid.
+  [[nodiscard]] std::size_t max_samples() const noexcept {
+    return max_samples_;
   }
 
   /// Columnar export: {"interval_sec":..,"downsample_factor":..,

@@ -90,75 +90,102 @@ SimEngine::SimEngine(const SimConfig& config) : config_(config) {
 }
 
 SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
-  require(!ran_, "SimEngine::run: one engine instance replays one trace");
-  ran_ = true;
   require(trace.is_well_formed(), "SimEngine::run: malformed trace");
   VODREP_TRACE_SCOPE("sim.run");
-  policy.bind(*this);
-  cache_stats_ = policy.cache_stats();
-
-  // Per-request dispatch timing is the one per-event obs cost; it is paid
-  // only when metrics are enabled at run start (two steady-clock reads and
-  // a lock-free histogram increment per request).
-  obs::Histogram* dispatch_hist = nullptr;
-  if (obs::metrics_enabled()) {
-    dispatch_hist = &obs::metrics().histogram(
-        "sim.dispatch_us", {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
-                            250.0, 1000.0});
-  }
-
+  begin_stepping(policy);
+  // Local copy so the replay loop keeps the pointer in a register.
+  obs::Histogram* const dispatch_hist = dispatch_hist_;
   result_.total_requests = trace.size();
   for (const Request& request : trace.requests) {
-    advance_events(policy, request.arrival_time);
-    PolicyDecision decision;
-    if (dispatch_hist != nullptr) {
-      const std::uint64_t start_ns = obs::TraceRecorder::now_ns();
-      decision = policy.dispatch(request);
-      dispatch_hist->observe(
-          static_cast<double>(obs::TraceRecorder::now_ns() - start_ns) /
-          1000.0);
-    } else {
-      decision = policy.dispatch(request);
-    }
-    ++requests_dispatched_;
-    if (!decision.admitted) {
-      ++result_.rejected;
-      // Attribution is part of the result, not optional observability: the
-      // per-reason entries always sum exactly to `rejected`.
-      VODREP_DCHECK(decision.reject_reason != obs::RejectReason::kNone,
-                    "StoragePolicy rejected a request without a reason");
-      ++result_.rejected_by_reason[static_cast<std::size_t>(
-          decision.reject_reason)];
-    } else if (decision.batched) {
-      ++result_.batched;
-    } else {
-      if (decision.redirected) ++result_.redirected;
-      if (decision.via_backbone) ++result_.proxied;
-    }
-    if (event_log_ != nullptr) {
-      obs::RequestRecord record;
-      record.arrival_time = request.arrival_time;
-      record.video = static_cast<std::uint32_t>(request.video);
-      record.server = decision.server;
-      if (!decision.admitted) {
-        record.outcome = obs::RequestOutcome::kRejected;
-        record.reason = decision.reject_reason;
-      } else if (decision.batched) {
-        record.outcome = obs::RequestOutcome::kBatched;
-      } else if (decision.via_backbone) {
-        record.outcome = obs::RequestOutcome::kProxied;
-      } else if (decision.redirected) {
-        record.outcome = obs::RequestOutcome::kRedirected;
-      } else {
-        record.outcome = obs::RequestOutcome::kServed;
-      }
-      event_log_->record(record);
-    }
+    step_request(policy, request, dispatch_hist);
   }
   // Close the books at the end of the peak period; streams outliving it keep
   // their bandwidth (they are not torn down) but the metrics window ends.
   advance_events(policy, trace.horizon);
+  const SimResult out = finalize(trace.horizon);
+  if (obs::metrics_enabled()) export_metrics();
+  return out;
+}
 
+void SimEngine::begin_stepping(StoragePolicy& policy) {
+  require(!ran_, "SimEngine: one engine instance replays one trace");
+  ran_ = true;
+  policy.bind(*this);
+  cache_stats_ = policy.cache_stats();
+  // Per-request dispatch timing is the one per-event obs cost; it is paid
+  // only when metrics are enabled at replay start (two steady-clock reads
+  // and a lock-free histogram increment per request).
+  if (obs::metrics_enabled()) {
+    dispatch_hist_ = &obs::metrics().histogram(
+        "sim.dispatch_us", {0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                            250.0, 1000.0});
+  }
+}
+
+void SimEngine::step(StoragePolicy& policy, const Request& request) {
+  step_request(policy, request, dispatch_hist_);
+}
+
+void SimEngine::advance_to(StoragePolicy& policy, double time) {
+  advance_events(policy, time);
+}
+
+SimResult SimEngine::finish_stepping(StoragePolicy& policy, double horizon) {
+  advance_events(policy, horizon);
+  result_.total_requests = requests_dispatched_;
+  return finalize(horizon);
+}
+
+void SimEngine::step_request(StoragePolicy& policy, const Request& request,
+                             obs::Histogram* dispatch_hist) {
+  advance_events(policy, request.arrival_time);
+  PolicyDecision decision;
+  if (dispatch_hist != nullptr) {
+    const std::uint64_t start_ns = obs::TraceRecorder::now_ns();
+    decision = policy.dispatch(request);
+    dispatch_hist->observe(
+        static_cast<double>(obs::TraceRecorder::now_ns() - start_ns) /
+        1000.0);
+  } else {
+    decision = policy.dispatch(request);
+  }
+  ++requests_dispatched_;
+  if (!decision.admitted) {
+    ++result_.rejected;
+    // Attribution is part of the result, not optional observability: the
+    // per-reason entries always sum exactly to `rejected`.
+    VODREP_DCHECK(decision.reject_reason != obs::RejectReason::kNone,
+                  "StoragePolicy rejected a request without a reason");
+    ++result_.rejected_by_reason[static_cast<std::size_t>(
+        decision.reject_reason)];
+  } else if (decision.batched) {
+    ++result_.batched;
+  } else {
+    if (decision.redirected) ++result_.redirected;
+    if (decision.via_backbone) ++result_.proxied;
+  }
+  if (event_log_ != nullptr) {
+    obs::RequestRecord record;
+    record.arrival_time = request.arrival_time;
+    record.video = static_cast<std::uint32_t>(request.video);
+    record.server = decision.server;
+    if (!decision.admitted) {
+      record.outcome = obs::RequestOutcome::kRejected;
+      record.reason = decision.reject_reason;
+    } else if (decision.batched) {
+      record.outcome = obs::RequestOutcome::kBatched;
+    } else if (decision.via_backbone) {
+      record.outcome = obs::RequestOutcome::kProxied;
+    } else if (decision.redirected) {
+      record.outcome = obs::RequestOutcome::kRedirected;
+    } else {
+      record.outcome = obs::RequestOutcome::kServed;
+    }
+    event_log_->record(record);
+  }
+}
+
+SimResult SimEngine::finalize(double horizon) {
   result_.mean_imbalance_eq2 = imbalance_eq2_.mean();
   result_.mean_imbalance_cv = imbalance_cv_.mean();
   result_.mean_imbalance_capacity = imbalance_capacity_.mean();
@@ -168,13 +195,13 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
   result_.utilization_per_server.assign(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) {
     result_.served_per_server[s] = servers_[s].served_total();
-    if (trace.horizon > 0.0) {
+    if (horizon > 0.0) {
       // Flush the per-server busy integral to the end of the window.
       const double integral =
           busy_integral_[s] +
-          servers_[s].busy_bps() * (trace.horizon - busy_since_[s]);
+          servers_[s].busy_bps() * (horizon - busy_since_[s]);
       result_.utilization_per_server[s] =
-          integral / (trace.horizon * capacities_bps_[s]);
+          integral / (horizon * capacities_bps_[s]);
     }
   }
   if (cache_stats_ != nullptr) {
@@ -182,7 +209,6 @@ SimResult SimEngine::run(StoragePolicy& policy, const RequestTrace& trace) {
     result_.cache_misses = cache_stats_->misses;
     result_.cache_evictions = cache_stats_->evictions;
   }
-  if (obs::metrics_enabled()) export_metrics();
   return result_;
 }
 
@@ -311,6 +337,12 @@ void SimEngine::integrate_to(double t) {
   imbalance_cv_.add(cv, dt);
   imbalance_capacity_.add(std::max(0.0, max - mean), dt);
   peak_eq2_ = std::max(peak_eq2_, eq2);
+  if (segment_log_ != nullptr) {
+    // The (post-flush) accumulators held these values over [now_, t); the
+    // sharded merge sweeps these spans chronologically across shards.
+    segment_log_->push_back(
+        {t, utilization_sum_, utilization_sumsq_, max});
+  }
   now_ = t;
 }
 

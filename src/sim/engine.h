@@ -41,6 +41,10 @@
 #include "src/util/stats.h"
 #include "src/workload/trace.h"
 
+namespace vodrep::obs {
+class Histogram;
+}  // namespace vodrep::obs
+
 namespace vodrep {
 
 /// A scheduled server crash: at `time` the server drops every active stream
@@ -109,6 +113,22 @@ struct CacheTierStats {
     return total == 0 ? 0.0
                       : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+/// One piecewise-constant span of the cluster-wide load state, appended by
+/// the engine when a segment log is attached (attach_segment_log): the
+/// running accumulators held these values over [previous end_time,
+/// end_time).  The sharded runner (src/sim/sharded_engine.h) sweeps the
+/// per-shard segment streams chronologically to rebuild the global Eq. 2/3
+/// integrals, because those metrics are nonlinear in the per-server loads
+/// and cannot be summed per shard after the fact.
+struct LoadSegment {
+  double end_time = 0.0;
+  /// Running per-server utilization sum/sum-of-squares (post idle-flush,
+  /// exactly as integrate_to saw them) and the current max utilization.
+  double utilization_sum = 0.0;
+  double utilization_sumsq = 0.0;
+  double max_utilization = 0.0;
 };
 
 struct SimResult {
@@ -187,6 +207,40 @@ class SimEngine {
   [[nodiscard]] SimResult run(StoragePolicy& policy,
                               const RequestTrace& trace);
 
+  // --- stepping interface ---
+  // run() is composed of exactly these four calls, so a driver that feeds
+  // requests incrementally (the sharded runner replaying a routed
+  // sub-trace epoch by epoch, src/sim/sharded_engine.h) produces the same
+  // state transitions as a monolithic run() over the same request
+  // sequence.  Call order: begin_stepping once, then step()/advance_to()
+  // with non-decreasing times, then finish_stepping once.
+
+  /// Binds the policy and opens the (single-shot) replay.
+  void begin_stepping(StoragePolicy& policy);
+  /// Advances the clock to the request's arrival (applying due departures
+  /// and failures) and dispatches it.
+  void step(StoragePolicy& policy, const Request& request);
+  /// Applies every departure/failure due by `time` and integrates the load
+  /// signals up to it (an epoch barrier with no arrival attached).
+  void advance_to(StoragePolicy& policy, double time);
+  /// Closes the metrics window at `horizon` and returns the result.
+  /// Unlike run(), does NOT fold into the global metrics registry — a
+  /// sharded driver merges first and exports the merged tallies once.
+  [[nodiscard]] SimResult finish_stepping(StoragePolicy& policy,
+                                          double horizon);
+
+  /// Tallies of the event-loop counters, for merged observability export.
+  struct EventStats {
+    std::size_t heap_high_water = 0;
+    std::size_t departures_fired = 0;
+    std::size_t failures_applied = 0;
+    std::size_t departures_cancelled = 0;
+  };
+  [[nodiscard]] EventStats event_stats() const {
+    return {heap_high_water_, departures_fired_, failures_applied_,
+            departures_cancelled_};
+  }
+
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
   /// Read-only server state for dispatch decisions; all mutations must go
@@ -225,7 +279,23 @@ class SimEngine {
   }
   void attach_event_log(obs::EventLog* event_log) { event_log_ = event_log; }
 
+  /// Attaches a per-run load-segment log: integrate_to appends one
+  /// LoadSegment per advancing integration step.  Borrowed (must outlive
+  /// the replay); the caller may drain and clear the vector between epochs
+  /// (the sharded runner does, to bound memory).  When absent the hot path
+  /// pays one pointer test per integration, like the timeline hook.
+  void attach_segment_log(std::vector<LoadSegment>* log) {
+    segment_log_ = log;
+  }
+
  private:
+  /// Shared per-request body of run() and step(): advance, dispatch (timed
+  /// when `dispatch_hist` is non-null), tally, log.
+  void step_request(StoragePolicy& policy, const Request& request,
+                    obs::Histogram* dispatch_hist);
+  /// The metrics epilogue of run(): finalizes the time-weighted means and
+  /// per-server tallies at `horizon` and returns the result.
+  SimResult finalize(double horizon);
   /// Applies departures and injected failures up to `now` in time order
   /// (failures win ties) and integrates the load signals.
   void advance_events(StoragePolicy& policy, double now);
@@ -251,6 +321,10 @@ class SimEngine {
   std::size_t requests_dispatched_ = 0;  ///< arrivals processed so far
   obs::TimeseriesCollector* timeline_ = nullptr;
   obs::EventLog* event_log_ = nullptr;
+  std::vector<LoadSegment>* segment_log_ = nullptr;
+  /// Resolved once in begin_stepping (metrics enabled) for step() calls;
+  /// run() keeps its own local copy so the replay loop stays register-hot.
+  obs::Histogram* dispatch_hist_ = nullptr;
   /// Borrowed from the policy in run() (nullptr for cache-less policies);
   /// read for timeline samples and snapshotted in the epilogue.
   const CacheTierStats* cache_stats_ = nullptr;

@@ -30,11 +30,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/core/layout.h"
 #include "src/sim/dispatcher.h"
 #include "src/sim/engine.h"
+#include "src/util/error.h"
 
 namespace vodrep {
 
@@ -110,6 +112,17 @@ class PrefixCachePolicy final : public StoragePolicy {
   void on_departure(std::size_t stream) override;
   std::size_t on_crash(std::size_t server) override;
   [[nodiscard]] const CacheTierStats* cache_stats() const override;
+
+  /// Routed sub-trace replay (sharded simulation).  Only valid with the
+  /// cache tier disabled: with a live cache a prefix hit that ends inside
+  /// the prefix never consults the dispatcher, so a precomputed pick
+  /// sequence cannot stay aligned with the dispatch calls.
+  void set_routed_picks(std::vector<std::uint32_t> picks) {
+    require(!cache_enabled_,
+            "PrefixCachePolicy: routed replay requires a disabled cache "
+            "tier (prefix hits skip the dispatcher)");
+    dispatcher_.set_routed_picks(std::move(picks));
+  }
 
  private:
   /// One origin reservation with a scheduled departure (full stream,

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/core/layout.h"
@@ -23,6 +25,12 @@ class ReplicatedPolicy final : public StoragePolicy {
   PolicyDecision dispatch(const Request& request) override;
   void on_departure(std::size_t stream) override;
   std::size_t on_crash(std::size_t server) override;
+
+  /// Installs a precomputed holder-pick sequence for a routed sub-trace
+  /// replay (sharded simulation; see Dispatcher::set_routed_picks).
+  void set_routed_picks(std::vector<std::uint32_t> picks) {
+    dispatcher_.set_routed_picks(std::move(picks));
+  }
 
  private:
   /// One reservation with a scheduled departure: a full stream or a

@@ -1,0 +1,119 @@
+// Partitioning plans for sharded simulation (src/sim/sharded_engine.h).
+//
+// A shard plan splits the cluster's servers into S disjoint shards and
+// routes every request of a trace to exactly one shard, such that each
+// shard's replay touches only its own servers' bandwidth state.  When that
+// holds, running S independent SimEngines over the routed sub-traces is
+// *exactly* equivalent to the monolithic replay: admission depends only on
+// the target servers' state, every counter is a per-shard sum, and the
+// per-server float accumulators see the same operations in the same order.
+//
+// The partitioning rule depends on what a dispatch decision reads:
+//
+//   * ReplicatedPolicy, RedirectMode::kNone — per-SERVER granularity.  The
+//     dispatcher's round-robin advance is unconditional (it precedes the
+//     batching join and the admission check), so the picked holder of every
+//     request is a pure function of the request sequence.  A sequential
+//     pre-pass replays the counters, routes each request to the shard
+//     owning its picked holder, and records the pick for the shard's
+//     dispatcher to replay (Dispatcher::set_routed_picks).  The batching
+//     join window is keyed by (video, picked holder), so it is owned by the
+//     same shard.  Rejection attribution reads other holders' *failed*
+//     flags only, and every shard applies the full failure schedule, so the
+//     flags are globally correct in every shard.
+//   * ReplicatedPolicy, RedirectMode::kOtherHolders — redirect retries read
+//     the live load of every holder of the video, so all holders of a video
+//     must be co-sharded: connected components of the "share a video"
+//     relation over servers.
+//   * RedirectMode::kBackboneProxy — proxies streams through arbitrary
+//     non-holders under a shared backbone budget; every server is coupled.
+//     Unshardable: requesting more than one shard throws a named error.
+//   * StripedPolicy / HybridPolicy — a stream reserves bitrate/k on every
+//     stripe-group member atomically, so groups that share a server must be
+//     co-sharded: connected components over stripe-group membership.
+//     (Aligned striping with k | N yields N/k independent components; the
+//     staggered wrap-around layout is one component and stays serial.)
+//   * PrefixCachePolicy with a live cache tier — the shared edge cache
+//     couples every video through capacity eviction, and cache residency
+//     depends on origin admissions; all servers fuse into one component
+//     (the run still exercises the sharded merge path, with idle padding
+//     shards).  With capacity 0 the policy replays ReplicatedPolicy and
+//     shards by its rules.
+//
+// Every shard runs with the full server vector and the full failure
+// schedule; foreign servers simply never see traffic, so their state stays
+// exactly zero and merged sums are exact.  Components are assigned to
+// shards deterministically (greedy least-loaded in discovery order), so the
+// plan — and therefore the merged result — is a pure function of
+// (layout, config, trace, S).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/core/striping.h"
+#include "src/sim/engine.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+
+/// Deterministic per-shard RNG seed, counter-split exactly like
+/// pt_chain_seed (shard 0 keeps the base seed): shard-local stochastic
+/// components (e.g. per-shard workload generation) derive their stream from
+/// this so results are independent of shard scheduling.
+[[nodiscard]] constexpr std::uint64_t shard_rng_seed(std::uint64_t base,
+                                                     std::size_t shard) {
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(shard));
+}
+
+struct ShardPlan {
+  std::size_t num_shards = 1;
+  /// Owning shard per server (size num_servers).
+  std::vector<std::uint32_t> shard_of_server;
+  /// Routed sub-trace per shard (order-preserving partition of the input
+  /// trace; every sub-trace keeps the global horizon).
+  std::vector<RequestTrace> sub_traces;
+  /// Owning shard per request, in global trace order (drives the
+  /// deterministic event-log merge).
+  std::vector<std::uint32_t> shard_of_request;
+  /// Per-server-granularity plans only: the precomputed holder-pick index
+  /// for each routed request, aligned with sub_traces[shard].requests
+  /// (empty vectors for component-granularity plans, whose shard-local
+  /// round-robin counters already see every request of their videos).
+  std::vector<std::vector<std::uint32_t>> routed_pick_indices;
+
+  [[nodiscard]] bool is_routed() const { return !routed_pick_indices.empty(); }
+};
+
+/// Plan for ReplicatedPolicy.  kNone → per-server granularity with routed
+/// picks; kOtherHolders → holder components; kBackboneProxy → throws for
+/// num_shards > 1 (named error: the backbone couples every server).
+[[nodiscard]] ShardPlan make_replicated_shard_plan(const Layout& layout,
+                                                   const SimConfig& config,
+                                                   const RequestTrace& trace,
+                                                   std::size_t num_shards);
+
+/// Plan for StripedPolicy: components over stripe-group membership.
+[[nodiscard]] ShardPlan make_striped_shard_plan(const StripedLayout& layout,
+                                                const SimConfig& config,
+                                                const RequestTrace& trace,
+                                                std::size_t num_shards);
+
+/// Plan for HybridPolicy: components over all stripe-group copies (the
+/// per-video group rotation couples every copy of a video).
+[[nodiscard]] ShardPlan make_hybrid_shard_plan(const HybridLayout& layout,
+                                               const SimConfig& config,
+                                               const RequestTrace& trace,
+                                               std::size_t num_shards);
+
+/// Plan for PrefixCachePolicy: with a live cache tier every server fuses
+/// into one component; with the tier disabled, ReplicatedPolicy rules.
+[[nodiscard]] ShardPlan make_prefix_cache_shard_plan(const Layout& layout,
+                                                     const SimConfig& config,
+                                                     bool cache_enabled,
+                                                     const RequestTrace& trace,
+                                                     std::size_t num_shards);
+
+}  // namespace vodrep

@@ -1,0 +1,419 @@
+#include "src/sim/sharded_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/hybrid_policy.h"
+#include "src/sim/replicated_policy.h"
+#include "src/sim/striped_policy.h"
+#include "src/util/error.h"
+
+namespace vodrep {
+
+void merge_load_segments(const std::vector<std::vector<LoadSegment>>& logs,
+                         double epoch_start, std::size_t num_servers,
+                         MergedLoadMetrics& into) {
+  const auto n = static_cast<double>(num_servers);
+  std::vector<std::size_t> cursor(logs.size(), 0);
+  double t = epoch_start;
+  for (;;) {
+    // The next global breakpoint is the earliest un-consumed segment end.
+    // Every shard's stream covers (epoch_start, epoch_end] contiguously and
+    // ends exactly at the epoch boundary (advance_to at the barrier), so a
+    // stream only runs dry once t has reached the boundary.
+    double next = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      if (cursor[s] < logs[s].size()) {
+        next = std::min(next, logs[s][cursor[s]].end_time);
+        any = true;
+      }
+    }
+    if (!any) break;
+    // Each shard's current segment holds its (post idle-flush) accumulator
+    // state over [t, next); the global integrand over that span is the sum
+    // of the per-shard sums and the max of the per-shard maxes.
+    double sum = 0.0;
+    double sumsq = 0.0;
+    double max = 0.0;
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      if (cursor[s] < logs[s].size()) {
+        const LoadSegment& seg = logs[s][cursor[s]];
+        sum += seg.utilization_sum;
+        sumsq += seg.utilization_sumsq;
+        max = std::max(max, seg.max_utilization);
+      }
+    }
+    // Mirror SimEngine::integrate_to exactly: idle flush, clamped Eq. 2,
+    // clamped variance for Eq. 3, capacity excess, running peak.
+    if (max <= 0.0) {
+      sum = 0.0;
+      sumsq = 0.0;
+    }
+    const double mean = sum / n;
+    double eq2 = 0.0;
+    double cv = 0.0;
+    if (mean > 0.0) {
+      eq2 = std::max(0.0, (max - mean) / mean);
+      const double variance = std::max(0.0, sumsq / n - mean * mean);
+      cv = std::sqrt(variance) / mean;
+    }
+    const double dt = next - t;
+    into.imbalance_eq2.add(eq2, dt);
+    into.imbalance_cv.add(cv, dt);
+    into.imbalance_capacity.add(std::max(0.0, max - mean), dt);
+    if (dt > 0.0) into.peak_eq2 = std::max(into.peak_eq2, eq2);
+    for (std::size_t s = 0; s < logs.size(); ++s) {
+      while (cursor[s] < logs[s].size() &&
+             logs[s][cursor[s]].end_time <= next) {
+        ++cursor[s];
+      }
+    }
+    t = next;
+  }
+}
+
+namespace {
+
+/// Builds one shard's policy (with routed picks installed for routed
+/// plans); called serially during setup.
+using ShardPolicyFactory =
+    std::function<std::unique_ptr<StoragePolicy>(std::size_t)>;
+
+/// Merges the per-shard event logs into the caller's log by walking the
+/// plan's global request order with one cursor per shard.  A shard log
+/// keeps the first `capacity` records of its own sub-trace, so a record it
+/// dropped has >= capacity shard-local — hence global — predecessors and
+/// the monolithic log would have dropped it too; offering a placeholder
+/// keeps the merged seen/dropped tallies exact (the placeholder can never
+/// be stored: the caller's buffer is provably full by then).
+void merge_event_logs(const ShardPlan& plan,
+                      const std::vector<std::unique_ptr<obs::EventLog>>& logs,
+                      obs::EventLog& into) {
+  std::vector<std::size_t> cursor(plan.num_shards, 0);
+  for (const std::uint32_t shard : plan.shard_of_request) {
+    const std::size_t k = cursor[shard]++;
+    const std::vector<obs::RequestRecord>& records = logs[shard]->records();
+    into.record(k < records.size() ? records[k] : obs::RequestRecord{});
+  }
+}
+
+SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
+                      const ShardPlan& plan, const ShardPolicyFactory& factory,
+                      const ShardedSimOptions& options,
+                      obs::TimeseriesCollector* timeline,
+                      obs::EventLog* event_log) {
+  require(trace.is_well_formed(), "run_sharded: malformed trace");
+  VODREP_TRACE_SCOPE("sim.run_sharded");
+  const std::size_t num_shards = plan.num_shards;
+  if (timeline != nullptr) {
+    require(timeline->size() == 0 && timeline->downsample_factor() == 1 &&
+                timeline->time_offset() == 0.0,
+            "run_sharded: attach a freshly constructed timeline collector");
+  }
+  if (event_log != nullptr) {
+    require(event_log->seen() == 0 && event_log->time_offset() == 0.0,
+            "run_sharded: attach a freshly constructed event log");
+  }
+
+  // Per-shard replay state.  Every engine gets the full config (all servers,
+  // the full failure schedule): foreign servers never see traffic, so their
+  // contributions stay exactly zero, while the globally correct failed()
+  // flags keep rejection attribution exact.
+  std::vector<std::unique_ptr<SimEngine>> engines;
+  std::vector<std::unique_ptr<StoragePolicy>> policies;
+  std::vector<std::unique_ptr<obs::TimeseriesCollector>> shard_timelines;
+  std::vector<std::unique_ptr<obs::EventLog>> shard_logs;
+  std::vector<std::vector<LoadSegment>> segment_logs(num_shards);
+  engines.reserve(num_shards);
+  policies.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    engines.push_back(std::make_unique<SimEngine>(config));
+    policies.push_back(factory(s));
+    engines[s]->attach_segment_log(&segment_logs[s]);
+    if (timeline != nullptr) {
+      obs::TimeseriesConfig ts_config;
+      ts_config.interval_sec = timeline->interval_sec();
+      ts_config.max_samples = timeline->max_samples();
+      shard_timelines.push_back(std::make_unique<obs::TimeseriesCollector>(
+          ts_config, timeline->num_servers()));
+      engines[s]->attach_timeline(shard_timelines[s].get());
+    }
+    if (event_log != nullptr) {
+      shard_logs.push_back(
+          std::make_unique<obs::EventLog>(event_log->capacity()));
+      engines[s]->attach_event_log(shard_logs[s].get());
+    }
+    engines[s]->begin_stepping(*policies[s]);
+  }
+
+  // Merge-epoch boundaries: fixed simulated-time barriers at which every
+  // shard has advanced to the same clock, the segment logs are swept into
+  // the global Eq. 2/3 integrals, and the logs are cleared (the only reason
+  // the barriers exist — the merged values are invariant in the cadence).
+  std::vector<double> boundaries;
+  const double epoch = options.merge_epoch_sec > 0.0
+                           ? options.merge_epoch_sec
+                           : trace.horizon / 8.0;
+  if (epoch > 0.0) {
+    for (double t = epoch; t < trace.horizon; t += epoch) {
+      boundaries.push_back(t);
+    }
+  }
+  boundaries.push_back(trace.horizon);
+
+  MergedLoadMetrics merged;
+  std::vector<std::size_t> next_request(num_shards, 0);
+  const bool inline_shards = options.pool == nullptr ||
+                             options.pool->size() <= 1 || num_shards <= 1;
+  double epoch_start = 0.0;
+  for (std::size_t b = 0; b < boundaries.size(); ++b) {
+    const double limit = boundaries[b];
+    const bool final_epoch = b + 1 == boundaries.size();
+    const auto advance_shard = [&](std::size_t s) {
+      SimEngine& engine = *engines[s];
+      StoragePolicy& policy = *policies[s];
+      const std::vector<Request>& requests = plan.sub_traces[s].requests;
+      std::size_t& cur = next_request[s];
+      while (cur < requests.size() &&
+             (final_epoch || requests[cur].arrival_time < limit)) {
+        engine.step(policy, requests[cur]);
+        ++cur;
+      }
+      engine.advance_to(policy, limit);
+    };
+    if (inline_shards) {
+      for (std::size_t s = 0; s < num_shards; ++s) advance_shard(s);
+    } else {
+      options.pool->parallel_for(num_shards, advance_shard);
+    }
+    merge_load_segments(segment_logs, epoch_start, config.num_servers,
+                        merged);
+    for (std::vector<LoadSegment>& log : segment_logs) log.clear();
+    epoch_start = limit;
+  }
+
+  // Close every shard and fold the linear tallies.
+  std::vector<SimResult> results;
+  results.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    results.push_back(engines[s]->finish_stepping(*policies[s],
+                                                  trace.horizon));
+  }
+  SimResult out;
+  out.total_requests = trace.size();
+  out.served_per_server.resize(config.num_servers);
+  out.utilization_per_server.assign(config.num_servers, 0.0);
+  for (const SimResult& r : results) {
+    out.rejected += r.rejected;
+    for (std::size_t i = 0; i < obs::kNumRejectReasons; ++i) {
+      out.rejected_by_reason[i] += r.rejected_by_reason[i];
+    }
+    out.redirected += r.redirected;
+    out.proxied += r.proxied;
+    out.batched += r.batched;
+    out.cache_hits += r.cache_hits;
+    out.cache_misses += r.cache_misses;
+    out.cache_evictions += r.cache_evictions;
+  }
+  // `disrupted` is a sum too, but every shard applies the full failure
+  // schedule and a foreign crash tears down zero streams, so the sum counts
+  // each disruption exactly once.
+  for (const SimResult& r : results) out.disrupted += r.disrupted;
+  for (std::size_t s = 0; s < config.num_servers; ++s) {
+    const SimResult& owner = results[plan.shard_of_server[s]];
+    out.served_per_server[s] = owner.served_per_server[s];
+    out.utilization_per_server[s] = owner.utilization_per_server[s];
+  }
+  out.mean_imbalance_eq2 = merged.imbalance_eq2.mean();
+  out.mean_imbalance_cv = merged.imbalance_cv.mean();
+  out.mean_imbalance_capacity = merged.imbalance_capacity.mean();
+  out.peak_imbalance_eq2 = merged.peak_eq2;
+
+  if (timeline != nullptr) {
+    std::vector<const obs::TimeseriesCollector*> views;
+    views.reserve(num_shards);
+    for (const auto& t : shard_timelines) views.push_back(t.get());
+    timeline->merge_shards(views);
+  }
+  if (event_log != nullptr) {
+    merge_event_logs(plan, shard_logs, *event_log);
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& registry = obs::metrics();
+    registry.counter("sim.runs").inc();
+    registry.counter("sim.requests").add(out.total_requests);
+    registry.counter("sim.admitted").add(out.total_requests - out.rejected);
+    registry.counter("sim.rejected").add(out.rejected);
+    for (std::size_t r = 0; r < obs::kNumRejectReasons; ++r) {
+      registry
+          .counter("sim.rejected." +
+                   std::string(obs::reject_reason_name(
+                       static_cast<obs::RejectReason>(r))))
+          .add(out.rejected_by_reason[r]);
+    }
+    registry.counter("sim.redirected").add(out.redirected);
+    registry.counter("sim.proxied").add(out.proxied);
+    registry.counter("sim.batched").add(out.batched);
+    registry.counter("sim.disrupted").add(out.disrupted);
+    std::size_t departures = 0;
+    std::size_t cancelled = 0;
+    std::size_t heap_sum = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const SimEngine::EventStats stats = engines[s]->event_stats();
+      departures += stats.departures_fired;
+      cancelled += stats.departures_cancelled;
+      heap_sum += stats.heap_high_water;
+      const std::string lane = "sim.shard." + std::to_string(s) + ".";
+      registry.gauge(lane + "requests")
+          .set(static_cast<double>(results[s].total_requests));
+      registry.gauge(lane + "rejected")
+          .set(static_cast<double>(results[s].rejected));
+      registry.gauge(lane + "departures")
+          .set(static_cast<double>(stats.departures_fired));
+      registry.gauge(lane + "heap_high_water")
+          .set(static_cast<double>(stats.heap_high_water));
+    }
+    registry.counter("sim.events.departure").add(departures);
+    // Every shard applies the full injected schedule; report it once.
+    registry.counter("sim.events.failure")
+        .add(engines[0]->event_stats().failures_applied);
+    registry.counter("sim.events.cancelled").add(cancelled);
+    // Sum of per-shard high waters: an upper bound on the global peak of
+    // in-flight departures (the shards' peaks need not coincide in time).
+    registry.gauge("sim.heap_high_water")
+        .set_max(static_cast<double>(heap_sum));
+    registry.gauge("sim.mean_imbalance_eq2").set(out.mean_imbalance_eq2);
+    registry.gauge("sim.mean_utilization").set(out.mean_utilization());
+    bool has_cache = false;
+    for (const auto& policy : policies) {
+      if (policy->cache_stats() != nullptr) has_cache = true;
+    }
+    if (has_cache) {
+      registry.counter("sim.cache.hits").add(out.cache_hits);
+      registry.counter("sim.cache.misses").add(out.cache_misses);
+      registry.counter("sim.cache.evictions").add(out.cache_evictions);
+      registry.gauge("sim.cache.hit_ratio").set(out.cache_hit_ratio());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SimResult simulate_sharded(const Layout& layout, const SimConfig& config,
+                           const RequestTrace& trace,
+                           const ShardedSimOptions& options,
+                           obs::TimeseriesCollector* timeline,
+                           obs::EventLog* event_log) {
+  if (options.num_shards <= 1) {
+    require(options.num_shards == 1, "simulate_sharded: need >= 1 shard");
+    SimEngine engine(config);
+    if (timeline != nullptr) engine.attach_timeline(timeline);
+    if (event_log != nullptr) engine.attach_event_log(event_log);
+    ReplicatedPolicy policy(layout, config);
+    return engine.run(policy, trace);
+  }
+  const ShardPlan plan =
+      make_replicated_shard_plan(layout, config, trace, options.num_shards);
+  const ShardPolicyFactory factory = [&](std::size_t shard) {
+    auto policy = std::make_unique<ReplicatedPolicy>(layout, config);
+    if (plan.is_routed()) {
+      policy->set_routed_picks(plan.routed_pick_indices[shard]);
+    }
+    return std::unique_ptr<StoragePolicy>(std::move(policy));
+  };
+  return run_sharded(config, trace, plan, factory, options, timeline,
+                     event_log);
+}
+
+SimResult simulate_sharded_striped(const StripedLayout& layout,
+                                   const SimConfig& config,
+                                   const RequestTrace& trace,
+                                   const ShardedSimOptions& options,
+                                   obs::TimeseriesCollector* timeline,
+                                   obs::EventLog* event_log) {
+  if (options.num_shards <= 1) {
+    require(options.num_shards == 1,
+            "simulate_sharded_striped: need >= 1 shard");
+    SimEngine engine(config);
+    if (timeline != nullptr) engine.attach_timeline(timeline);
+    if (event_log != nullptr) engine.attach_event_log(event_log);
+    StripedPolicy policy(layout, config);
+    return engine.run(policy, trace);
+  }
+  const ShardPlan plan =
+      make_striped_shard_plan(layout, config, trace, options.num_shards);
+  const ShardPolicyFactory factory = [&](std::size_t) {
+    return std::unique_ptr<StoragePolicy>(
+        std::make_unique<StripedPolicy>(layout, config));
+  };
+  return run_sharded(config, trace, plan, factory, options, timeline,
+                     event_log);
+}
+
+SimResult simulate_sharded_hybrid(const HybridLayout& layout,
+                                  const SimConfig& config,
+                                  const RequestTrace& trace,
+                                  const ShardedSimOptions& options,
+                                  obs::TimeseriesCollector* timeline,
+                                  obs::EventLog* event_log) {
+  if (options.num_shards <= 1) {
+    require(options.num_shards == 1,
+            "simulate_sharded_hybrid: need >= 1 shard");
+    SimEngine engine(config);
+    if (timeline != nullptr) engine.attach_timeline(timeline);
+    if (event_log != nullptr) engine.attach_event_log(event_log);
+    HybridPolicy policy(layout, config);
+    return engine.run(policy, trace);
+  }
+  const ShardPlan plan =
+      make_hybrid_shard_plan(layout, config, trace, options.num_shards);
+  const ShardPolicyFactory factory = [&](std::size_t) {
+    return std::unique_ptr<StoragePolicy>(
+        std::make_unique<HybridPolicy>(layout, config));
+  };
+  return run_sharded(config, trace, plan, factory, options, timeline,
+                     event_log);
+}
+
+SimResult simulate_sharded_prefix_cache(const Layout& layout,
+                                        const SimConfig& config,
+                                        const PrefixCacheOptions& cache_options,
+                                        const RequestTrace& trace,
+                                        const ShardedSimOptions& options,
+                                        obs::TimeseriesCollector* timeline,
+                                        obs::EventLog* event_log) {
+  if (options.num_shards <= 1) {
+    require(options.num_shards == 1,
+            "simulate_sharded_prefix_cache: need >= 1 shard");
+    SimEngine engine(config);
+    if (timeline != nullptr) engine.attach_timeline(timeline);
+    if (event_log != nullptr) engine.attach_event_log(event_log);
+    PrefixCachePolicy policy(layout, config, cache_options);
+    return engine.run(policy, trace);
+  }
+  const bool cache_enabled = cache_options.capacity_bytes > 0.0;
+  const ShardPlan plan = make_prefix_cache_shard_plan(
+      layout, config, cache_enabled, trace, options.num_shards);
+  const ShardPolicyFactory factory = [&](std::size_t shard) {
+    auto policy =
+        std::make_unique<PrefixCachePolicy>(layout, config, cache_options);
+    if (plan.is_routed()) {
+      policy->set_routed_picks(plan.routed_pick_indices[shard]);
+    }
+    return std::unique_ptr<StoragePolicy>(std::move(policy));
+  };
+  return run_sharded(config, trace, plan, factory, options, timeline,
+                     event_log);
+}
+
+}  // namespace vodrep

@@ -1,0 +1,120 @@
+// Sharded simulation runner: replays one trace as S independent SimEngines
+// over a ShardPlan's routed sub-traces (src/sim/shard_plan.h), optionally in
+// parallel on a ThreadPool, and merges the per-shard state into one
+// SimResult that is invariant in S.
+//
+// Invariance argument, by result field:
+//
+//   * Counters (rejected, per-reason breakdown, redirected/proxied/batched/
+//     disrupted, served_per_server) — every admission decision reads only
+//     the owning shard's server state, so each counter is an exact sum (or,
+//     for per-server vectors, the owning shard's entry) of per-shard values.
+//     The differential tier asserts these with EXPECT_EQ.
+//   * Per-server utilizations and the timeline max — each server's busy
+//     sequence is identical to the monolithic replay, so these are
+//     bit-exact per server; only quantities *summed across servers* of
+//     different shards (means, Eq. 2/3 integrals) differ by float
+//     associativity, within 1e-7.
+//   * Eq. 2/3 time-weighted means and peak — nonlinear in the per-server
+//     loads (they need the instantaneous global max and mean), so they
+//     cannot be summed after the fact.  Each shard engine logs its running
+//     (Σu, Σu², max) accumulator state as piecewise-constant LoadSegments
+//     (SimEngine::attach_segment_log); at every merge-epoch boundary the
+//     runner sweeps the S segment streams chronologically, rebuilds the
+//     global integrand with integrate_to's exact formulas and clamps, and
+//     folds it into merged TimeWeightedMeans.  Epoch boundaries exist only
+//     to bound segment-log memory — they do not change any value.
+//   * Timeline / event log — per-shard collectors and logs on the caller's
+//     configuration are merged once at the end of the run
+//     (obs::TimeseriesCollector::merge_shards; the event-log merge walks
+//     the plan's global request order with per-shard cursors, so kept and
+//     dropped records match the monolithic log exactly).
+//
+// With num_shards == 1 the entry points bypass the plan/merge machinery
+// entirely and call SimEngine::run — bit-identical to the monolithic path,
+// metrics export included (asserted by tests/sim_differential_test.cc and
+// tests/sim_shard_invariance_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/layout.h"
+#include "src/core/striping.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
+#include "src/sim/engine.h"
+#include "src/sim/prefix_cache_policy.h"
+#include "src/sim/shard_plan.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+#include "src/workload/trace.h"
+
+namespace vodrep {
+
+struct ShardedSimOptions {
+  /// Number of shard engines; 1 = the monolithic SimEngine::run path.
+  std::size_t num_shards = 1;
+  /// Segment-log merge cadence in simulated seconds; 0 picks horizon / 8.
+  /// Purely a memory bound — the merged metrics are invariant in it.
+  double merge_epoch_sec = 0.0;
+  /// Pool to run shard epochs on; null (or a single-thread pool) replays
+  /// the shards inline on the calling thread.  Results are identical either
+  /// way — the pool only changes wall-clock time.
+  ThreadPool* pool = nullptr;
+};
+
+/// Merged global Eq. 2/3 accumulators rebuilt from per-shard segment logs.
+struct MergedLoadMetrics {
+  TimeWeightedMean imbalance_eq2;
+  TimeWeightedMean imbalance_cv;
+  TimeWeightedMean imbalance_capacity;
+  double peak_eq2 = 0.0;
+};
+
+/// Chronologically sweeps one merge epoch of per-shard LoadSegment streams
+/// (each covering (epoch start, epoch end] contiguously, as
+/// SimEngine::integrate_to emits them) and folds the global imbalance
+/// integrand over every span into `into`, using integrate_to's exact
+/// formulas: idle flush when the global max is 0, mean = Σu / n, clamped
+/// eq2/cv, capacity excess, and the running eq2 peak.  Exposed for the
+/// metrics-merge property tests (tests/arrival_batching_test.cc).
+void merge_load_segments(const std::vector<std::vector<LoadSegment>>& logs,
+                         double epoch_start, std::size_t num_servers,
+                         MergedLoadMetrics& into);
+
+/// Sharded counterpart of simulate() (replicated organization).  The plan
+/// is built internally per RedirectMode; kBackboneProxy with num_shards > 1
+/// throws the shard_plan named error.  `timeline` / `event_log` must be
+/// freshly constructed when attached (the merge fills them once).
+[[nodiscard]] SimResult simulate_sharded(
+    const Layout& layout, const SimConfig& config, const RequestTrace& trace,
+    const ShardedSimOptions& options,
+    obs::TimeseriesCollector* timeline = nullptr,
+    obs::EventLog* event_log = nullptr);
+
+/// Sharded striped-organization run (stripe-group components).
+[[nodiscard]] SimResult simulate_sharded_striped(
+    const StripedLayout& layout, const SimConfig& config,
+    const RequestTrace& trace, const ShardedSimOptions& options,
+    obs::TimeseriesCollector* timeline = nullptr,
+    obs::EventLog* event_log = nullptr);
+
+/// Sharded hybrid-organization run (all-copies components).
+[[nodiscard]] SimResult simulate_sharded_hybrid(
+    const HybridLayout& layout, const SimConfig& config,
+    const RequestTrace& trace, const ShardedSimOptions& options,
+    obs::TimeseriesCollector* timeline = nullptr,
+    obs::EventLog* event_log = nullptr);
+
+/// Sharded replicated + edge-prefix-cache run.  A live cache tier fuses
+/// every server into one component (the extra shards idle but the merge
+/// path still runs); capacity 0 shards by the replicated rules.
+[[nodiscard]] SimResult simulate_sharded_prefix_cache(
+    const Layout& layout, const SimConfig& config,
+    const PrefixCacheOptions& cache_options, const RequestTrace& trace,
+    const ShardedSimOptions& options,
+    obs::TimeseriesCollector* timeline = nullptr,
+    obs::EventLog* event_log = nullptr);
+
+}  // namespace vodrep

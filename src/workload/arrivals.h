@@ -19,6 +19,21 @@ namespace vodrep {
 [[nodiscard]] std::vector<double> poisson_arrivals(Rng& rng, double rate,
                                                    double horizon);
 
+/// Block-generated realization of the same process: draws `block` raw u64s
+/// at a time, transforms them to exponential gaps in a separate (auto-
+/// vectorizable) loop, and prefix-scans the gaps into arrival times.  The
+/// output AND the generator's state afterwards are bit-for-bit identical to
+/// poisson_arrivals for every block size — the transform reproduces
+/// Rng::exponential's expression exactly, the scan adds gaps in the same
+/// order, and when the running time crosses the horizon mid-block the
+/// generator is restored from a snapshot and re-advanced by exactly the
+/// number of draws the per-event loop would have consumed (one per gap,
+/// crossing draw included).  Asserted by tests/arrival_batching_test.cc.
+/// Requires block >= 1.
+[[nodiscard]] std::vector<double> poisson_arrivals_block(Rng& rng, double rate,
+                                                         double horizon,
+                                                         std::size_t block);
+
 /// Deterministic, evenly spaced arrivals at exactly `rate` events per unit
 /// time over [0, horizon).  The k-th arrival is at (k + 0.5)/rate so no event
 /// coincides with the horizon boundary.

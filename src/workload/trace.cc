@@ -41,8 +41,11 @@ RequestTrace generate_trace(Rng& rng, const TraceSpec& spec) {
   spec.abandonment.validate();
   RequestTrace trace;
   trace.horizon = spec.horizon;
-  const std::vector<double> times =
-      poisson_arrivals(rng, spec.arrival_rate, spec.horizon);
+  // Arrival times are drawn en bloc before any per-request draws, so the
+  // block-generated process (bit-identical output and RNG consumption at
+  // every block size) leaves the whole trace unchanged.
+  const std::vector<double> times = poisson_arrivals_block(
+      rng, spec.arrival_rate, spec.horizon, spec.arrival_block);
   const DiscreteSampler sampler(spec.popularity);
   trace.requests.reserve(times.size());
   for (double t : times) {

@@ -63,6 +63,10 @@ struct TraceSpec {
   double horizon = 0.0;       ///< peak-period length in seconds
   std::vector<double> popularity;  ///< video-choice distribution (rank order)
   AbandonmentModel abandonment;    ///< watch-fraction model
+  /// Poisson arrival-time generation batch (poisson_arrivals_block): raw
+  /// draws per block, >= 1.  Purely a throughput knob — the generated trace
+  /// and the generator state afterwards are bit-identical for every value.
+  std::size_t arrival_block = 256;
 };
 
 /// Generates one Poisson/Zipf trace realization.  Deterministic in `rng`.

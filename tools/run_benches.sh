@@ -11,7 +11,9 @@
 #   {"name": ..., "moves_per_sec" | "events_per_sec": ...,
 #    "config": <the benchmark's full JSON record>, "git_sha": ...}
 # BENCH_sa.json additionally carries "threads_axis" (the parallel-tempering
-# chains/threads scaling points) and "hardware_threads".
+# chains/threads scaling points) and "hardware_threads"; BENCH_sim.json
+# carries "shards_axis" (sharded-engine events/sec vs shard count) and
+# "hardware_threads".
 set -euo pipefail
 
 quick_flag=""
@@ -68,6 +70,12 @@ record = {
 # captures scaling, not just single-thread speed.
 if "chains_axis" in raw:
     record["threads_axis"] = raw["chains_axis"]
+    record["hardware_threads"] = raw.get("hardware_threads")
+# The sim bench reports sharded-engine scaling the same way: promote the
+# shards axis (each point result-verified against the monolithic engine)
+# so BENCH_sim.json records throughput vs shard count per PR.
+if "shards_axis" in raw:
+    record["shards_axis"] = raw["shards_axis"]
     record["hardware_threads"] = raw.get("hardware_threads")
 with open(sys.argv[1], "w") as f:
     json.dump(record, f, indent=2, sort_keys=True)

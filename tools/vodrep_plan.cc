@@ -35,6 +35,7 @@
 #include "src/sim/prefix_cache_policy.h"
 #include "src/sim/replicated_policy.h"
 #include "src/sim/run_report.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulator.h"
 #include "src/util/cli.h"
 #include "src/util/error.h"
@@ -133,15 +134,8 @@ class ObsExports {
   std::string trace_path_;
 };
 
-// Builds the storage policy for the report/evaluate simulations: the plain
-// replicated organization, or — under --prefix-cache — the same origin
-// cluster fronted by an edge prefix-cache tier.
-std::unique_ptr<StoragePolicy> make_sim_policy(const CliFlags& flags,
-                                               const Layout& layout,
-                                               const SimConfig& config) {
-  if (!flags.get_bool("prefix-cache")) {
-    return std::make_unique<ReplicatedPolicy>(layout, config);
-  }
+// Parses the --cache-* flags into prefix-cache tier options.
+PrefixCacheOptions make_cache_options(const CliFlags& flags) {
   PrefixCacheOptions options;
   const std::string& policy = flags.get_string("cache-policy");
   if (policy == "lru") {
@@ -154,7 +148,37 @@ std::unique_ptr<StoragePolicy> make_sim_policy(const CliFlags& flags,
   options.capacity_bytes =
       units::gigabytes(flags.get_double("cache-capacity-gb"));
   options.uniform_prefix_fraction = flags.get_double("cache-prefix-fraction");
-  return std::make_unique<PrefixCachePolicy>(layout, config, options);
+  return options;
+}
+
+// Runs the evaluate/report simulation: the plain replicated organization,
+// or — under --prefix-cache — the same origin cluster fronted by an edge
+// prefix-cache tier.  --sim-shards 1 (the default) is the monolithic
+// SimEngine, bit-identical to prior releases; larger values run the sharded
+// engine across that many worker threads.  The sharded replay is proven
+// invariant in the shard count (tests/sim_shard_invariance_test.cc), so the
+// flag is purely a throughput knob on multicore machines.
+SimResult run_sim(const CliFlags& flags, const Layout& layout,
+                  const SimConfig& config, const RequestTrace& trace,
+                  obs::TimeseriesCollector* timeline,
+                  obs::EventLog* event_log) {
+  const long long shards_flag = flags.get_int("sim-shards");
+  require(shards_flag >= 1, "--sim-shards must be >= 1");
+  const auto shards = static_cast<std::size_t>(shards_flag);
+  ShardedSimOptions options;
+  options.num_shards = shards;
+  std::unique_ptr<ThreadPool> pool;
+  if (shards > 1) {
+    pool = std::make_unique<ThreadPool>(shards);
+    options.pool = pool.get();
+  }
+  if (flags.get_bool("prefix-cache")) {
+    return simulate_sharded_prefix_cache(layout, config,
+                                         make_cache_options(flags), trace,
+                                         options, timeline, event_log);
+  }
+  return simulate_sharded(layout, config, trace, options, timeline,
+                          event_log);
 }
 
 void print_cache_summary(const CliFlags& flags, const SimResult& result) {
@@ -208,6 +232,10 @@ int run(int argc, char** argv) {
                    "report simulation arrival rate in requests/sec "
                    "(0 = auto-size to ~90% cluster stream capacity)");
   flags.add_int("sim-seed", 2002, "report simulation trace seed");
+  flags.add_int("sim-shards", 1,
+                "shard the evaluate/report simulation across this many "
+                "worker threads (1 = monolithic engine; the result is "
+                "invariant in the shard count)");
   flags.add_double("timeline-interval", 0.0,
                    "report timeline sampling interval in seconds "
                    "(0 = horizon / 64)");
@@ -273,10 +301,6 @@ int run(int argc, char** argv) {
     config.stream_bitrate_bps = units::mbps(flags.get_double("bitrate-mbps"));
     config.video_duration_sec =
         units::minutes(flags.get_double("duration-min"));
-    SimEngine engine(config);
-    const std::unique_ptr<StoragePolicy> policy =
-        make_sim_policy(flags, placement.layout, config);
-
     std::unique_ptr<obs::TimeseriesCollector> timeline;
     std::unique_ptr<obs::EventLog> event_log;
     if (!report_path.empty()) {
@@ -288,10 +312,9 @@ int run(int argc, char** argv) {
           ts, config.num_servers);
       event_log = std::make_unique<obs::EventLog>(
           static_cast<std::size_t>(flags.get_int("event-log-cap")));
-      engine.attach_timeline(timeline.get());
-      engine.attach_event_log(event_log.get());
     }
-    const SimResult result = engine.run(*policy, trace);
+    const SimResult result = run_sim(flags, placement.layout, config, trace,
+                                     timeline.get(), event_log.get());
     if (!report_path.empty()) {
       obs::JsonValue extra = obs::JsonValue::object();
       extra.set("layout_file",
@@ -521,17 +544,18 @@ int run(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("online-epochs"));
     std::vector<SimResult> results;
     if (epochs == 0) {
-      SimEngine engine(sim);
-      const std::unique_ptr<StoragePolicy> policy =
-          make_sim_policy(flags, layout, sim);
-      engine.attach_timeline(&timeline);
-      engine.attach_event_log(&event_log);
-      results.push_back(engine.run(*policy, generate_trace(rng, spec)));
+      results.push_back(run_sim(flags, layout, sim, generate_trace(rng, spec),
+                                &timeline, &event_log));
     } else {
       require(!flags.get_bool("prefix-cache"),
               "--prefix-cache does not compose with --online-epochs yet: the "
               "adaptive controller replans the origin layout but the edge "
               "tier's residency would carry across replans; drop one");
+      require(flags.get_int("sim-shards") <= 1,
+              "--sim-shards does not compose with --online-epochs: the "
+              "adaptive controller replans the layout between epochs, which "
+              "re-couples servers across shard boundaries; run the online "
+              "path with --sim-shards 1");
       // Multi-epoch online path: the adaptive controller re-provisions
       // between epochs; each replan lands on the timeline as an annotation
       // at its (global-time) epoch boundary.
