@@ -473,12 +473,13 @@ int main(int argc, char** argv) {
               : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
     struct ChainsPoint {
       std::size_t chains = 0;
+      std::size_t pool_threads = 0;  // pool workers used; 1 = inline run
       double aggregate_mps = 0.0;
       double per_chain_mps = 0.0;
     };
     std::vector<ChainsPoint> chains_axis;
-    Table pt_table({"chains", "threads", "aggregate_moves_per_sec",
-                    "per_chain_moves_per_sec"});
+    Table pt_table({"chains", "pool_threads", "threads",
+                    "aggregate_moves_per_sec", "per_chain_moves_per_sec"});
     pt_table.set_precision(3);
     for (const std::size_t k : chain_counts) {
       AnnealOptions pt = options.anneal;
@@ -499,11 +500,13 @@ int main(int argc, char** argv) {
       }
       ChainsPoint point;
       point.chains = k;
+      point.pool_threads = k > 1 ? pool.size() : 1;
       point.aggregate_mps =
           static_cast<double>(total_moves) / std::max(best_seconds, 1e-12);
       point.per_chain_mps = point.aggregate_mps / static_cast<double>(k);
       chains_axis.push_back(point);
       pt_table.add_row({static_cast<double>(k),
+                        static_cast<double>(point.pool_threads),
                         static_cast<double>(hardware_threads),
                         point.aggregate_mps, point.per_chain_mps});
     }
@@ -580,7 +583,9 @@ int main(int argc, char** argv) {
               << ",\"chains_axis\":[";
     for (std::size_t i = 0; i < chains_axis.size(); ++i) {
       std::cout << (i == 0 ? "" : ",") << "{\"chains\":"
-                << chains_axis[i].chains << ",\"threads\":" << hardware_threads
+                << chains_axis[i].chains
+                << ",\"pool_threads\":" << chains_axis[i].pool_threads
+                << ",\"threads\":" << hardware_threads
                 << ",\"aggregate_moves_per_sec\":"
                 << chains_axis[i].aggregate_mps
                 << ",\"per_chain_moves_per_sec\":"

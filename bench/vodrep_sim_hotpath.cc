@@ -16,7 +16,10 @@
 // that mirror the library's own engine/policy split so both sides pay
 // identical virtual dispatch.  The engine with obs compiled in but
 // disabled must stay within 3% of the copy or the benchmark exits
-// non-zero.
+// non-zero.  A second guard prices the *enabled* TraceRecorder on the
+// sharded engine: with every shard worker recording into its own
+// per-thread lane, the widest-S replay must stay within 10% of the
+// trace-disabled one.
 //
 // The last stdout line is machine-readable JSON for tracking the perf
 // trajectory across PRs.
@@ -421,11 +424,13 @@ int main(int argc, char** argv) {
               : std::vector<std::size_t>{1, 2, 4, 8};
     struct ShardsPoint {
       std::size_t shards = 0;
+      std::size_t pool_threads = 0;  // pool workers used; 1 = inline replay
       double events_per_sec = 0.0;
       double speedup = 0.0;  // vs the S=1 point of this same axis
     };
     std::vector<ShardsPoint> shards_axis;
-    Table shard_table({"shards", "threads", "events_per_sec", "speedup"});
+    Table shard_table(
+        {"shards", "pool_threads", "threads", "events_per_sec", "speedup"});
     shard_table.set_precision(3);
     for (const std::size_t num_shards : shard_counts) {
       ThreadPool shard_pool(num_shards);
@@ -438,6 +443,8 @@ int main(int argc, char** argv) {
       require_same(engine_stats.result, stats.result);
       ShardsPoint point;
       point.shards = num_shards;
+      point.pool_threads =
+          shard_options.pool != nullptr ? shard_pool.size() : 1;
       point.events_per_sec = stats.events_per_sec;
       point.speedup = shards_axis.empty()
                           ? 1.0
@@ -445,6 +452,7 @@ int main(int argc, char** argv) {
                                 shards_axis.front().events_per_sec;
       shards_axis.push_back(point);
       shard_table.add_row({static_cast<double>(num_shards),
+                           static_cast<double>(point.pool_threads),
                            static_cast<double>(hardware_threads),
                            point.events_per_sec, point.speedup});
     }
@@ -452,6 +460,52 @@ int main(int argc, char** argv) {
               << " hardware thread(s), results verified equal at every S):\n";
     shard_table.print(std::cout);
     std::cout << "\n";
+
+    // --- trace overhead guard: per-thread lanes must stay <10% at S=4 -----
+    // With the TraceRecorder enabled every shard worker records into its
+    // own lock-free lane; the sharded replay at S=4 (S=2 in quick mode)
+    // must stay within 10% of the trace-disabled replay, or the per-thread
+    // buffering has stopped paying for itself.  Same best-of-rounds
+    // discipline as the disabled-obs guard above.
+    const std::size_t trace_shards =
+        std::min<std::size_t>(4, shard_counts.back());
+    ThreadPool trace_pool(trace_shards);
+    ShardedSimOptions trace_options;
+    trace_options.num_shards = trace_shards;
+    trace_options.pool = trace_shards > 1 ? &trace_pool : nullptr;
+    const auto sharded_replay = [&] {
+      return simulate_sharded(layout, config, trace, trace_options);
+    };
+    double trace_off_eps = 0.0;
+    double trace_on_eps = 0.0;
+    for (int round = 0; round < guard_rounds; ++round) {
+      obs::TraceRecorder::global().set_enabled(false);
+      obs::TraceRecorder::global().clear();
+      trace_off_eps = std::max(
+          trace_off_eps,
+          best_events_per_sec(sharded_replay, min_total_sec, max_reps));
+      obs::TraceRecorder::global().set_enabled(true);
+      trace_on_eps = std::max(
+          trace_on_eps,
+          best_events_per_sec(sharded_replay, min_total_sec, max_reps));
+      obs::TraceRecorder::global().set_enabled(false);
+      if (trace_on_eps >= 0.90 * trace_off_eps) break;
+    }
+    const std::uint64_t trace_events_recorded =
+        obs::TraceRecorder::global().events_recorded();
+    obs::TraceRecorder::global().clear();
+    const double trace_overhead_pct =
+        100.0 * (1.0 - trace_on_eps / trace_off_eps);
+    const bool trace_guard_pass = trace_on_eps >= 0.90 * trace_off_eps;
+    std::cout << "trace overhead on the sharded engine (S=" << trace_shards
+              << ", best-of-reps):\n"
+              << "  trace disabled:         " << trace_off_eps
+              << " events/s\n"
+              << "  trace enabled:          " << trace_on_eps << " events/s  ("
+              << trace_overhead_pct << " % overhead, "
+              << trace_events_recorded << " events recorded)\n"
+              << "  guard (<10% enabled):   "
+              << (trace_guard_pass ? "PASS" : "FAIL") << "\n\n";
 
     std::cout << "{\"bench\":\"sim_hotpath\",\"videos\":" << m
               << ",\"servers\":" << n << ",\"requests\":" << trace.size()
@@ -466,11 +520,19 @@ int main(int argc, char** argv) {
               << ",\"obs_off_events_per_sec\":" << obs_off_eps
               << ",\"obs_off_overhead_pct\":" << off_overhead_pct
               << ",\"obs_guard_pass\":" << (guard_pass ? "true" : "false")
+              << ",\"trace_shards\":" << trace_shards
+              << ",\"trace_off_events_per_sec\":" << trace_off_eps
+              << ",\"trace_on_events_per_sec\":" << trace_on_eps
+              << ",\"trace_overhead_pct\":" << trace_overhead_pct
+              << ",\"trace_guard_pass\":"
+              << (trace_guard_pass ? "true" : "false")
               << ",\"hardware_threads\":" << hardware_threads
               << ",\"shards_axis\":[";
     for (std::size_t i = 0; i < shards_axis.size(); ++i) {
       std::cout << (i == 0 ? "" : ",") << "{\"shards\":"
-                << shards_axis[i].shards << ",\"threads\":" << hardware_threads
+                << shards_axis[i].shards
+                << ",\"pool_threads\":" << shards_axis[i].pool_threads
+                << ",\"threads\":" << hardware_threads
                 << ",\"events_per_sec\":" << shards_axis[i].events_per_sec
                 << ",\"speedup\":" << shards_axis[i].speedup << "}";
     }
@@ -478,6 +540,12 @@ int main(int argc, char** argv) {
     if (!guard_pass) {
       std::cerr << "error: obs layer costs " << off_overhead_pct
                 << " % events/sec while disabled (budget: 3 %)\n";
+      return EXIT_FAILURE;
+    }
+    if (!trace_guard_pass) {
+      std::cerr << "error: enabled trace costs " << trace_overhead_pct
+                << " % events/sec on the S=" << trace_shards
+                << " sharded replay (budget: 10 %)\n";
       return EXIT_FAILURE;
     }
   } catch (const std::exception& error) {

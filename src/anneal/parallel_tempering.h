@@ -31,6 +31,7 @@
 
 #include "src/anneal/annealer.h"
 #include "src/anneal/schedule.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
@@ -123,6 +124,12 @@ template <AnnealProblem P>
   require(options.temperature_spread >= 1.0,
           "anneal_parallel_tempering: temperature_spread must be >= 1");
   VODREP_TRACE_SCOPE("anneal.pt.run");
+  // Phase accounting (DESIGN.md §11): the caller thread owns the sa.pt root
+  // with construct/superstep/exchange children — superstep wall covers the
+  // pool dispatch plus the barrier wait, while the workers accrue the actual
+  // chain-run wall/CPU under their own sa.pt.chain_run root, so "time the
+  // barrier spent waiting" is superstep wall minus the chain-run share.
+  VODREP_PROFILE_PHASE("sa.pt");
 
   // Each chain owns its Rng for its whole lifetime; the vector is sized up
   // front so the pointers the chains hold stay stable.
@@ -135,6 +142,7 @@ template <AnnealProblem P>
   std::vector<std::optional<AnnealChain<P>>> chains(k);
   auto construct = [&](std::size_t c) {
     VODREP_TRACE_SCOPE(pt_chain_lane(c));
+    VODREP_PROFILE_PHASE("sa.pt.chain_construct");
     chains[c].emplace(
         problem, rngs[c], options, schedule,
         std::pow(options.temperature_spread, static_cast<double>(c)));
@@ -148,7 +156,10 @@ template <AnnealProblem P>
       for (std::size_t c = 0; c < k; ++c) body(c);
     }
   };
-  for_each_chain(construct);
+  {
+    VODREP_PROFILE_PHASE("construct");
+    for_each_chain(construct);
+  }
 
   // Superstep loop: every chain advances up to swap_period temperature steps
   // in parallel (stopping early if its own schedule or stall predicate
@@ -165,12 +176,17 @@ template <AnnealProblem P>
   };
   auto superstep = [&](std::size_t c) {
     VODREP_TRACE_SCOPE(pt_chain_lane(c));
+    VODREP_PROFILE_PHASE("sa.pt.chain_run");
     AnnealChain<P>& chain = *chains[c];
     for (std::size_t i = 0; i < options.swap_period && chain.step(); ++i) {
     }
   };
   for (std::size_t round = 0; any_active(); ++round) {
-    for_each_chain(superstep);
+    {
+      VODREP_PROFILE_PHASE("superstep");
+      for_each_chain(superstep);
+    }
+    VODREP_PROFILE_PHASE("exchange");
     for (std::size_t lo = round % 2; lo + 1 < k; lo += 2) {
       AnnealChain<P>& cold = *chains[lo];
       AnnealChain<P>& hot = *chains[lo + 1];

@@ -8,6 +8,7 @@
 #include "src/anneal/parallel_tempering.h"
 #include "src/audit/audit.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/error.h"
@@ -364,6 +365,7 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
                               ThreadPool* pool) {
   require(options.chains >= 1, "solve_scalable: need at least one chain");
   VODREP_TRACE_SCOPE("sa.solve");
+  VODREP_PROFILE_PHASE("sa.solve");
   const ScalableSaProblem sa_problem(problem, options);
   SaSolverResult result;
   if (options.chains == 1) {
@@ -379,9 +381,12 @@ SaSolverResult solve_scalable(const ScalableProblem& problem,
     result.anneal =
         anneal_parallel_tempering(sa_problem, seed, pt_options, pool);
   }
-  result.solution = result.anneal.best_state;
-  result.objective = solution_objective(problem, result.solution);
-  result.feasible = is_feasible(problem, result.solution);
+  {
+    VODREP_PROFILE_PHASE("extract");
+    result.solution = result.anneal.best_state;
+    result.objective = solution_objective(problem, result.solution);
+    result.feasible = is_feasible(problem, result.solution);
+  }
 
   if (obs::metrics_enabled()) {
     // End-of-solve fold into the metrics registry: bulk adds of the engine's

@@ -1,0 +1,56 @@
+// Home of the raw clock reads (see the raw-clock rule in tools/vodrep_lint:
+// this file and clock.h are the shim's home and the only place under
+// src/{sim,anneal,obs} allowed to touch the clocks directly).
+#include "src/obs/clock.h"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#endif
+
+namespace vodrep::obs {
+
+namespace {
+
+/// Fixed epoch so timestamps are comparable across threads and recorders.
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - g_epoch)
+          .count());
+}
+
+std::uint64_t thread_cpu_now_ns() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t max_rss_kb() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace vodrep::obs

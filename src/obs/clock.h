@@ -1,0 +1,29 @@
+// The obs clock shim: every timing read in src/{sim,anneal,obs} goes
+// through these three functions (enforced by the `raw-clock` vodrep_lint
+// rule), so instrumented code never touches std::chrono clocks or
+// clock_gettime directly.  Centralizing the reads keeps timestamps
+// comparable across threads and recorders (one shared epoch), gives the
+// profiler a single place to pick the per-thread CPU clock, and leaves one
+// seam to virtualize time under if a deterministic-clock test mode is ever
+// needed.
+#pragma once
+
+#include <cstdint>
+
+namespace vodrep::obs {
+
+/// Monotonic wall-clock nanoseconds since process start (steady clock
+/// against a fixed process-wide epoch, so values are comparable across
+/// threads, recorders, and the profiler).
+[[nodiscard]] std::uint64_t steady_now_ns() noexcept;
+
+/// CPU time consumed by the *calling thread*, in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID).  Returns 0 on platforms without a per-thread
+/// CPU clock; callers must treat deltas of 0 as "not measured", not "free".
+[[nodiscard]] std::uint64_t thread_cpu_now_ns() noexcept;
+
+/// Process high-water resident set size in KiB (getrusage ru_maxrss);
+/// 0 when unavailable.
+[[nodiscard]] std::uint64_t max_rss_kb() noexcept;
+
+}  // namespace vodrep::obs

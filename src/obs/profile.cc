@@ -1,0 +1,209 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/clock.h"
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace vodrep::obs {
+
+/// Phase tree owned (written) by exactly one thread.  Node links are
+/// indices, not pointers, because the node vector reallocates as phases are
+/// first seen.
+struct RunProfiler::ThreadTree {
+  struct Node {
+    const char* name = nullptr;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t cpu_ns = 0;
+    std::uint64_t count = 0;
+    std::vector<std::uint32_t> children;
+  };
+  struct Frame {
+    std::uint32_t node = 0;
+    std::uint64_t wall_start_ns = 0;
+    std::uint64_t cpu_start_ns = 0;
+  };
+  /// nodes[0] is a synthetic root whose children are this thread's
+  /// top-level phases.
+  std::vector<Node> nodes = std::vector<Node>(1);
+  std::vector<Frame> stack;
+  std::uint32_t current = 0;
+  std::uint32_t slot = 0;  ///< obs thread_slot, for stable registration order
+};
+
+namespace {
+
+/// Cached registration: which profiler epoch this thread's tree belongs to.
+thread_local RunProfiler::ThreadTree* tl_tree = nullptr;
+thread_local std::uint64_t tl_epoch = 0;
+
+}  // namespace
+
+RunProfiler& RunProfiler::global() {
+  static RunProfiler profiler;
+  return profiler;
+}
+
+RunProfiler::ThreadTree* RunProfiler::local_tree() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (tl_tree != nullptr && tl_epoch == epoch) return tl_tree;
+  MutexLock lock(mutex_);
+  auto tree = std::make_unique<ThreadTree>();
+  tree->slot = detail::thread_slot();
+  tl_tree = tree.get();
+  tl_epoch = epoch_.load(std::memory_order_relaxed);
+  trees_.push_back(std::move(tree));
+  return tl_tree;
+}
+
+void RunProfiler::enter(const char* name) noexcept {
+  ThreadTree* tree = local_tree();
+  // Find (or add) the child of the current node carrying this phase name.
+  // Linear scan: phase fan-out is small (a handful of named stages), and
+  // the name-pointer fast path covers the literal-reuse common case.
+  std::uint32_t child = 0;
+  for (const std::uint32_t idx : tree->nodes[tree->current].children) {
+    const char* existing = tree->nodes[idx].name;
+    if (existing == name || std::strcmp(existing, name) == 0) {
+      child = idx;
+      break;
+    }
+  }
+  if (child == 0) {
+    child = static_cast<std::uint32_t>(tree->nodes.size());
+    ThreadTree::Node node;
+    node.name = name;
+    tree->nodes.push_back(node);
+    tree->nodes[tree->current].children.push_back(child);
+  }
+  tree->stack.push_back(
+      ThreadTree::Frame{child, steady_now_ns(), thread_cpu_now_ns()});
+  tree->current = child;
+}
+
+void RunProfiler::leave() noexcept {
+  // Tolerate leave() after a clear() raced a still-armed ProfilePhase (the
+  // quiesce contract was violated upstream): better to drop the sample
+  // than to touch a freed tree.
+  if (tl_tree == nullptr ||
+      tl_epoch != epoch_.load(std::memory_order_relaxed) ||
+      tl_tree->stack.empty()) {
+    return;
+  }
+  ThreadTree* tree = tl_tree;
+  const ThreadTree::Frame frame = tree->stack.back();
+  tree->stack.pop_back();
+  ThreadTree::Node& node = tree->nodes[frame.node];
+  node.wall_ns += steady_now_ns() - frame.wall_start_ns;
+  node.cpu_ns += thread_cpu_now_ns() - frame.cpu_start_ns;
+  node.count += 1;
+  tree->current = tree->stack.empty() ? 0 : tree->stack.back().node;
+}
+
+namespace {
+
+/// Adds `src` (and its subtree) into the forest `dst`, matching by name.
+void merge_node(std::vector<PhaseStats>& dst,
+                const RunProfiler::ThreadTree& tree, std::uint32_t index) {
+  const auto& node = tree.nodes[index];
+  PhaseStats* target = nullptr;
+  for (PhaseStats& candidate : dst) {
+    if (candidate.name == node.name) {
+      target = &candidate;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    dst.emplace_back();
+    target = &dst.back();
+    target->name = node.name;
+  }
+  target->wall_ns += node.wall_ns;
+  target->cpu_ns += node.cpu_ns;
+  target->count += node.count;
+  for (const std::uint32_t child : node.children) {
+    merge_node(target->children, tree, child);
+  }
+}
+
+void sort_forest(std::vector<PhaseStats>& forest) {
+  std::sort(forest.begin(), forest.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              return a.name < b.name;
+            });
+  for (PhaseStats& phase : forest) sort_forest(phase.children);
+}
+
+JsonValue phase_to_json(const PhaseStats& phase) {
+  JsonValue node = JsonValue::object();
+  node.set("name", JsonValue::string(phase.name));
+  node.set("wall_ns", JsonValue::integer_u64(phase.wall_ns));
+  node.set("cpu_ns", JsonValue::integer_u64(phase.cpu_ns));
+  node.set("count", JsonValue::integer_u64(phase.count));
+  JsonValue children = JsonValue::array();
+  for (const PhaseStats& child : phase.children) {
+    children.push_back(phase_to_json(child));
+  }
+  node.set("children", std::move(children));
+  return node;
+}
+
+}  // namespace
+
+ProfileSnapshot RunProfiler::snapshot() const {
+  MutexLock lock(mutex_);
+  ProfileSnapshot out;
+  // Visit trees in thread-slot order, then canonicalize: the result is a
+  // pure function of the recorded (path -> totals) multiset, independent of
+  // thread registration order.
+  std::vector<const ThreadTree*> ordered;
+  ordered.reserve(trees_.size());
+  for (const auto& tree : trees_) ordered.push_back(tree.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ThreadTree* a, const ThreadTree* b) {
+              return a->slot < b->slot;
+            });
+  for (const ThreadTree* tree : ordered) {
+    for (const std::uint32_t root_child : tree->nodes[0].children) {
+      merge_node(out.phases, *tree, root_child);
+    }
+  }
+  sort_forest(out.phases);
+  out.max_rss_kb = obs::max_rss_kb();
+  return out;
+}
+
+JsonValue RunProfiler::to_json() const {
+  const ProfileSnapshot snap = snapshot();
+  JsonValue root = JsonValue::object();
+  root.set("profile_version", JsonValue::integer(kProfileVersion));
+  root.set("max_rss_kb", JsonValue::integer_u64(snap.max_rss_kb));
+  JsonValue trace = JsonValue::object();
+  trace.set("recorded",
+            JsonValue::integer_u64(TraceRecorder::global().events_recorded()));
+  trace.set("dropped",
+            JsonValue::integer_u64(TraceRecorder::global().events_dropped()));
+  root.set("trace", std::move(trace));
+  JsonValue phases = JsonValue::array();
+  for (const PhaseStats& phase : snap.phases) {
+    phases.push_back(phase_to_json(phase));
+  }
+  root.set("phases", std::move(phases));
+  return root;
+}
+
+void RunProfiler::clear() {
+  MutexLock lock(mutex_);
+  trees_.clear();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t RunProfiler::threads_registered() const {
+  MutexLock lock(mutex_);
+  return trees_.size();
+}
+
+}  // namespace vodrep::obs

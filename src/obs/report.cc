@@ -2,7 +2,13 @@
 
 #include <cstddef>
 
+#include "src/obs/profile.h"
+
 namespace vodrep::obs {
+
+static_assert(kRunProfileVersion == RunProfiler::kProfileVersion,
+              "report schema and RunProfiler must agree on the profile "
+              "section version");
 
 namespace {
 
@@ -18,6 +24,42 @@ namespace {
 
 [[nodiscard]] bool is_int(const JsonValue& value) {
   return value.kind() == JsonValue::Kind::kInt;
+}
+
+/// Structural check of one merged phase node (src/obs/profile.h to_json
+/// output): name string, wall_ns/cpu_ns/count non-negative integers,
+/// recursive children.  Depth-capped so a hostile document cannot recurse
+/// the validator off the stack (the no-throw fuzz contract covers this
+/// section too).
+void check_phase_node(const JsonValue& node, int depth,
+                      std::vector<std::string>* out) {
+  constexpr int kMaxDepth = 64;
+  if (depth > kMaxDepth) {
+    out->push_back("profile.phases nests deeper than " +
+                   std::to_string(kMaxDepth));
+    return;
+  }
+  if (!node.is_object()) {
+    out->push_back("profile phase node is not an object");
+    return;
+  }
+  if (!node.has("name") || !node.at("name").is_string()) {
+    out->push_back("profile phase node is missing string 'name'");
+  }
+  for (const char* key : {"wall_ns", "cpu_ns", "count"}) {
+    if (!node.has(key) || node.at(key).kind() != JsonValue::Kind::kInt ||
+        node.at(key).as_int() < 0) {
+      out->push_back(std::string("profile phase node key '") + key +
+                     "' is not a non-negative integer");
+    }
+  }
+  if (!node.has("children") || !node.at("children").is_array()) {
+    out->push_back("profile phase node is missing array 'children'");
+    return;
+  }
+  for (const JsonValue& child : node.at("children").items()) {
+    check_phase_node(child, depth + 1, out);
+  }
 }
 
 void check_array_sizes(const JsonValue& timeline, const char* key,
@@ -157,6 +199,32 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
     problems.push_back(
         "events must carry 'capacity', 'seen', 'dropped', and array "
         "'records'");
+  }
+
+  // The profile section is optional (reports from runs without --profile-out
+  // stay valid), but when present it must be the versioned RunProfiler
+  // export: profile_version, max_rss_kb, and a well-formed phase forest.
+  if (report.has("profile")) {
+    const JsonValue& profile = report.at("profile");
+    if (!profile.is_object() || !profile.has("profile_version") ||
+        !profile.has("max_rss_kb") || !profile.has("phases") ||
+        !profile.at("phases").is_array()) {
+      problems.push_back(
+          "profile must carry 'profile_version', 'max_rss_kb', and array "
+          "'phases'");
+    } else {
+      if (!is_int(profile.at("profile_version")) ||
+          profile.at("profile_version").as_int() != kRunProfileVersion) {
+        problems.push_back("profile.profile_version is not " +
+                           std::to_string(kRunProfileVersion));
+      }
+      if (!is_uint(profile.at("max_rss_kb"))) {
+        problems.push_back("profile.max_rss_kb is not a non-negative integer");
+      }
+      for (const JsonValue& phase : profile.at("phases").items()) {
+        check_phase_node(phase, 0, &problems);
+      }
+    }
   }
   return problems;
 }

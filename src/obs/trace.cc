@@ -1,71 +1,116 @@
 #include "src/obs/trace.h"
 
-#include <chrono>
+#include <algorithm>
 #include <sstream>
 
+#include "src/obs/clock.h"
 #include "src/obs/json_lite.h"
 #include "src/obs/metrics.h"
 
 namespace vodrep::obs {
 
-namespace {
-
-/// Fixed epoch so timestamps are comparable across threads and recorders.
-const std::chrono::steady_clock::time_point g_epoch =
-    std::chrono::steady_clock::now();
-
-}  // namespace
+TraceRecorder::TraceRecorder() : lanes_(new Lane[kMaxLanes]) {}
 
 TraceRecorder& TraceRecorder::global() {
   static TraceRecorder recorder;
   return recorder;
 }
 
-std::uint64_t TraceRecorder::now_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - g_epoch)
-          .count());
-}
+std::uint64_t TraceRecorder::now_ns() noexcept { return steady_now_ns(); }
 
 void TraceRecorder::set_enabled(bool enabled, std::size_t capacity) {
   {
     MutexLock lock(mutex_);
     if (enabled) {
       capacity_ = capacity;
-      if (events_.capacity() < capacity_) events_.reserve(capacity_);
+      // Reserve the enabling thread's lane now, so single-threaded programs
+      // (always slot 0) never allocate on the record path at all.
+      const std::uint32_t slot = detail::thread_slot();
+      if (slot < kMaxLanes) {
+        Lane& lane = lanes_[slot];
+        if (!lane.ready.load(std::memory_order_relaxed)) {
+          lane.slots.resize(capacity_);
+          lane.ready.store(true, std::memory_order_release);
+        }
+      }
     }
   }
   enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::prepare_lane(Lane& lane) noexcept {
+  MutexLock lock(mutex_);
+  if (lane.ready.load(std::memory_order_relaxed)) return true;
+  if (!enabled()) return false;
+  lane.slots.resize(capacity_);
+  lane.ready.store(true, std::memory_order_release);
+  return true;
 }
 
 void TraceRecorder::record_complete(const char* name, std::uint64_t ts_ns,
                                     std::uint64_t dur_ns) noexcept {
   if (!enabled()) return;
   const std::uint32_t tid = detail::thread_slot();
-  MutexLock lock(mutex_);
-  if (events_.size() >= capacity_) {
+  if (tid >= kMaxLanes) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (events_.size() == events_.capacity()) {
-    // Only reachable when set_enabled could not pre-reserve; counted so the
-    // zero-allocation contract stays observable.
-    buffer_grows_.fetch_add(1, std::memory_order_relaxed);
+  Lane& lane = lanes_[tid];
+  if (!lane.ready.load(std::memory_order_acquire)) {
+    // One-time lane reservation on this thread's first record; every later
+    // record from this thread takes the lock-free path below.
+    if (!prepare_lane(lane)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  events_.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+  const std::size_t idx = lane.count.load(std::memory_order_relaxed);
+  if (idx >= lane.slots.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  lane.slots[idx] = TraceEvent{name, ts_ns, dur_ns, tid};
+  lane.count.store(idx + 1, std::memory_order_release);
   recorded_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
+  // The mutex excludes concurrent lane *reservation* (vector resize); the
+  // acquire load of each lane's count pairs with the writer's release store,
+  // so the published prefix is safe to copy while that writer keeps
+  // recording past it.
   MutexLock lock(mutex_);
-  return events_;
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < kMaxLanes; ++slot) {
+    const Lane& lane = lanes_[slot];
+    if (!lane.ready.load(std::memory_order_acquire)) continue;
+    total += lane.count.load(std::memory_order_acquire);
+  }
+  merged.reserve(total);
+  for (std::size_t slot = 0; slot < kMaxLanes; ++slot) {
+    const Lane& lane = lanes_[slot];
+    if (!lane.ready.load(std::memory_order_acquire)) continue;
+    const std::size_t count = lane.count.load(std::memory_order_acquire);
+    merged.insert(merged.end(), lane.slots.begin(),
+                  lane.slots.begin() + static_cast<std::ptrdiff_t>(count));
+  }
+  // Deterministic merge order: start timestamp, thread slot tie-break.  The
+  // concatenation above visits lanes in slot order and stable_sort keeps the
+  // within-lane recorded order for identical (ts, tid) pairs, so the same
+  // recorded spans always export identically.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.tid < b.tid;
+                   });
+  return merged;
 }
 
 void TraceRecorder::write_json(std::ostream& os) const {
   const std::vector<TraceEvent> events = this->events();
   // Streamed rather than built as a JsonValue: trace buffers can hold ~1M
-  // events and the flat writer keeps export memory at O(1).
+  // events and the flat writer keeps export memory at O(events).
   // chrome://tracing expects microseconds; the sub-microsecond residue is
   // kept as a zero-padded fractional part.
   const auto write_us = [&os](std::uint64_t ns) {
@@ -101,7 +146,12 @@ std::string TraceRecorder::to_json() const {
 
 void TraceRecorder::clear() {
   MutexLock lock(mutex_);
-  events_.clear();
+  for (std::size_t slot = 0; slot < kMaxLanes; ++slot) {
+    Lane& lane = lanes_[slot];
+    lane.ready.store(false, std::memory_order_relaxed);
+    lane.count.store(0, std::memory_order_relaxed);
+    std::vector<TraceEvent>().swap(lane.slots);
+  }
   recorded_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   buffer_grows_.store(0, std::memory_order_relaxed);

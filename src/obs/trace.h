@@ -15,13 +15,27 @@
 //     while disabled (asserted by tests/trace_event_test.cc via the
 //     events_recorded/buffer_grows instrument counters).
 //
-// The event buffer is bounded: set_enabled reserves `capacity` slots up
-// front and record() drops (and counts) events beyond it, so tracing a long
-// run degrades gracefully instead of exhausting memory.
+// Storage is one pre-reserved buffer (lane) per recording thread, indexed by
+// obs::detail::thread_slot().  Each lane has exactly one writer, which
+// publishes events with a release store of the lane's count; readers take an
+// acquire load and only touch the published prefix.  Recording therefore
+// never contends on a lock — the recorder is usable *on* the sharded
+// simulation hot path without serializing the shards.  A lane is reserved to
+// the configured capacity once, on the owning thread's first record after
+// set_enabled (the enabling thread's lane is reserved eagerly inside
+// set_enabled); past that the record path never allocates, and events beyond
+// a lane's capacity are dropped and counted.
+//
+// events() / write_json() merge the lanes into one deterministic order:
+// sorted by start timestamp, thread slot breaking ties (and within one lane
+// the recorded order is preserved for identical timestamps).  The same set
+// of recorded spans therefore always exports byte-identically, regardless of
+// which thread finished recording first.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -42,29 +56,34 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
-  TraceRecorder() = default;
+  TraceRecorder();
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   static TraceRecorder& global();
 
-  /// Enables recording; reserves space for `capacity` events so the record
-  /// hot path never reallocates.  Disabling stops recording but keeps the
-  /// buffered events for export.
+  /// Enables recording with `capacity` event slots *per thread lane*.  The
+  /// calling thread's lane is reserved before this returns; other threads
+  /// reserve theirs once, on their first record.  Disabling stops recording
+  /// but keeps the buffered events for export.  Lanes already reserved keep
+  /// their original capacity until clear().
   void set_enabled(bool enabled, std::size_t capacity = kDefaultCapacity)
       VODREP_EXCLUDES(mutex_);
   [[nodiscard]] bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Monotonic nanoseconds since process start (steady clock).
+  /// Monotonic nanoseconds since process start (obs::steady_now_ns).
   [[nodiscard]] static std::uint64_t now_ns() noexcept;
 
-  /// Appends one complete event (no-op while disabled).  Thread-safe.
+  /// Appends one complete event to the calling thread's lane (no-op while
+  /// disabled).  Lock-free after the lane's one-time reservation.
   void record_complete(const char* name, std::uint64_t ts_ns,
                        std::uint64_t dur_ns) noexcept VODREP_EXCLUDES(mutex_);
 
-  /// Copy of the buffered events (for assertions; export uses write_json).
+  /// Merged copy of the buffered events, sorted by (ts_ns, tid) — see the
+  /// determinism note above.  Safe to call while other threads record; it
+  /// sees each lane's published prefix.
   [[nodiscard]] std::vector<TraceEvent> events() const VODREP_EXCLUDES(mutex_);
 
   // Instrument counters, for tests and for the export metadata.
@@ -74,30 +93,53 @@ class TraceRecorder {
   [[nodiscard]] std::uint64_t events_dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
-  /// Times the event buffer's capacity grew during record() — stays 0 both
-  /// while disabled and while recording within the reserved capacity.
+  /// Times an event buffer's capacity grew during record() — stays 0 by
+  /// construction in the per-lane design (a lane is reserved once and never
+  /// resized on the record path); kept as an observable contract.
   [[nodiscard]] std::uint64_t buffer_grows() const noexcept {
     return buffer_grows_.load(std::memory_order_relaxed);
   }
 
   /// Chrome trace-event JSON ({"traceEvents":[...]}, ts/dur in fractional
-  /// microseconds).  Loads in chrome://tracing and Perfetto.
+  /// microseconds) over the merged, deterministically ordered events.
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
 
-  /// Discards buffered events and resets the instrument counters.
+  /// Discards buffered events, releases the lane reservations, and resets
+  /// the instrument counters.  Requires recording threads to be quiescent
+  /// (disable first; join or drain worker pools).
   void clear() VODREP_EXCLUDES(mutex_);
 
-  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+  /// Per-lane default capacity (events, 24 B each).  Total trace memory is
+  /// capacity x lanes actually touched, so a single-threaded run costs one
+  /// lane.
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+  /// Threads with slot >= kMaxLanes drop-and-count rather than share a lane
+  /// (a shared lane would have two writers and lose the lock-free publish).
+  static constexpr std::size_t kMaxLanes = 64;
 
  private:
+  /// Single-writer event buffer for one thread slot.  `count` is the
+  /// publication point: the writer fills slots[count] then release-stores
+  /// count+1; readers acquire-load count and read only [0, count).
+  struct alignas(64) Lane {
+    std::atomic<std::size_t> count{0};
+    std::atomic<bool> ready{false};  ///< storage reserved, safe to write
+    std::vector<TraceEvent> slots;   ///< fixed size while ready
+  };
+
+  /// One-time reservation of `lane` (mutex-serialized against readers and
+  /// other reservations).  Returns false when recording is disabled again
+  /// by the time the lock is held.
+  bool prepare_lane(Lane& lane) noexcept VODREP_EXCLUDES(mutex_);
+
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> buffer_grows_{0};
-  mutable Mutex mutex_;
-  std::vector<TraceEvent> events_ VODREP_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;  ///< guards lane reservation / clear, not recording
   std::size_t capacity_ VODREP_GUARDED_BY(mutex_) = 0;
+  const std::unique_ptr<Lane[]> lanes_;  ///< kMaxLanes entries, fixed address
 };
 
 /// RAII span: arms itself only when the recorder is enabled at construction,
@@ -132,8 +174,10 @@ class ScopedTimer {
 // VODREP_TRACE_SCOPE("name"): declares a ScopedTimer covering the rest of
 // the enclosing block.  Compiled out entirely when VODREP_TRACE is not
 // defined (CMake -DVODREP_TRACE=OFF).
+#ifndef VODREP_OBS_CONCAT_
 #define VODREP_OBS_CONCAT_IMPL_(a, b) a##b
 #define VODREP_OBS_CONCAT_(a, b) VODREP_OBS_CONCAT_IMPL_(a, b)
+#endif
 
 #if defined(VODREP_TRACE)
 #define VODREP_TRACE_SCOPE(name) \

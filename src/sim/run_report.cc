@@ -172,7 +172,8 @@ obs::JsonValue build_run_report(const SimConfig& config,
                                 const SimResult& result,
                                 const obs::TimeseriesCollector* timeline,
                                 const obs::EventLog* events,
-                                obs::JsonValue config_extra) {
+                                obs::JsonValue config_extra,
+                                obs::JsonValue profile) {
   using obs::JsonValue;
   JsonValue report = JsonValue::object();
   report.set("schema_version",
@@ -188,6 +189,9 @@ obs::JsonValue build_run_report(const SimConfig& config,
                                                 : JsonValue::array());
   report.set("events",
              events != nullptr ? events->to_json() : empty_events_json());
+  require(profile.is_null() || profile.is_object(),
+          "build_run_report: profile must be null or an object");
+  if (profile.is_object()) report.set("profile", std::move(profile));
   return report;
 }
 

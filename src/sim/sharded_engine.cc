@@ -8,7 +8,9 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/clock.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/sim/hybrid_policy.h"
 #include "src/sim/replicated_policy.h"
@@ -110,18 +112,8 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
                       const ShardedSimOptions& options,
                       obs::TimeseriesCollector* timeline,
                       obs::EventLog* event_log) {
-  require(trace.is_well_formed(), "run_sharded: malformed trace");
   VODREP_TRACE_SCOPE("sim.run_sharded");
   const std::size_t num_shards = plan.num_shards;
-  if (timeline != nullptr) {
-    require(timeline->size() == 0 && timeline->downsample_factor() == 1 &&
-                timeline->time_offset() == 0.0,
-            "run_sharded: attach a freshly constructed timeline collector");
-  }
-  if (event_log != nullptr) {
-    require(event_log->seen() == 0 && event_log->time_offset() == 0.0,
-            "run_sharded: attach a freshly constructed event log");
-  }
 
   // Per-shard replay state.  Every engine gets the full config (all servers,
   // the full failure schedule): foreign servers never see traffic, so their
@@ -134,24 +126,41 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
   std::vector<std::vector<LoadSegment>> segment_logs(num_shards);
   engines.reserve(num_shards);
   policies.reserve(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    engines.push_back(std::make_unique<SimEngine>(config));
-    policies.push_back(factory(s));
-    engines[s]->attach_segment_log(&segment_logs[s]);
+  {
+    // "setup" covers everything up to the first epoch: input validation
+    // (is_well_formed is an O(n) trace scan — it must not leak out of the
+    // phase forest's >= 95% coverage bar), engine construction, and the
+    // collector plumbing.
+    VODREP_PROFILE_PHASE("setup");
+    require(trace.is_well_formed(), "run_sharded: malformed trace");
     if (timeline != nullptr) {
-      obs::TimeseriesConfig ts_config;
-      ts_config.interval_sec = timeline->interval_sec();
-      ts_config.max_samples = timeline->max_samples();
-      shard_timelines.push_back(std::make_unique<obs::TimeseriesCollector>(
-          ts_config, timeline->num_servers()));
-      engines[s]->attach_timeline(shard_timelines[s].get());
+      require(timeline->size() == 0 && timeline->downsample_factor() == 1 &&
+                  timeline->time_offset() == 0.0,
+              "run_sharded: attach a freshly constructed timeline collector");
     }
     if (event_log != nullptr) {
-      shard_logs.push_back(
-          std::make_unique<obs::EventLog>(event_log->capacity()));
-      engines[s]->attach_event_log(shard_logs[s].get());
+      require(event_log->seen() == 0 && event_log->time_offset() == 0.0,
+              "run_sharded: attach a freshly constructed event log");
     }
-    engines[s]->begin_stepping(*policies[s]);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      engines.push_back(std::make_unique<SimEngine>(config));
+      policies.push_back(factory(s));
+      engines[s]->attach_segment_log(&segment_logs[s]);
+      if (timeline != nullptr) {
+        obs::TimeseriesConfig ts_config;
+        ts_config.interval_sec = timeline->interval_sec();
+        ts_config.max_samples = timeline->max_samples();
+        shard_timelines.push_back(std::make_unique<obs::TimeseriesCollector>(
+            ts_config, timeline->num_servers()));
+        engines[s]->attach_timeline(shard_timelines[s].get());
+      }
+      if (event_log != nullptr) {
+        shard_logs.push_back(
+            std::make_unique<obs::EventLog>(event_log->capacity()));
+        engines[s]->attach_event_log(shard_logs[s].get());
+      }
+      engines[s]->begin_stepping(*policies[s]);
+    }
   }
 
   // Merge-epoch boundaries: fixed simulated-time barriers at which every
@@ -173,11 +182,20 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
   std::vector<std::size_t> next_request(num_shards, 0);
   const bool inline_shards = options.pool == nullptr ||
                              options.pool->size() <= 1 || num_shards <= 1;
+  // Per-shard thread-CPU attribution (sim.shard.<s>.cpu_ns): each shard's
+  // replay work accrues CPU on whichever pool worker ran it; the deltas are
+  // accumulated per shard (one task per shard at a time, so the per-element
+  // writes never race).  Measured only when someone is looking.
+  const bool account_cpu =
+      obs::metrics_enabled() || obs::RunProfiler::global().enabled();
+  std::vector<std::uint64_t> shard_cpu_ns(num_shards, 0);
   double epoch_start = 0.0;
   for (std::size_t b = 0; b < boundaries.size(); ++b) {
     const double limit = boundaries[b];
     const bool final_epoch = b + 1 == boundaries.size();
     const auto advance_shard = [&](std::size_t s) {
+      const std::uint64_t cpu_start =
+          account_cpu ? obs::thread_cpu_now_ns() : 0;
       SimEngine& engine = *engines[s];
       StoragePolicy& policy = *policies[s];
       const std::vector<Request>& requests = plan.sub_traces[s].requests;
@@ -188,26 +206,38 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
         ++cur;
       }
       engine.advance_to(policy, limit);
+      if (account_cpu) {
+        shard_cpu_ns[s] += obs::thread_cpu_now_ns() - cpu_start;
+      }
     };
-    if (inline_shards) {
-      for (std::size_t s = 0; s < num_shards; ++s) advance_shard(s);
-    } else {
-      options.pool->parallel_for(num_shards, advance_shard);
+    {
+      // Wall time here covers the pool dispatch and the barrier wait; the
+      // per-shard cpu_ns gauges say how much of it was shard work.
+      VODREP_PROFILE_PHASE("shard_run");
+      if (inline_shards) {
+        for (std::size_t s = 0; s < num_shards; ++s) advance_shard(s);
+      } else {
+        options.pool->parallel_for(num_shards, advance_shard);
+      }
     }
-    merge_load_segments(segment_logs, epoch_start, config.num_servers,
-                        merged);
-    for (std::vector<LoadSegment>& log : segment_logs) log.clear();
+    {
+      VODREP_PROFILE_PHASE("epoch_merge");
+      merge_load_segments(segment_logs, epoch_start, config.num_servers,
+                          merged);
+      for (std::vector<LoadSegment>& log : segment_logs) log.clear();
+    }
     epoch_start = limit;
   }
 
   // Close every shard and fold the linear tallies.
+  SimResult out;
+  VODREP_PROFILE_PHASE("finish");
   std::vector<SimResult> results;
   results.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     results.push_back(engines[s]->finish_stepping(*policies[s],
                                                   trace.horizon));
   }
-  SimResult out;
   out.total_requests = trace.size();
   out.served_per_server.resize(config.num_servers);
   out.utilization_per_server.assign(config.num_servers, 0.0);
@@ -281,6 +311,8 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
           .set(static_cast<double>(stats.departures_fired));
       registry.gauge(lane + "heap_high_water")
           .set(static_cast<double>(stats.heap_high_water));
+      registry.gauge(lane + "cpu_ns")
+          .set(static_cast<double>(shard_cpu_ns[s]));
     }
     registry.counter("sim.events.departure").add(departures);
     // Every shard applies the full injected schedule; report it once.
@@ -304,6 +336,15 @@ SimResult run_sharded(const SimConfig& config, const RequestTrace& trace,
       registry.gauge("sim.cache.hit_ratio").set(out.cache_hit_ratio());
     }
   }
+  // Tear the shard state down while the "finish" phase is still open —
+  // these vectors were declared before the phase, so their implicit
+  // destruction at return would otherwise land between "finish" closing and
+  // the caller's root phase closing, outside every named child.
+  engines.clear();
+  policies.clear();
+  shard_timelines.clear();
+  shard_logs.clear();
+  segment_logs.clear();
   return out;
 }
 
@@ -322,8 +363,16 @@ SimResult simulate_sharded(const Layout& layout, const SimConfig& config,
     ReplicatedPolicy policy(layout, config);
     return engine.run(policy, trace);
   }
-  const ShardPlan plan =
-      make_replicated_shard_plan(layout, config, trace, options.num_shards);
+  VODREP_PROFILE_PHASE("sim.sharded");
+  // The plan is destroyed inside the "teardown" child phase rather than at
+  // scope exit: freeing the sub-trace copies is real, workload-proportional
+  // time that would otherwise land between children and break the phase
+  // forest's >= 95% wall-coverage contract (tests/report_test.cc).
+  ShardPlan plan;
+  {
+    VODREP_PROFILE_PHASE("plan");
+    plan = make_replicated_shard_plan(layout, config, trace, options.num_shards);
+  }
   const ShardPolicyFactory factory = [&](std::size_t shard) {
     auto policy = std::make_unique<ReplicatedPolicy>(layout, config);
     if (plan.is_routed()) {
@@ -331,8 +380,13 @@ SimResult simulate_sharded(const Layout& layout, const SimConfig& config,
     }
     return std::unique_ptr<StoragePolicy>(std::move(policy));
   };
-  return run_sharded(config, trace, plan, factory, options, timeline,
-                     event_log);
+  SimResult out = run_sharded(config, trace, plan, factory, options, timeline,
+                              event_log);
+  {
+    VODREP_PROFILE_PHASE("teardown");
+    plan = ShardPlan{};
+  }
+  return out;
 }
 
 SimResult simulate_sharded_striped(const StripedLayout& layout,
@@ -350,14 +404,23 @@ SimResult simulate_sharded_striped(const StripedLayout& layout,
     StripedPolicy policy(layout, config);
     return engine.run(policy, trace);
   }
-  const ShardPlan plan =
-      make_striped_shard_plan(layout, config, trace, options.num_shards);
+  VODREP_PROFILE_PHASE("sim.sharded");
+  ShardPlan plan;
+  {
+    VODREP_PROFILE_PHASE("plan");
+    plan = make_striped_shard_plan(layout, config, trace, options.num_shards);
+  }
   const ShardPolicyFactory factory = [&](std::size_t) {
     return std::unique_ptr<StoragePolicy>(
         std::make_unique<StripedPolicy>(layout, config));
   };
-  return run_sharded(config, trace, plan, factory, options, timeline,
-                     event_log);
+  SimResult out = run_sharded(config, trace, plan, factory, options, timeline,
+                              event_log);
+  {
+    VODREP_PROFILE_PHASE("teardown");
+    plan = ShardPlan{};
+  }
+  return out;
 }
 
 SimResult simulate_sharded_hybrid(const HybridLayout& layout,
@@ -375,14 +438,23 @@ SimResult simulate_sharded_hybrid(const HybridLayout& layout,
     HybridPolicy policy(layout, config);
     return engine.run(policy, trace);
   }
-  const ShardPlan plan =
-      make_hybrid_shard_plan(layout, config, trace, options.num_shards);
+  VODREP_PROFILE_PHASE("sim.sharded");
+  ShardPlan plan;
+  {
+    VODREP_PROFILE_PHASE("plan");
+    plan = make_hybrid_shard_plan(layout, config, trace, options.num_shards);
+  }
   const ShardPolicyFactory factory = [&](std::size_t) {
     return std::unique_ptr<StoragePolicy>(
         std::make_unique<HybridPolicy>(layout, config));
   };
-  return run_sharded(config, trace, plan, factory, options, timeline,
-                     event_log);
+  SimResult out = run_sharded(config, trace, plan, factory, options, timeline,
+                              event_log);
+  {
+    VODREP_PROFILE_PHASE("teardown");
+    plan = ShardPlan{};
+  }
+  return out;
 }
 
 SimResult simulate_sharded_prefix_cache(const Layout& layout,
@@ -402,8 +474,13 @@ SimResult simulate_sharded_prefix_cache(const Layout& layout,
     return engine.run(policy, trace);
   }
   const bool cache_enabled = cache_options.capacity_bytes > 0.0;
-  const ShardPlan plan = make_prefix_cache_shard_plan(
-      layout, config, cache_enabled, trace, options.num_shards);
+  VODREP_PROFILE_PHASE("sim.sharded");
+  ShardPlan plan;
+  {
+    VODREP_PROFILE_PHASE("plan");
+    plan = make_prefix_cache_shard_plan(layout, config, cache_enabled, trace,
+                                        options.num_shards);
+  }
   const ShardPolicyFactory factory = [&](std::size_t shard) {
     auto policy =
         std::make_unique<PrefixCachePolicy>(layout, config, cache_options);
@@ -412,8 +489,13 @@ SimResult simulate_sharded_prefix_cache(const Layout& layout,
     }
     return std::unique_ptr<StoragePolicy>(std::move(policy));
   };
-  return run_sharded(config, trace, plan, factory, options, timeline,
-                     event_log);
+  SimResult out = run_sharded(config, trace, plan, factory, options, timeline,
+                              event_log);
+  {
+    VODREP_PROFILE_PHASE("teardown");
+    plan = ShardPlan{};
+  }
+  return out;
 }
 
 }  // namespace vodrep

@@ -1,0 +1,21 @@
+// Lint self-test fixture: deliberately violates `raw-clock`.
+// A direct std::chrono read and a clock_gettime call inside src/sim
+// sidestep the obs clock shim (src/obs/clock.h), so the profiler cannot
+// attribute the time and the shared epoch guarantee is lost.
+#include <chrono>
+#include <ctime>
+
+namespace vodrep {
+
+long long stamp_event_directly() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long long stamp_event_with_syscall() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+}
+
+}  // namespace vodrep

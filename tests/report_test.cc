@@ -13,11 +13,13 @@
 #include "src/core/layout.h"
 #include "src/obs/event_log.h"
 #include "src/obs/json_lite.h"
+#include "src/obs/profile.h"
 #include "src/obs/report.h"
 #include "src/obs/timeseries.h"
 #include "src/sim/engine.h"
 #include "src/sim/replicated_policy.h"
 #include "src/sim/run_report.h"
+#include "src/sim/sharded_engine.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
@@ -198,6 +200,141 @@ TEST(RunReportValidatorTest, FlagsNonObjectInput) {
   const auto problems = obs::validate_run_report(JsonValue::array());
   ASSERT_EQ(problems.size(), 1u);
   EXPECT_TRUE(any_problem_contains(problems, "not a JSON object"));
+}
+
+/// Minimal well-formed `profile` section (the RunProfiler::to_json shape)
+/// for validator tests that do not want to run a profiled simulation.
+JsonValue tiny_profile() {
+  JsonValue phase = JsonValue::object();
+  phase.set("name", JsonValue::string("root"));
+  phase.set("wall_ns", JsonValue::integer(1000));
+  phase.set("cpu_ns", JsonValue::integer(900));
+  phase.set("count", JsonValue::integer(1));
+  phase.set("children", JsonValue::array());
+  JsonValue phases = JsonValue::array();
+  phases.push_back(std::move(phase));
+  JsonValue profile = JsonValue::object();
+  profile.set("profile_version", JsonValue::integer(obs::kRunProfileVersion));
+  profile.set("max_rss_kb", JsonValue::integer_u64(1));
+  profile.set("phases", std::move(phases));
+  return profile;
+}
+
+TEST(RunReportValidatorTest, AcceptsWellFormedProfileSection) {
+  const RunFixture fixture = run_small_world();
+  JsonValue report = fixture.report;
+  report.set("profile", tiny_profile());
+  EXPECT_TRUE(obs::validate_run_report(report).empty());
+}
+
+TEST(RunReportValidatorTest, FlagsProfileSectionShapeProblems) {
+  const RunFixture fixture = run_small_world();
+
+  JsonValue as_array = fixture.report;
+  as_array.set("profile", JsonValue::array());
+  EXPECT_TRUE(any_problem_contains(obs::validate_run_report(as_array),
+                                   "profile must carry"));
+
+  JsonValue wrong_version = fixture.report;
+  wrong_version.set("profile", replaced(tiny_profile(), "profile_version",
+                                        JsonValue::integer(99)));
+  EXPECT_TRUE(any_problem_contains(obs::validate_run_report(wrong_version),
+                                   "profile.profile_version"));
+
+  JsonValue bad_phase = tiny_profile();
+  JsonValue phases = JsonValue::array();
+  phases.push_back(replaced(bad_phase.at("phases").items().front(), "wall_ns",
+                            JsonValue::string("fast")));
+  bad_phase = replaced(bad_phase, "phases", std::move(phases));
+  JsonValue bad_node = fixture.report;
+  bad_node.set("profile", std::move(bad_phase));
+  EXPECT_TRUE(any_problem_contains(obs::validate_run_report(bad_node),
+                                   "'wall_ns' is not a non-negative integer"));
+}
+
+// Acceptance bar for the profiler instrumentation: a sharded run must
+// attribute >= 95% of the engine's wall time to the named phases under the
+// "sim.sharded" root (plan / setup / shard_run / epoch_merge / finish), and
+// the resulting report with an embedded profile must validate and
+// round-trip.
+TEST(RunReportProfileTest, ShardedRunProfileAccountsEngineWallTime) {
+  obs::RunProfiler& profiler = obs::RunProfiler::global();
+  profiler.clear();
+  profiler.set_enabled(true);
+
+  constexpr std::size_t kServers = 4;
+  constexpr std::size_t kVideos = 12;
+  SimConfig config;
+  config.num_servers = kServers;
+  config.bandwidth_bps_per_server = units::mbps(4) * 6.0;
+  config.stream_bitrate_bps = units::mbps(4);
+  config.video_duration_sec = 300.0;
+
+  Layout layout;
+  layout.assignment.resize(kVideos);
+  for (std::size_t v = 0; v < kVideos; ++v) {
+    layout.assignment[v] = {v % kServers, (v + 1) % kServers};
+  }
+
+  Rng rng(0x8E7);
+  TraceSpec spec;
+  // Large enough (~48k requests, >= 5 ms of engine work) that the phase
+  // scopes' own clock-read overhead — the only wall time between named
+  // children — amortizes well under the 5% slack.
+  spec.arrival_rate = 20.0;
+  spec.horizon = 2400.0;
+  spec.popularity = zipf_popularity(kVideos, 0.75);
+  const RequestTrace trace = generate_trace(rng, spec);
+
+  ThreadPool pool(2);
+  ShardedSimOptions options;
+  options.num_shards = 4;
+  options.pool = &pool;
+  const SimResult result = simulate_sharded(layout, config, trace, options);
+  profiler.set_enabled(false);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  const obs::PhaseStats* root = nullptr;
+  for (const obs::PhaseStats& phase : snap.phases) {
+    if (phase.name == "sim.sharded") root = &phase;
+  }
+  ASSERT_NE(root, nullptr) << "no sim.sharded root phase recorded";
+  EXPECT_EQ(root->count, 1u);
+  ASSERT_GT(root->wall_ns, 0u);
+
+  std::uint64_t child_wall = 0;
+  bool saw_plan = false, saw_shard_run = false, saw_epoch_merge = false;
+  for (const obs::PhaseStats& child : root->children) {
+    child_wall += child.wall_ns;
+    if (child.name == "plan") saw_plan = true;
+    if (child.name == "shard_run") saw_shard_run = true;
+    if (child.name == "epoch_merge") saw_epoch_merge = true;
+  }
+  EXPECT_TRUE(saw_plan);
+  EXPECT_TRUE(saw_shard_run);
+  EXPECT_TRUE(saw_epoch_merge);
+  std::string breakdown;
+  for (const obs::PhaseStats& child : root->children) {
+    breakdown += child.name + "=" + std::to_string(child.wall_ns) + "ns ";
+  }
+  EXPECT_GE(static_cast<double>(child_wall),
+            0.95 * static_cast<double>(root->wall_ns))
+      << "named phases cover only " << child_wall << " of " << root->wall_ns
+      << " ns of engine wall time: " << breakdown;
+
+  // The exported profile embeds cleanly into a run report and round-trips.
+  const JsonValue report =
+      build_run_report(config, result, /*timeline=*/nullptr,
+                       /*events=*/nullptr, JsonValue::object(),
+                       profiler.to_json());
+  const std::vector<std::string> problems = obs::validate_run_report(report);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(report.at("profile").at("profile_version").as_int(),
+            obs::kRunProfileVersion);
+  const JsonValue reparsed = obs::parse_json(report.dump());
+  EXPECT_TRUE(obs::validate_run_report(reparsed).empty());
+  EXPECT_EQ(reparsed.at("profile"), report.at("profile"));
+  profiler.clear();
 }
 
 TEST(AggregateResultsTest, SumsCountersAveragesMeansAndTakesPeaks) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/json_lite.h"
@@ -49,11 +51,14 @@ TEST_F(TraceEventTest, SpansNestWithMonotonicTimestamps) {
     }
     spin_ns(2'000);
   }
+  // events() merges lanes sorted by start timestamp, so the outer span
+  // (opened first) comes first even though it is *recorded* last, at
+  // destruction.
   const std::vector<TraceEvent> events = recorder().events();
-  ASSERT_EQ(events.size(), 3u);  // children destruct (record) before outer
-  const TraceEvent& inner_a = events[0];
-  const TraceEvent& inner_b = events[1];
-  const TraceEvent& outer = events[2];
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner_a = events[1];
+  const TraceEvent& inner_b = events[2];
   EXPECT_STREQ(inner_a.name, "inner_a");
   EXPECT_STREQ(inner_b.name, "inner_b");
   EXPECT_STREQ(outer.name, "outer");
@@ -144,6 +149,21 @@ TEST_F(TraceEventTest, DisablingMidSpanDropsTheInFlightSpan) {
   EXPECT_EQ(recorder().events().size(), 1u);
 }
 
+TEST_F(TraceEventTest, MergedEventsAreSortedByTimestampThenTid) {
+  recorder().set_enabled(true);
+  // Record out of timestamp order within one lane; the merge must not care.
+  recorder().record_complete("late", /*ts_ns=*/300, /*dur_ns=*/1);
+  recorder().record_complete("early", /*ts_ns=*/100, /*dur_ns=*/1);
+  recorder().record_complete("mid", /*ts_ns=*/200, /*dur_ns=*/1);
+  recorder().record_complete("mid_again", /*ts_ns=*/200, /*dur_ns=*/2);
+  const std::vector<TraceEvent> events = recorder().events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(events[0].name, "early");
+  EXPECT_STREQ(events[1].name, "mid");
+  EXPECT_STREQ(events[2].name, "mid_again");  // equal ts: recorded order kept
+  EXPECT_STREQ(events[3].name, "late");
+}
+
 TEST_F(TraceEventTest, ClearResetsEventsAndInstrumentCounters) {
   recorder().set_enabled(true);
   {
@@ -156,6 +176,84 @@ TEST_F(TraceEventTest, ClearResetsEventsAndInstrumentCounters) {
   EXPECT_TRUE(recorder().events().empty());
   const JsonValue root = parse_json(recorder().to_json());
   EXPECT_EQ(root.at("traceEvents").size(), 0u);
+}
+
+/// Concurrency suite (runs under the tsan preset): per-thread lanes must
+/// accept parallel recording without locks and merge deterministically.
+class TraceRecorderThreadsTest : public TraceEventTest {};
+
+TEST_F(TraceRecorderThreadsTest, ConcurrentRecordingMergesAllPublishedEvents) {
+  recorder().set_enabled(true, /*capacity=*/4096);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kEventsPerThread = 1000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::size_t i = 0; i < kEventsPerThread; ++i) {
+        VODREP_TRACE_SCOPE("worker_span");
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Reads race with the writers on purpose: a merge must only ever see
+  // fully published events (never a half-written slot).
+  for (int i = 0; i < 50; ++i) {
+    for (const TraceEvent& event : recorder().events()) {
+      ASSERT_NE(event.name, nullptr);
+      ASSERT_EQ(std::string(event.name), "worker_span");
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+  recorder().set_enabled(false);
+
+  EXPECT_EQ(recorder().events_recorded(), kThreads * kEventsPerThread);
+  EXPECT_EQ(recorder().events_dropped(), 0u);
+  EXPECT_EQ(recorder().buffer_grows(), 0u);
+  const std::vector<TraceEvent> events = recorder().events();
+  ASSERT_EQ(events.size(), kThreads * kEventsPerThread);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const bool ordered =
+        events[i - 1].ts_ns < events[i].ts_ns ||
+        (events[i - 1].ts_ns == events[i].ts_ns &&
+         events[i - 1].tid <= events[i].tid);
+    ASSERT_TRUE(ordered) << "merge not sorted by (ts, tid) at " << i;
+  }
+  // The merge is a pure function of the recorded spans: exporting twice
+  // yields the identical sequence.
+  const std::vector<TraceEvent> again = recorder().events();
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].name, events[i].name);
+    EXPECT_EQ(again[i].ts_ns, events[i].ts_ns);
+    EXPECT_EQ(again[i].dur_ns, events[i].dur_ns);
+    EXPECT_EQ(again[i].tid, events[i].tid);
+  }
+}
+
+TEST_F(TraceRecorderThreadsTest, LaneOverflowDropsAndCountsPerThread) {
+  recorder().set_enabled(true, /*capacity=*/8);
+  constexpr std::size_t kThreads = 2;
+  constexpr std::size_t kEventsPerThread = 20;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::size_t i = 0; i < kEventsPerThread; ++i) {
+        VODREP_TRACE_SCOPE("overflow");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  recorder().set_enabled(false);
+  // Each lane holds its own 8; the rest drop.  No lane ever grows.
+  EXPECT_EQ(recorder().events_recorded(), kThreads * 8u);
+  EXPECT_EQ(recorder().events_dropped(), kThreads * (kEventsPerThread - 8u));
+  EXPECT_EQ(recorder().buffer_grows(), 0u);
+  EXPECT_EQ(recorder().events().size(), kThreads * 8u);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Self-test for vodrep_bench_diff against the committed fixture records.
+
+Usage: bench_diff_selftest.py <vodrep_bench_diff binary> <fixtures dir>
+
+Asserts the documented exit codes (0 pass, 1 regression, 2 missing metric)
+and that the last stdout line is the machine-readable verdict object with
+the matching verdict string.  A gate whose fixtures stop tripping it is a
+silent regression, the same failure mode the lint selftest guards against.
+"""
+import json
+import os
+import subprocess
+import sys
+
+
+def run_case(binary, fixtures, current, extra_args=()):
+    result = subprocess.run(
+        [
+            binary,
+            f"--baseline={os.path.join(fixtures, 'baseline.json')}",
+            f"--current={os.path.join(fixtures, current)}",
+            *extra_args,
+        ],
+        capture_output=True,
+        text=True,
+    )
+    lines = [line for line in result.stdout.splitlines() if line.strip()]
+    if not lines:
+        raise AssertionError(f"{current}: no stdout from vodrep_bench_diff")
+    verdict = json.loads(lines[-1])
+    if verdict.get("kind") != "vodrep_bench_diff":
+        raise AssertionError(f"{current}: last line is not a verdict object")
+    return result.returncode, verdict
+
+
+def expect(condition, message):
+    if not condition:
+        raise AssertionError(message)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    binary, fixtures = sys.argv[1], sys.argv[2]
+
+    code, verdict = run_case(binary, fixtures, "current_pass.json")
+    expect(code == 0, f"pass fixture: expected exit 0, got {code}")
+    expect(verdict["verdict"] == "pass", f"pass fixture: {verdict}")
+    expect(verdict["checked"] == 3, f"pass fixture checked: {verdict}")
+    expect(verdict["regressions"] == [], f"pass fixture: {verdict}")
+
+    # The injected regression drops events_per_sec by 25% (> the 20%
+    # threshold) while the axis points hold, so exactly one metric trips.
+    code, verdict = run_case(binary, fixtures, "current_regression.json")
+    expect(code == 1, f"regression fixture: expected exit 1, got {code}")
+    expect(verdict["verdict"] == "regression", f"regression fixture: {verdict}")
+    expect(
+        [r["metric"] for r in verdict["regressions"]] == ["events_per_sec"],
+        f"regression fixture: {verdict}",
+    )
+
+    # The same comparison in --warn-only mode still reports the regression
+    # but exits 0 (the CI warn lane).
+    code, verdict = run_case(
+        binary, fixtures, "current_regression.json", ["--warn-only"]
+    )
+    expect(code == 0, f"warn-only fixture: expected exit 0, got {code}")
+    expect(verdict["verdict"] == "regression", f"warn-only fixture: {verdict}")
+    expect(verdict["warn_only"] is True, f"warn-only fixture: {verdict}")
+
+    code, verdict = run_case(binary, fixtures, "current_missing.json")
+    expect(code == 2, f"missing fixture: expected exit 2, got {code}")
+    expect(
+        verdict["verdict"] == "missing_metric", f"missing fixture: {verdict}"
+    )
+    expect(
+        verdict["missing"] == ["shards_axis[pool_threads=2,shards=2,threads=2]"],
+        f"missing fixture: {verdict}",
+    )
+
+    # Comparing a record against itself must always pass: the CI lane diffs
+    # fresh runs against the committed BENCH_*.json baselines, and the
+    # degenerate self-diff is the determinism floor of that gate.
+    code, verdict = run_case(binary, fixtures, "baseline.json")
+    expect(code == 0, f"self-diff: expected exit 0, got {code}")
+    expect(verdict["verdict"] == "pass", f"self-diff: {verdict}")
+
+    print("bench-diff selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

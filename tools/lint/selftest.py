@@ -31,6 +31,7 @@ FIXTURES = os.path.join(REPO, "tests", "lint_selftest")
 EXPECTED = {
     "unordered-iteration": ("src/core/bad_unordered.cc", "deterministic"),
     "rng-construction": ("src/sim/bad_rng.cc", "src/util/rng"),
+    "raw-clock": ("src/sim/bad_clock.cc", "clock shim"),
     "dcheck-side-effects": ("src/core/bad_dcheck.cc", "release builds"),
     "unordered-float-reduction": ("src/core/objective.cc", "associative"),
 }

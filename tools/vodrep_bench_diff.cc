@@ -1,0 +1,269 @@
+// vodrep_bench_diff — the perf-regression gate over BENCH_*.json records.
+//
+// Compares a freshly produced benchmark record (tools/run_benches.sh) to a
+// committed baseline and fails when a throughput metric dropped by more
+// than its relative threshold:
+//
+//   vodrep_bench_diff --baseline=BENCH_sim.json --current=fresh.json
+//   vodrep_bench_diff --baseline=... --current=... --warn-only
+//
+// What is compared (every metric is higher-is-better):
+//   * every top-level `*_per_sec` number in the baseline, against the same
+//     key in the current record (default threshold --threshold, 20%);
+//   * every point of `threads_axis` / `shards_axis`, matched by its integer
+//     identity fields (chains/shards/threads), comparing each `*_per_sec`
+//     field (default threshold --axis-threshold, 25% — scaling points are
+//     noisier than single-thread rates).
+// Improvements never fail, and metrics present only in the current record
+// are ignored (a new benchmark axis must not break older baselines).
+//
+// The last stdout line is always a machine-readable verdict object:
+//   {"kind":"vodrep_bench_diff","verdict":"pass|regression|missing_metric",
+//    "checked":N,"regressions":[...],"missing":[...]}
+//
+// Exit codes: 0 pass, 1 regression, 2 usage error / malformed record /
+// metric missing from the current record.  --warn-only reports verdicts the
+// same way but exits 0 for regressions and missing metrics, so CI lanes can
+// surface perf drift without hard-failing on noisy runners.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+#include "src/util/cli.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace vodrep;
+using obs::JsonValue;
+
+constexpr int kExitPass = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+struct Regression {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double threshold = 0.0;
+};
+
+struct DiffState {
+  double threshold = 0.0;
+  double axis_threshold = 0.0;
+  std::size_t checked = 0;
+  std::vector<Regression> regressions;
+  std::vector<std::string> missing;
+};
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+JsonValue load_record(const std::string& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in),
+          [&] { return "cannot open bench record: " + path; });
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue record = obs::parse_json(buffer.str());
+  require(record.is_object(),
+          [&] { return "bench record is not a JSON object: " + path; });
+  return record;
+}
+
+/// Checks one higher-is-better rate: records a regression when the current
+/// value dropped below baseline * (1 - threshold).
+void check_rate(DiffState& state, const std::string& metric, double baseline,
+                double current, double threshold) {
+  ++state.checked;
+  const bool regressed =
+      baseline > 0.0 && current < baseline * (1.0 - threshold);
+  const double delta_pct =
+      baseline > 0.0 ? 100.0 * (current - baseline) / baseline : 0.0;
+  std::cout << (regressed ? "REGRESSION " : "ok         ") << metric << ": "
+            << baseline << " -> " << current << " (" << (delta_pct >= 0 ? "+" : "")
+            << delta_pct << " %, threshold -" << 100.0 * threshold << " %)\n";
+  if (regressed) {
+    state.regressions.push_back({metric, baseline, current, threshold});
+  }
+}
+
+/// Top-level `*_per_sec` members of the baseline vs the current record.
+void diff_top_level(DiffState& state, const JsonValue& baseline,
+                    const JsonValue& current) {
+  for (const auto& [key, value] : baseline.members()) {
+    if (!value.is_number() || !ends_with(key, "_per_sec")) continue;
+    if (!current.has(key) || !current.at(key).is_number()) {
+      state.missing.push_back(key);
+      continue;
+    }
+    check_rate(state, key, value.as_number(), current.at(key).as_number(),
+               state.threshold);
+  }
+}
+
+/// The identity of one axis point: its non-rate integer fields (chains,
+/// shards, threads, pool_threads, ...), serialized as a stable label.
+/// Components are sorted so the match is independent of member order.
+/// `speedup` is a derived metric, not an identity field — it only looks
+/// integral at the S=1 point, where it is 1 by construction.
+std::string axis_point_identity(const JsonValue& point) {
+  std::vector<std::string> parts;
+  for (const auto& [key, value] : point.members()) {
+    if (value.kind() != JsonValue::Kind::kInt || ends_with(key, "_per_sec") ||
+        key == "speedup") {
+      continue;
+    }
+    parts.push_back(key + "=" + std::to_string(value.as_int()));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string identity;
+  for (const std::string& part : parts) {
+    if (!identity.empty()) identity += ",";
+    identity += part;
+  }
+  return identity;
+}
+
+/// Matches baseline axis points to current ones by identity and compares
+/// their `*_per_sec` fields with the (looser) axis threshold.
+void diff_axis(DiffState& state, const std::string& axis,
+               const JsonValue& baseline, const JsonValue& current) {
+  if (!baseline.has(axis)) return;
+  const JsonValue& base_points = baseline.at(axis);
+  require(base_points.is_array(),
+          [&] { return "baseline " + axis + " is not an array"; });
+  if (!current.has(axis) || !current.at(axis).is_array()) {
+    state.missing.push_back(axis);
+    return;
+  }
+  for (const JsonValue& base_point : base_points.items()) {
+    const std::string identity = axis_point_identity(base_point);
+    const JsonValue* match = nullptr;
+    for (const JsonValue& cur_point : current.at(axis).items()) {
+      if (axis_point_identity(cur_point) == identity) {
+        match = &cur_point;
+        break;
+      }
+    }
+    const std::string label = axis + "[" + identity + "]";
+    if (match == nullptr) {
+      state.missing.push_back(label);
+      continue;
+    }
+    for (const auto& [key, value] : base_point.members()) {
+      if (!value.is_number() || !ends_with(key, "_per_sec")) continue;
+      if (!match->has(key) || !match->at(key).is_number()) {
+        state.missing.push_back(label + "." + key);
+        continue;
+      }
+      check_rate(state, label + "." + key, value.as_number(),
+                 match->at(key).as_number(), state.axis_threshold);
+    }
+  }
+}
+
+JsonValue verdict_json(const DiffState& state, const std::string& verdict,
+                       bool warn_only) {
+  JsonValue out = JsonValue::object();
+  out.set("kind", JsonValue::string("vodrep_bench_diff"));
+  out.set("verdict", JsonValue::string(verdict));
+  out.set("checked", JsonValue::integer_u64(state.checked));
+  JsonValue regressions = JsonValue::array();
+  for (const Regression& r : state.regressions) {
+    JsonValue entry = JsonValue::object();
+    entry.set("metric", JsonValue::string(r.metric));
+    entry.set("baseline", JsonValue::number(r.baseline));
+    entry.set("current", JsonValue::number(r.current));
+    entry.set("threshold", JsonValue::number(r.threshold));
+    regressions.push_back(std::move(entry));
+  }
+  out.set("regressions", std::move(regressions));
+  JsonValue missing = JsonValue::array();
+  for (const std::string& name : state.missing) {
+    missing.push_back(JsonValue::string(name));
+  }
+  out.set("missing", std::move(missing));
+  out.set("warn_only", JsonValue::boolean(warn_only));
+  return out;
+}
+
+int run(int argc, char** argv) {
+  CliFlags flags("vodrep_bench_diff",
+                 "Compare a fresh BENCH_*.json record against a baseline "
+                 "and fail on throughput regressions");
+  flags.add_string("baseline", "", "committed baseline BENCH_*.json");
+  flags.add_string("current", "", "freshly produced BENCH_*.json");
+  flags.add_double("threshold", 0.20,
+                   "relative drop tolerated on top-level *_per_sec metrics");
+  flags.add_double("axis-threshold", 0.25,
+                   "relative drop tolerated on threads_axis / shards_axis "
+                   "scaling points (noisier than single-thread rates)");
+  flags.add_bool("warn-only", false,
+                 "report regressions and missing metrics but exit 0 "
+                 "(CI warn lane)");
+  if (!flags.parse(argc, argv)) return kExitPass;
+
+  require(!flags.get_string("baseline").empty(),
+          "--baseline=<BENCH_*.json> is required");
+  require(!flags.get_string("current").empty(),
+          "--current=<BENCH_*.json> is required");
+  require(flags.get_double("threshold") > 0.0 &&
+              flags.get_double("threshold") < 1.0,
+          "--threshold must be in (0, 1)");
+  require(flags.get_double("axis-threshold") > 0.0 &&
+              flags.get_double("axis-threshold") < 1.0,
+          "--axis-threshold must be in (0, 1)");
+
+  const JsonValue baseline = load_record(flags.get_string("baseline"));
+  const JsonValue current = load_record(flags.get_string("current"));
+  const bool warn_only = flags.get_bool("warn-only");
+
+  DiffState state;
+  state.threshold = flags.get_double("threshold");
+  state.axis_threshold = flags.get_double("axis-threshold");
+  diff_top_level(state, baseline, current);
+  diff_axis(state, "threads_axis", baseline, current);
+  diff_axis(state, "shards_axis", baseline, current);
+  require(state.checked > 0 || !state.missing.empty(),
+          "baseline record carries no *_per_sec metrics to compare");
+
+  for (const std::string& name : state.missing) {
+    std::cout << "MISSING    " << name
+              << ": present in baseline, absent from current\n";
+  }
+
+  // Missing metrics outrank regressions: a record that silently lost a
+  // metric must not be promoted just because the surviving ones held up.
+  std::string verdict = "pass";
+  int exit_code = kExitPass;
+  if (!state.regressions.empty()) {
+    verdict = "regression";
+    exit_code = kExitRegression;
+  }
+  if (!state.missing.empty()) {
+    verdict = "missing_metric";
+    exit_code = kExitUsage;
+  }
+  if (warn_only) exit_code = kExitPass;
+  std::cout << verdict_json(state, verdict, warn_only).dump() << "\n";
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return kExitUsage;
+  }
+}

@@ -29,6 +29,7 @@
 #include "src/core/scalable.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/online/controller.h"
@@ -98,11 +99,22 @@ void require_writable(const std::string& path, const char* what) {
 // summary because both read the same result structs.
 class ObsExports {
  public:
-  ObsExports(std::string metrics_path, std::string trace_path)
+  ObsExports(std::string metrics_path, std::string trace_path,
+             std::string profile_path)
       : metrics_path_(std::move(metrics_path)),
-        trace_path_(std::move(trace_path)) {
+        trace_path_(std::move(trace_path)),
+        profile_path_(std::move(profile_path)) {
     if (!metrics_path_.empty()) obs::set_metrics_enabled(true);
     if (!trace_path_.empty()) obs::TraceRecorder::global().set_enabled(true);
+    if (!profile_path_.empty()) obs::RunProfiler::global().set_enabled(true);
+  }
+
+  /// The profiler export for embedding into a run report: the versioned
+  /// JSON object when --profile-out armed the profiler, null otherwise
+  /// (build_run_report then omits the optional `profile` section).
+  [[nodiscard]] obs::JsonValue profile_json() const {
+    if (profile_path_.empty()) return obs::JsonValue::null();
+    return obs::RunProfiler::global().to_json();
   }
 
   void write() const {
@@ -127,11 +139,24 @@ class ObsExports {
       std::cout << "trace written to " << trace_path_
                 << " (load in Perfetto / chrome://tracing)\n";
     }
+    if (!profile_path_.empty()) {
+      std::ofstream out(profile_path_);
+      require(out.good(),
+              [&] { return "cannot write profile file: " + profile_path_; });
+      obs::RunProfiler::global().to_json().write(out);
+      out << "\n";
+      out.flush();
+      require(out.good(),
+              [&] { return "cannot write profile file: " + profile_path_; });
+      std::cout << "profile written to " << profile_path_
+                << " (render with vodrep_report)\n";
+    }
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;
 };
 
 // Parses the --cache-* flags into prefix-cache tier options.
@@ -222,6 +247,10 @@ int run(int argc, char** argv) {
                    "enable metrics and write the registry JSON here");
   flags.add_string("trace-out", "",
                    "enable tracing and write chrome://tracing JSON here");
+  flags.add_string("profile-out", "",
+                   "enable the run profiler and write its phase/CPU JSON "
+                   "here; also embedded in --report-out reports as the "
+                   "'profile' section");
   flags.add_string("report-out", "",
                    "simulate the plan and write a self-describing JSON run "
                    "report here (render with vodrep_report)");
@@ -273,9 +302,11 @@ int run(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return EXIT_SUCCESS;
 
   const ObsExports exports(flags.get_string("metrics-out"),
-                           flags.get_string("trace-out"));
+                           flags.get_string("trace-out"),
+                           flags.get_string("profile-out"));
   require_writable(flags.get_string("metrics-out"), "metrics");
   require_writable(flags.get_string("trace-out"), "trace");
+  require_writable(flags.get_string("profile-out"), "profile");
   require_writable(flags.get_string("report-out"), "report");
   const auto servers = static_cast<std::size_t>(flags.get_int("servers"));
   const std::string report_path = flags.get_string("report-out");
@@ -325,7 +356,8 @@ int run(int argc, char** argv) {
       extra.set("prefix_cache",
                 obs::JsonValue::boolean(flags.get_bool("prefix-cache")));
       write_report(build_run_report(config, result, timeline.get(),
-                                    event_log.get(), std::move(extra)),
+                                    event_log.get(), std::move(extra),
+                                    exports.profile_json()),
                    report_path);
     }
 
@@ -597,7 +629,7 @@ int run(int argc, char** argv) {
     extra.set("prefix_cache",
               obs::JsonValue::boolean(flags.get_bool("prefix-cache")));
     write_report(build_run_report(sim, result, &timeline, &event_log,
-                                  std::move(extra)),
+                                  std::move(extra), exports.profile_json()),
                  report_path);
     std::cout << "report simulation: " << result.total_requests
               << " requests, " << result.rejected << " rejected ("

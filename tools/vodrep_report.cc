@@ -2,8 +2,10 @@
 // `vodrep_plan --report-out` or built via src/sim/run_report.h) as a single
 // self-contained static HTML page with inline SVG charts: the L(t) load
 // timeline with controller replan annotations, per-server link
-// utilizations, the rejection-rate trajectory, and the typed rejection
-// breakdown.  No external dependencies, no JavaScript — the page is plain
+// utilizations, the rejection-rate trajectory, the typed rejection
+// breakdown, and — when the report carries a `profile` section (vodrep_plan
+// --profile-out) — a flame-style chart of the run's phase wall times.  No
+// external dependencies, no JavaScript — the page is plain
 // markup, so it renders anywhere and diffs cleanly in CI artifacts.
 //
 //   vodrep_report --input=report.json --output=report.html
@@ -236,6 +238,94 @@ void write_stat_tiles(std::ostream& os, const JsonValue& final_section,
   os << "</div>\n";
 }
 
+/// Depth of a phase subtree (a leaf is 1).
+int phase_depth(const JsonValue& node) {
+  int deepest = 1;
+  for (const JsonValue& child : node.at("children").items()) {
+    deepest = std::max(deepest, 1 + phase_depth(child));
+  }
+  return deepest;
+}
+
+/// One rectangle of the flame-style (icicle) profile chart, then its
+/// children nested underneath, each child's width proportional to its share
+/// of the parent's wall time.  `color` advances through the palette in
+/// traversal order so the layout (and therefore the rendered page) is
+/// deterministic for a given report.
+void write_flame_node(std::ostream& os, const JsonValue& node, double x0,
+                      double width, int depth, std::size_t& color) {
+  constexpr double kRowH = 22.0;
+  constexpr double kGapY = 2.0;
+  const double y = kMarginT + static_cast<double>(depth) * (kRowH + kGapY);
+  const auto wall = node.at("wall_ns").as_uint();
+  const auto cpu = node.at("cpu_ns").as_uint();
+  const auto count = node.at("count").as_uint();
+  const std::string name = node.at("name").as_string();
+  os << "<rect x=\"" << fmt(x0, 6) << "\" y=\"" << y << "\" width=\""
+     << fmt(std::max(width - 1.0, 0.5), 6) << "\" height=\"" << kRowH
+     << "\" rx=\"2\" fill=\"" << kPalette[color % kPaletteSize]
+     << "\" fill-opacity=\"0.85\"><title>" << html_escape(name) << ": "
+     << fmt(static_cast<double>(wall) / 1e6) << " ms wall, "
+     << fmt(static_cast<double>(cpu) / 1e6) << " ms cpu, " << count
+     << " call" << (count == 1 ? "" : "s") << "</title></rect>\n";
+  ++color;
+  if (width > 48.0) {
+    os << "<text x=\"" << fmt(x0 + 4.0, 6) << "\" y=\"" << y + 15
+       << "\" class=\"flame\">" << html_escape(name) << " "
+       << fmt(static_cast<double>(wall) / 1e6) << "ms</text>\n";
+  }
+  double child_x = x0;
+  for (const JsonValue& child : node.at("children").items()) {
+    const auto child_wall = child.at("wall_ns").as_uint();
+    const double child_width =
+        wall > 0 ? width * static_cast<double>(child_wall) /
+                       static_cast<double>(wall)
+                 : 0.0;
+    write_flame_node(os, child, child_x, child_width, depth + 1, color);
+    child_x += child_width;
+  }
+}
+
+/// Flame-style rendering of the optional `profile` section: one row per
+/// nesting depth (roots on top), bar width proportional to wall time, with
+/// the RSS high water and trace-buffer health in the caption line.
+void write_profile_flame(std::ostream& os, const JsonValue& profile) {
+  const JsonValue& phases = profile.at("phases");
+  std::uint64_t total = 0;
+  int depth = 0;
+  for (const JsonValue& root : phases.items()) {
+    total += root.at("wall_ns").as_uint();
+    depth = std::max(depth, phase_depth(root));
+  }
+  os << "<figure><figcaption>Run profile &mdash; wall-time phases (total "
+     << fmt(static_cast<double>(total) / 1e6) << " ms)</figcaption>\n";
+  if (total == 0 || phases.size() == 0) {
+    os << "<p>(profiler enabled but no phases recorded)</p>\n</figure>\n";
+    return;
+  }
+  const double height =
+      kMarginT * 2.0 + static_cast<double>(depth) * 24.0;
+  os << "<svg viewBox=\"0 0 " << kPlotW << ' ' << height
+     << "\" role=\"img\">\n";
+  std::size_t color = 0;
+  double x = 0.0;
+  for (const JsonValue& root : phases.items()) {
+    const double width = kPlotW * static_cast<double>(
+                                      root.at("wall_ns").as_uint()) /
+                         static_cast<double>(total);
+    write_flame_node(os, root, x, width, 0, color);
+    x += width;
+  }
+  os << "</svg>\n<p class=\"legend\">max RSS "
+     << profile.at("max_rss_kb").as_uint() << " KiB";
+  if (profile.has("trace")) {
+    os << " &middot; trace events: "
+       << profile.at("trace").at("recorded").as_uint() << " recorded, "
+       << profile.at("trace").at("dropped").as_uint() << " dropped";
+  }
+  os << "</p>\n</figure>\n";
+}
+
 void render_html(std::ostream& os, const JsonValue& report) {
   const JsonValue& timeline = report.at("timeline");
   const std::vector<double> time = number_array(timeline.at("time"));
@@ -247,6 +337,7 @@ void render_html(std::ostream& os, const JsonValue& report) {
      << "figure{margin:1.5em 0}figcaption{font-weight:600;margin:0 0 .4em}\n"
      << "svg{width:100%;height:auto;display:block}\n"
      << ".tick{font-size:10px;fill:#6b7077}\n"
+     << ".flame{font-size:10px;fill:#fff;pointer-events:none}\n"
      << ".legend{font-size:12px;margin:.3em 0 0}\n"
      << ".tiles{display:flex;flex-wrap:wrap;gap:10px;margin:1em 0}\n"
      << ".tile{border:1px solid #d0d4da;border-radius:6px;padding:8px 14px}\n"
@@ -304,6 +395,10 @@ void render_html(std::ostream& os, const JsonValue& report) {
   }
 
   write_reason_bars(os, report.at("rejections"));
+
+  if (report.has("profile")) {
+    write_profile_flame(os, report.at("profile"));
+  }
 
   os << "<h2>Configuration</h2>\n<pre>" << html_escape(
             report.at("config").dump())
